@@ -1,0 +1,51 @@
+"""NUMA binding ablation (paper Sec. IX future-work direction).
+
+The paper's closing profiling found that more than half of ARGO's data
+accesses crossed the UPI link on the 4-socket Ice Lake, limiting
+bandwidth utilisation, and proposes NUMA-aware extensions.  This ablation
+quantifies the other direction: what does ARGO's *compact* core binding
+already buy over an unbound, socket-striped ("spread") placement?
+"""
+
+from repro.experiments.reporting import render_table
+from repro.experiments.setups import ExperimentSetup, _dataset, _workload
+from repro.platform.costmodel import CostModel
+from repro.platform.library import DGL
+from repro.platform.spec import ICE_LAKE_8380H
+
+CONFIGS = [(2, 4, 24), (4, 4, 24), (8, 4, 10)]
+
+
+def bench_binding_policy(benchmark, save_result):
+    ds = _dataset("ogbn-products", 0)
+    wm = _workload("ogbn-products", "shadow-gcn", 0)
+    common = dict(
+        workload=wm,
+        sampler_name="shadow",
+        model_name="gcn",
+        dims=ds.layer_dims(3),
+        train_nodes=ds.spec.paper_train_nodes,
+    )
+
+    def run():
+        compact = CostModel(ICE_LAKE_8380H, DGL, binder_policy="compact", **common)
+        spread = CostModel(ICE_LAKE_8380H, DGL, binder_policy="spread", **common)
+        rows = []
+        for cfg in CONFIGS:
+            tc = compact.epoch_time(*cfg).total
+            ts = spread.epoch_time(*cfg).total
+            rows.append({"config": cfg, "compact": tc, "spread": ts, "penalty": ts / tc})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["config", "compact (s)", "spread (s)", "spread penalty"],
+        [[str(r["config"]), r["compact"], r["spread"], r["penalty"]] for r in rows],
+        title="NUMA ablation — compact (ARGO) vs spread core binding (ShaDow-GCN, products, Ice Lake)",
+    )
+    save_result("ablation_numa", text)
+
+    for r in rows:
+        assert r["penalty"] > 1.0, f"spread must not beat compact at {r['config']}"
+    # the penalty matters most when processes would otherwise be NUMA-local
+    assert max(r["penalty"] for r in rows) > 1.05

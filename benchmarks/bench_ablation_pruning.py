@@ -1,0 +1,60 @@
+"""Section VII-B ablation — search-space pruning vs BayesOpt, 2-D vs 3-D.
+
+Paper discussion: pruning the space strategically "has the potential to
+produce results comparable to our auto-tuner" on the 2-D landscape, but
+"becomes increasingly challenging as the number of dimensions increases".
+We test exactly that: on the canonical (2-D per process count) space and
+on the full 3-D space (training cores free, ~30x more configurations),
+compare BayesOpt and the successive-halving pruner at the same budget.
+"""
+
+import numpy as np
+
+from repro.core.autotuner import OnlineAutoTuner
+from repro.experiments.reporting import render_table
+from repro.experiments.setups import ExperimentSetup, build_runtime
+from repro.tuning.pruning import PruningSearch
+from repro.tuning.space import ConfigSpace
+
+SEEDS = range(5)
+
+
+def bench_pruning_vs_bayesopt(benchmark, save_result):
+    setup = ExperimentSetup("neighbor-sage", "ogbn-products", "icelake", "dgl")
+    rt, flat = build_runtime(setup)
+    full = ConfigSpace.full3d(112)
+
+    def quality(space, budget):
+        optimum, _ = rt.argo_best_epoch_time(112, space)
+        bo_vals, prune_vals = [], []
+        for seed in SEEDS:
+            tuner = OnlineAutoTuner(space, budget, seed=seed)
+            res = tuner.tune(rt.measure_epoch)
+            bo_vals.append(optimum / rt.true_epoch_time(res.best_config))
+            pr = PruningSearch().run(rt.measure_epoch, space, budget, seed=seed)
+            prune_vals.append(optimum / rt.true_epoch_time(pr.best_config))
+        return float(np.mean(bo_vals)), float(np.mean(prune_vals))
+
+    def run():
+        budget = flat.paper_budget()  # same absolute budget on both spaces
+        return {
+            "2d": (len(flat), budget, *quality(flat, budget)),
+            "3d": (len(full), budget, *quality(full, budget)),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["space", "size", "budget", "BayesOpt quality", "Pruning quality"],
+        [[k, v[0], v[1], v[2], v[3]] for k, v in results.items()],
+        title="Sec VII-B — pruning vs BayesOpt as dimensionality grows",
+    )
+    save_result("ablation_pruning", text)
+
+    _, _, bo2, pr2 = results["2d"]
+    _, _, bo3, pr3 = results["3d"]
+    # 2-D: pruning is comparable (the paper's conjecture)
+    assert pr2 > 0.8
+    # 3-D: BayesOpt holds up; pruning degrades relative to its 2-D self or
+    # stays below BayesOpt (the paper's scaling argument)
+    assert bo3 >= 0.85
+    assert bo3 >= pr3 - 0.05

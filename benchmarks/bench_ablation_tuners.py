@@ -1,0 +1,82 @@
+"""Search-strategy ablation — BayesOpt vs Simulated Annealing vs Random.
+
+Extends Tables IV/V: the paper attributes the auto-tuner's edge to the
+surrogate model learning the landscape from past observations, where SA
+and random search learn nothing.  We sweep all three at the same budget
+over several seeds and report the quality distribution, plus the effect
+of the acquisition function (EI vs PI vs UCB — an extension experiment).
+"""
+
+import numpy as np
+
+from repro.core.autotuner import OnlineAutoTuner
+from repro.experiments.reporting import render_table
+from repro.experiments.setups import ExperimentSetup, build_runtime
+from repro.tuning.anneal import SimulatedAnnealing
+from repro.tuning.search import RandomSearch
+
+SEEDS = range(6)
+
+
+def bench_tuner_comparison(benchmark, save_result):
+    setup = ExperimentSetup("shadow-gcn", "ogbn-products", "icelake", "dgl")
+    rt, space = build_runtime(setup)
+    optimum, _ = rt.argo_best_epoch_time(112, space)
+    budget = space.paper_budget()
+
+    def run():
+        quality = {"bayesopt": [], "sim_anneal": [], "random": []}
+        for seed in SEEDS:
+            tuner = OnlineAutoTuner(space, budget, seed=seed)
+            res = tuner.tune(rt.measure_epoch)
+            quality["bayesopt"].append(optimum / rt.true_epoch_time(res.best_config))
+            sa = SimulatedAnnealing().run(rt.measure_epoch, space, budget, seed=seed)
+            quality["sim_anneal"].append(optimum / rt.true_epoch_time(sa.best_config))
+            rnd = RandomSearch().run(rt.measure_epoch, space, budget, seed=seed)
+            quality["random"].append(optimum / rt.true_epoch_time(rnd.best_config))
+        return quality
+
+    quality = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["strategy", "mean quality", "min", "max", "std"],
+        [
+            [k, float(np.mean(v)), float(np.min(v)), float(np.max(v)), float(np.std(v))]
+            for k, v in quality.items()
+        ],
+        title=f"Tuner ablation — fraction of oracle performance at {budget} searches (ShaDow-GCN, products, Ice Lake)",
+    )
+    save_result("ablation_tuners", text)
+
+    # the paper's comparison is against Simulated Annealing (its "random
+    # search" baseline); uniform random without replacement is reported
+    # for context — on plateau-shaped landscapes it can be competitive
+    assert np.mean(quality["bayesopt"]) >= np.mean(quality["sim_anneal"]) - 0.02
+    assert np.mean(quality["bayesopt"]) >= 0.9
+
+
+def bench_acquisition_functions(benchmark, save_result):
+    setup = ExperimentSetup("neighbor-sage", "reddit", "icelake", "dgl")
+    rt, space = build_runtime(setup)
+    optimum, _ = rt.argo_best_epoch_time(112, space)
+    budget = space.paper_budget()
+
+    def run():
+        out = {}
+        for acq in ("ei", "pi", "ucb"):
+            vals = []
+            for seed in SEEDS:
+                tuner = OnlineAutoTuner(space, budget, seed=seed, acquisition=acq)
+                res = tuner.tune(rt.measure_epoch)
+                vals.append(optimum / rt.true_epoch_time(res.best_config))
+            out[acq] = vals
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["acquisition", "mean quality", "min", "max"],
+        [[k, float(np.mean(v)), float(np.min(v)), float(np.max(v))] for k, v in results.items()],
+        title=f"Acquisition ablation — EI vs PI vs UCB at {budget} searches (Neighbor-SAGE, Reddit, Ice Lake)",
+    )
+    save_result("ablation_acquisitions", text)
+    for k, v in results.items():
+        assert np.mean(v) > 0.8, k

@@ -1,0 +1,29 @@
+"""Figure 1 — state-of-the-art GNN libraries suffer from poor scalability.
+
+Paper shape: DGL and PyG training a 3-layer GraphSAGE on ogbn-products
+stops speeding up past 16 cores (normalised speedup saturates well below
+2x even at 128 cores).
+"""
+
+from repro.experiments.figures import fig1_baseline_scalability
+from repro.experiments.reporting import render_series
+
+
+def bench_fig1(benchmark, save_result):
+    data = benchmark.pedantic(
+        lambda: fig1_baseline_scalability("ogbn-products", "icelake"),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_series(
+        data["cores"],
+        data["speedup"],
+        title="Fig 1 — baseline speedup vs cores (Neighbor-SAGE, ogbn-products, Ice Lake; normalised to 4 cores)",
+    )
+    save_result("fig01_baseline_scalability", text)
+
+    # paper shape assertions: plateau past 16 cores for both libraries
+    for lib, series in data["speedup"].items():
+        idx16 = data["cores"].index(16)
+        assert max(series[idx16:]) < 1.25 * series[idx16], lib
+        assert series[idx16] > series[0], lib

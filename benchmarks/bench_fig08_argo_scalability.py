@@ -1,0 +1,41 @@
+"""Figure 8 — with ARGO enabled, both libraries scale past 16 cores.
+
+Paper shape (four panels: DGL/PyG x Ice Lake/Sapphire Rapids, on
+ogbn-products): the baseline lines flatten at 16 cores while the ARGO
+lines keep rising, flattening only near the machine's socket-bandwidth
+limit (past 64 cores on Ice Lake).
+"""
+
+import pytest
+
+from repro.experiments.figures import fig8_argo_scalability
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.parametrize("platform", ["icelake", "sapphire"])
+def bench_fig8(benchmark, save_result, platform):
+    data = benchmark.pedantic(
+        lambda: fig8_argo_scalability("ogbn-products", platform), rounds=1, iterations=1
+    )
+    text = render_series(
+        data["cores"],
+        data["series"],
+        title=f"Fig 8 — speedup vs cores on {platform} (normalised to 4 cores)",
+    )
+    save_result(f"fig08_scalability_{platform}", text)
+
+    cores = data["cores"]
+    idx16 = cores.index(16)
+    for lib in ("DGL", "PYG"):
+        base = data["series"][f"{lib}-neighbor-sage"]
+        # baseline plateaus after 16 cores
+        assert max(base[idx16:]) < 1.25 * base[idx16]
+    # ARGO keeps scaling past 16 cores wherever the library leaves the
+    # stages tunable: DGL (both tasks) and PyG-ShaDow.  PyG-Neighbor is
+    # bound by untunable per-iteration overhead (paper Table V) — ARGO
+    # merely must not regress there.
+    for key in ("ARGO-DGL-neighbor-sage", "ARGO-DGL-shadow-gcn", "ARGO-PYG-shadow-gcn"):
+        argo = data["series"][key]
+        assert argo[-1] > 1.1 * argo[idx16], key
+    pyg_n = data["series"]["ARGO-PYG-neighbor-sage"]
+    assert pyg_n[-1] >= 0.95 * pyg_n[idx16]

@@ -1,0 +1,39 @@
+"""Figure 9 — ARGO preserves GNN training semantics.
+
+Paper shape: accuracy-vs-minibatch curves of ARGO:2/4/8 overlap the
+single-process DGL curve for both Neighbor-SAGE and ShaDow-GCN.  This
+benchmark runs *real* training on the Multi-Process Engine (not the
+performance simulator).
+"""
+
+import pytest
+
+from repro.experiments.figures import fig9_convergence
+from repro.experiments.reporting import render_table
+
+
+@pytest.mark.parametrize("task", ["neighbor-sage", "shadow-gcn"])
+def bench_fig9(benchmark, save_result, task):
+    data = benchmark.pedantic(
+        lambda: fig9_convergence(task=task, epochs=5, process_counts=(1, 2, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    curves = data["curves"]
+    rows = []
+    n_points = min(len(c) for c in curves.values())
+    for i in range(n_points):
+        row = [curves["DGL"][i][0]] + [curves[k][i][1] for k in curves]
+        rows.append(row)
+    text = render_table(
+        ["minibatches(DGL)"] + list(curves),
+        rows,
+        title=f"Fig 9 — accuracy vs training progress ({task}, real engine)",
+    )
+    save_result(f"fig09_convergence_{task.replace('-', '_')}", text)
+
+    # overlap check: final accuracies within a small band of the baseline
+    finals = {k: v[-1][1] for k, v in curves.items()}
+    base = finals["DGL"]
+    for k, acc in finals.items():
+        assert abs(acc - base) < 0.15, f"{k} diverged from single-process baseline"

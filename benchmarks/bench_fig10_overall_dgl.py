@@ -1,0 +1,49 @@
+"""Figure 10 — overall 200-epoch training time, DGL vs ARGO.
+
+Paper shape: ARGO speeds up DGL end-to-end (auto-tuning epochs included)
+on every large dataset — up to 4.3x for ShaDow-GCN on Reddit — with
+ShaDow gains exceeding Neighbor-SAGE gains, and only marginal gains (or a
+slight slowdown) on the small Flickr dataset where the tuning overhead
+cannot be amortised.
+"""
+
+from repro.experiments.figures import fig10_overall_training
+from repro.experiments.reporting import render_table
+from repro.experiments.setups import DATASET_NAMES, ExperimentSetup
+
+SETUPS = [
+    ExperimentSetup(task, ds, plat, "dgl")
+    for ds in DATASET_NAMES
+    for task in ("neighbor-sage", "shadow-gcn")
+    for plat in ("icelake", "sapphire")
+]
+
+
+def bench_fig10(benchmark, save_result):
+    def run():
+        return [fig10_overall_training(s, epochs=200) for s in SETUPS]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["setup", "DGL default (s)", "ARGO (s)", "speedup", "best config"],
+        [
+            [r["setup"], r["default_total"], r["argo_total"], r["speedup"], str(r["best_config"])]
+            for r in rows
+        ],
+        title="Fig 10 — overall training time, 200 epochs (DGL vs ARGO, tuning overhead included)",
+    )
+    save_result("fig10_overall_dgl", text)
+
+    # ARGO helps everywhere on the large datasets
+    large = [r["speedup"] for r in rows if "flickr" not in r["setup"]]
+    assert min(large) > 1.0
+    # ShaDow gains exceed Neighbor gains on ogbn-products (paper Fig. 10:
+    # 2.80x/3.32x vs 1.62x/1.74x).  We restrict the comparison to products
+    # because our synthetic Reddit over-penalises the Neighbor default
+    # (see EXPERIMENTS.md deviations).
+    products = {r["setup"]: r["speedup"] for r in rows if "ogbn-products" in r["setup"]}
+    for plat in ("icelake", "sapphire"):
+        assert (
+            products[f"DGL-shadow-gcn-ogbn-products@{plat}"]
+            > products[f"DGL-neighbor-sage-ogbn-products@{plat}"]
+        )

@@ -1,0 +1,38 @@
+"""Table VI — number of searches of the different algorithms.
+
+Paper: the exhaustive sweep covers the whole space (726 configurations on
+the 112-core Ice Lake, 408 on the 64-core Sapphire Rapids); SA and the
+auto-tuner use a 5-6% budget (35/45 and 20/25 searches).  Our natural
+space enumeration yields 295/164 configurations (the paper's exact grid
+rule is unpublished — see EXPERIMENTS.md); the explored *fraction* is
+held at the paper's 5-6%.
+"""
+
+from repro.experiments.reporting import render_table
+from repro.experiments.tables import table6_search_budgets
+
+
+def bench_table6(benchmark, save_result):
+    rows = benchmark.pedantic(table6_search_budgets, rounds=1, iterations=1)
+    text = render_table(
+        ["platform", "sampler-model", "space (ours)", "space (paper)", "budget (ours)", "budget (paper)", "fraction"],
+        [
+            [
+                r["platform"],
+                r["task"],
+                r["space_size"],
+                r["paper_space_size"],
+                r["budget"],
+                r["paper_budget"],
+                r["fraction"],
+            ]
+            for r in rows
+        ],
+        title="Table VI — search-space sizes and budgets",
+    )
+    save_result("table6_searches", text)
+
+    for r in rows:
+        assert 0.04 <= r["fraction"] <= 0.07, "budget must stay at the paper's 5-6%"
+    sizes = {r["platform"]: r["space_size"] for r in rows}
+    assert sizes["Ice Lake 8380H"] > sizes["Sapphire Rapids 6430L"]

@@ -1,0 +1,37 @@
+"""Benchmark harness plumbing.
+
+Every ``bench_*`` file regenerates one table or figure of the paper.
+Rendered outputs are written to ``benchmarks/results/`` and echoed to the
+terminal section pytest prints for each benchmark, so
+
+    pytest benchmarks/ --benchmark-only
+
+both times the regeneration kernels and leaves the reproduced artefacts
+on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write one experiment's rendered text to results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n[saved to {path}]")
+
+    return _save

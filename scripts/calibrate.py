@@ -1,0 +1,108 @@
+"""Calibration probe: simulated vs paper numbers for Tables IV/V shapes.
+
+Run after changing cost-model constants:
+
+    python scripts/calibrate.py [--full]
+
+Prints, for every (platform, library, task, dataset) cell: simulated
+exhaustive-best and default epoch times, their ratio, and the paper's
+values where published.  ``--full`` adds the auto-tuner quality check.
+"""
+
+import sys
+
+from repro import (
+    CostModel,
+    ConfigSpace,
+    ICE_LAKE_8380H,
+    LIBRARIES,
+    SAPPHIRE_RAPIDS_6430L,
+    SimulatedRuntime,
+    TASKS,
+    WorkloadModel,
+    load_dataset,
+    make_task,
+)
+from repro.core.autotuner import OnlineAutoTuner
+
+# paper Table IV/V entries: (exhaustive_best, default) seconds
+PAPER = {
+    # (platform, library, task, dataset): (best, default)
+    ("icelake", "dgl", "neighbor-sage", "flickr"): (1.98, 2.13),
+    ("icelake", "dgl", "neighbor-sage", "reddit"): (13.83, 17.02),
+    ("icelake", "dgl", "neighbor-sage", "ogbn-products"): (11.19, 20.86),
+    ("icelake", "dgl", "neighbor-sage", "ogbn-papers100M"): (115.4, 154.3),
+    ("icelake", "dgl", "shadow-gcn", "flickr"): (1.34, 1.83),
+    ("icelake", "dgl", "shadow-gcn", "reddit"): (32.68, 208.3),
+    ("icelake", "dgl", "shadow-gcn", "ogbn-products"): (14.68, 50.32),
+    ("icelake", "dgl", "shadow-gcn", "ogbn-papers100M"): (107.8, 173.2),
+    ("sapphire", "dgl", "neighbor-sage", "flickr"): (1.81, 1.93),
+    ("sapphire", "dgl", "neighbor-sage", "reddit"): (11.25, 14.28),
+    ("sapphire", "dgl", "neighbor-sage", "ogbn-products"): (7.40, 15.33),
+    ("sapphire", "dgl", "neighbor-sage", "ogbn-papers100M"): (41.48, 68.02),
+    ("sapphire", "dgl", "shadow-gcn", "flickr"): (1.28, 1.75),
+    ("sapphire", "dgl", "shadow-gcn", "reddit"): (32.12, 138.1),
+    ("sapphire", "dgl", "shadow-gcn", "ogbn-products"): (11.42, 49.73),
+    ("sapphire", "dgl", "shadow-gcn", "ogbn-papers100M"): (54.56, 111.2),
+    ("icelake", "pyg", "neighbor-sage", "flickr"): (5.46, 5.46),
+    ("icelake", "pyg", "neighbor-sage", "reddit"): (41.83, 53.78),
+    ("icelake", "pyg", "neighbor-sage", "ogbn-products"): (161.4, 185.4),
+    ("icelake", "pyg", "neighbor-sage", "ogbn-papers100M"): (None, 392.9),
+    ("icelake", "pyg", "shadow-gcn", "flickr"): (9.48, 28.65),
+    ("icelake", "pyg", "shadow-gcn", "reddit"): (40.75, 178.1),
+    ("icelake", "pyg", "shadow-gcn", "ogbn-products"): (71.94, 372.6),
+    ("icelake", "pyg", "shadow-gcn", "ogbn-papers100M"): (None, 336.0),
+    ("sapphire", "pyg", "neighbor-sage", "flickr"): (5.67, 6.17),
+    ("sapphire", "pyg", "neighbor-sage", "reddit"): (47.36, 54.49),
+    ("sapphire", "pyg", "neighbor-sage", "ogbn-products"): (117.9, 155.7),
+    ("sapphire", "pyg", "neighbor-sage", "ogbn-papers100M"): (None, 294.7),
+    ("sapphire", "pyg", "shadow-gcn", "flickr"): (8.49, 28.61),
+    ("sapphire", "pyg", "shadow-gcn", "reddit"): (36.41, 174.5),
+    ("sapphire", "pyg", "shadow-gcn", "ogbn-products"): (64.52, 323.8),
+    ("sapphire", "pyg", "shadow-gcn", "ogbn-papers100M"): (None, 237.0),
+}
+
+PLATS = {"icelake": ICE_LAKE_8380H, "sapphire": SAPPHIRE_RAPIDS_6430L}
+DATASETS = ["flickr", "reddit", "ogbn-products", "ogbn-papers100M"]
+
+
+def main(full: bool = False):
+    for task, (samp_name, model_name) in TASKS.items():
+        for dsname in DATASETS:
+            ds = load_dataset(dsname, seed=0)
+            sampler, _ = make_task(task, ds.layer_dims(3), seed=0)
+            wm = WorkloadModel(ds, sampler, seed=0)
+            for platkey, plat in PLATS.items():
+                space = ConfigSpace(plat.total_cores)
+                for libname, lib in LIBRARIES.items():
+                    cm = CostModel(
+                        plat,
+                        lib,
+                        wm,
+                        sampler_name=samp_name,
+                        model_name=model_name,
+                        dims=ds.layer_dims(3),
+                        train_nodes=ds.spec.paper_train_nodes,
+                    )
+                    rt = SimulatedRuntime(cm, seed=0)
+                    best, bcfg = rt.argo_best_epoch_time(plat.total_cores, space)
+                    dflt = rt.baseline_epoch_time(plat.total_cores)
+                    pb, pd = PAPER.get((platkey, libname, task, dsname), (None, None))
+                    line = (
+                        f"{task:13s} {dsname:16s} {platkey:8s} {libname:4s} "
+                        f"best={best:8.2f}s (paper {pb if pb else '  n/a'}) "
+                        f"default={dflt:8.2f}s (paper {pd}) "
+                        f"ratio={best / dflt:4.2f}"
+                    )
+                    if pb and pd:
+                        line += f" (paper {pb / pd:4.2f}) cfg={bcfg}"
+                    if full:
+                        tuner = OnlineAutoTuner(space, space.paper_budget(), seed=1)
+                        res = tuner.tune(rt.measure_epoch)
+                        found = rt.true_epoch_time(res.best_config)
+                        line += f" tuner_q={best / found:4.2f}"
+                    print(line)
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv)

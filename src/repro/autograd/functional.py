@@ -1,0 +1,68 @@
+"""Loss functions and metrics for node classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.autograd.ops import _make, _wrap
+
+__all__ = ["log_softmax", "nll_loss", "cross_entropy", "accuracy"]
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    a = _wrap(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    softmax = np.exp(out_data)
+
+    def vjp(g):
+        return (g - softmax * g.sum(axis=axis, keepdims=True)).astype(a.data.dtype)
+
+    return _make(out_data, [(a, vjp)], "log_softmax")
+
+
+def nll_loss(log_probs, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood of integer ``targets`` under ``log_probs``."""
+    log_probs = _wrap(log_probs)
+    targets = np.asarray(targets, dtype=np.int64)
+    if log_probs.ndim != 2:
+        raise ValueError(f"nll_loss expects (N, C) log-probs, got {log_probs.shape}")
+    n, c = log_probs.shape
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} incompatible with input {log_probs.shape}")
+    if len(targets) and (targets.min() < 0 or targets.max() >= c):
+        raise ValueError("target class out of range")
+    picked = log_probs.data[np.arange(n), targets]
+    if reduction == "mean":
+        out_data = np.asarray(-picked.mean(), dtype=log_probs.data.dtype)
+        scale = 1.0 / n
+    elif reduction == "sum":
+        out_data = np.asarray(-picked.sum(), dtype=log_probs.data.dtype)
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def vjp(g):
+        grad = np.zeros_like(log_probs.data)
+        grad[np.arange(n), targets] = -scale
+        return grad * g
+
+    return _make(out_data, [(log_probs, vjp)], "nll_loss")
+
+
+def cross_entropy(logits, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """``nll_loss(log_softmax(logits), targets)`` — the paper's training loss."""
+    return nll_loss(log_softmax(logits), targets, reduction=reduction)
+
+
+def accuracy(logits, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches ``targets``."""
+    logits = _wrap(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if len(targets) == 0:
+        return 0.0
+    pred = logits.data.argmax(axis=-1)
+    return float((pred == targets).mean())

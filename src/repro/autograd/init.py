@@ -1,0 +1,38 @@
+"""Parameter initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["glorot_uniform", "kaiming_uniform", "zeros", "normal"]
+
+
+def glorot_uniform(shape: tuple[int, int], *, gain: float = 1.0, rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6/(fan_in+fan_out))."""
+    if len(shape) != 2:
+        raise ValueError(f"glorot_uniform expects a 2-D shape, got {shape}")
+    rng = as_generator(rng)
+    fan_in, fan_out = shape
+    a = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple[int, int], *, rng=None) -> np.ndarray:
+    """He uniform for ReLU networks: U(-a, a) with a = sqrt(6/fan_in)."""
+    if len(shape) != 2:
+        raise ValueError(f"kaiming_uniform expects a 2-D shape, got {shape}")
+    rng = as_generator(rng)
+    fan_in = shape[0]
+    a = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-a, a, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def normal(shape, *, std: float = 0.01, rng=None) -> np.ndarray:
+    rng = as_generator(rng)
+    return (std * rng.standard_normal(shape)).astype(np.float32)

@@ -1,0 +1,249 @@
+"""Differentiable primitive operations.
+
+Each op builds the result ``Tensor`` with ``(parent, vjp)`` closures.  VJPs
+operate on raw numpy arrays; broadcasting is undone centrally via
+:func:`repro.autograd.tensor.unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, is_grad_enabled, unbroadcast
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "pow_",
+    "matmul",
+    "relu",
+    "exp",
+    "log",
+    "concat",
+    "gather_rows",
+    "scatter_add_rows",
+    "sum_",
+    "mean_",
+    "reshape",
+    "transpose",
+    "dropout",
+]
+
+
+def _wrap(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(np.asarray(x, dtype=np.float32))
+
+
+def _make(data: np.ndarray, parents, op: str) -> Tensor:
+    requires = is_grad_enabled() and any(p.requires_grad or p._parents for p, _ in parents)
+    return Tensor(
+        data,
+        requires_grad=False,
+        _parents=parents if requires else None,
+        _op=op,
+    )
+
+
+# ----------------------------------------------------------------------
+# elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out = _make(
+        a.data + b.data,
+        [
+            (a, lambda g: unbroadcast(g, a.shape)),
+            (b, lambda g: unbroadcast(g, b.shape)),
+        ],
+        "add",
+    )
+    return out
+
+
+def sub(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    return _make(
+        a.data - b.data,
+        [
+            (a, lambda g: unbroadcast(g, a.shape)),
+            (b, lambda g: unbroadcast(-g, b.shape)),
+        ],
+        "sub",
+    )
+
+
+def mul(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    return _make(
+        a.data * b.data,
+        [
+            (a, lambda g: unbroadcast(g * b.data, a.shape)),
+            (b, lambda g: unbroadcast(g * a.data, b.shape)),
+        ],
+        "mul",
+    )
+
+
+def div(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    return _make(
+        a.data / b.data,
+        [
+            (a, lambda g: unbroadcast(g / b.data, a.shape)),
+            (b, lambda g: unbroadcast(-g * a.data / (b.data**2), b.shape)),
+        ],
+        "div",
+    )
+
+
+def pow_(a, p: float) -> Tensor:
+    a = _wrap(a)
+    p = float(p)
+    return _make(
+        a.data**p,
+        [(a, lambda g: g * p * a.data ** (p - 1.0))],
+        "pow",
+    )
+
+
+def exp(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.exp(a.data)
+    return _make(out_data, [(a, lambda g: g * out_data)], "exp")
+
+
+def log(a) -> Tensor:
+    a = _wrap(a)
+    return _make(np.log(a.data), [(a, lambda g: g / a.data)], "log")
+
+
+# ----------------------------------------------------------------------
+# linear algebra
+# ----------------------------------------------------------------------
+def matmul(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"matmul expects 2-D tensors, got {a.shape} @ {b.shape}")
+    return _make(
+        a.data @ b.data,
+        [
+            (a, lambda g: g @ b.data.T),
+            (b, lambda g: a.data.T @ g),
+        ],
+        "matmul",
+    )
+
+
+def transpose(a) -> Tensor:
+    a = _wrap(a)
+    return _make(a.data.T, [(a, lambda g: g.T)], "transpose")
+
+
+def reshape(a, shape) -> Tensor:
+    a = _wrap(a)
+    old_shape = a.shape
+    return _make(a.data.reshape(shape), [(a, lambda g: g.reshape(old_shape))], "reshape")
+
+
+# ----------------------------------------------------------------------
+# non-linearities
+# ----------------------------------------------------------------------
+def relu(a) -> Tensor:
+    a = _wrap(a)
+    mask = a.data > 0
+    return _make(
+        np.where(mask, a.data, 0.0).astype(a.data.dtype),
+        [(a, lambda g: g * mask)],
+        "relu",
+    )
+
+
+def dropout(a, p: float, *, training: bool = True, rng=None) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    a = _wrap(a)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return a
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    mask = (rng.random(a.shape) >= p).astype(a.data.dtype) / (1.0 - p)
+    return _make(a.data * mask, [(a, lambda g: g * mask)], "dropout")
+
+
+# ----------------------------------------------------------------------
+# shape combinators
+# ----------------------------------------------------------------------
+def concat(tensors, axis: int = -1) -> Tensor:
+    """Concatenate along ``axis`` (GraphSAGE's ``h_v || mean(h_u)``)."""
+    tensors = [_wrap(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concat of empty sequence")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def make_vjp(i):
+        def vjp(g):
+            return np.split(g, splits, axis=axis)[i]
+
+        return vjp
+
+    return _make(data, [(t, make_vjp(i)) for i, t in enumerate(tensors)], "concat")
+
+
+def gather_rows(a, index: np.ndarray) -> Tensor:
+    """Select rows ``a[index]`` (feature lookup for sampled nodes).
+
+    Backward scatter-adds into the source rows — the memory-intensive
+    ``aten::index_select`` the paper's Figure 2 highlights.
+    """
+    a = _wrap(a)
+    index = np.asarray(index, dtype=np.int64)
+
+    def vjp(g):
+        out = np.zeros_like(a.data)
+        np.add.at(out, index, g)
+        return out
+
+    return _make(a.data[index], [(a, vjp)], "gather_rows")
+
+
+def scatter_add_rows(a, index: np.ndarray, num_rows: int) -> Tensor:
+    """Scatter rows of ``a`` into a ``(num_rows, F)`` zero tensor by index."""
+    a = _wrap(a)
+    index = np.asarray(index, dtype=np.int64)
+    out_data = np.zeros((num_rows,) + a.shape[1:], dtype=a.data.dtype)
+    np.add.at(out_data, index, a.data)
+    return _make(out_data, [(a, lambda g: g[index])], "scatter_add_rows")
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+def sum_(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def vjp(g):
+        if axis is None:
+            return np.broadcast_to(g, a.shape).astype(a.data.dtype)
+        g2 = g if keepdims else np.expand_dims(g, axis)
+        return np.broadcast_to(g2, a.shape).astype(a.data.dtype)
+
+    return _make(out_data, [(a, vjp)], "sum")
+
+
+def mean_(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    denom = a.size if axis is None else a.shape[axis]
+
+    def vjp(g):
+        if axis is None:
+            return (np.broadcast_to(g, a.shape) / denom).astype(a.data.dtype)
+        g2 = g if keepdims else np.expand_dims(g, axis)
+        return (np.broadcast_to(g2, a.shape) / denom).astype(a.data.dtype)
+
+    return _make(out_data, [(a, vjp)], "mean")

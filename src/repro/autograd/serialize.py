@@ -1,0 +1,38 @@
+"""Model checkpointing: save/load ``Module`` state dicts as ``.npz``.
+
+A trained ARGO run should be resumable and its model shippable; this is
+the numpy-native equivalent of ``torch.save(model.state_dict())``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.autograd.module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path) -> pathlib.Path:
+    """Write the module's parameters to ``path`` (``.npz`` appended if missing)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    # '.' is not valid inside npz keys for attribute-style access, but
+    # plain dict keys are fine; keep names verbatim.
+    np.savez(path, **{k: v for k, v in state.items()})
+    return path
+
+
+def load_module(module: Module, path) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module`` (in place)."""
+    path = pathlib.Path(path)
+    with np.load(path) as data:
+        state = {k: data[k] for k in data.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,25 @@
+"""Bayesian optimization from first principles (scikit-optimize stand-in).
+
+Implements the BayesOpt backend of the paper's auto-tuner (Sec. V-C):
+a Gaussian-process surrogate (RBF or Matérn-5/2 kernel, Cholesky solves,
+marginal-likelihood hyperparameter fitting) with an Expected-Improvement
+acquisition, wrapped in an ``ask``/``tell`` interface.  Designed for the
+finite integer design spaces of runtime configuration: the acquisition is
+maximised *exactly* by scoring every not-yet-evaluated candidate.
+"""
+
+from repro.bayesopt.kernels import Kernel, RBF, Matern52
+from repro.bayesopt.gp import GaussianProcessRegressor
+from repro.bayesopt.acquisition import expected_improvement, upper_confidence_bound, probability_of_improvement
+from repro.bayesopt.optimizer import BayesianOptimizer
+
+__all__ = [
+    "Kernel",
+    "RBF",
+    "Matern52",
+    "GaussianProcessRegressor",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "probability_of_improvement",
+    "BayesianOptimizer",
+]

@@ -1,0 +1,141 @@
+"""Command-line interface: regenerate paper experiments without pytest.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig1 [--dataset ogbn-products] [--platform icelake]
+    python -m repro.cli fig6 | fig7 | fig8 | table4 | table5 | table6
+    python -m repro.cli landscape --task shadow-gcn --dataset reddit
+
+Each command prints the reproduced artefact to stdout (the benchmark
+suite additionally asserts the paper's shapes; the CLI is for quick
+interactive inspection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figures import (
+    fig1_baseline_scalability,
+    fig6_workload_bandwidth,
+    fig7_landscape,
+    fig8_argo_scalability,
+)
+from repro.experiments.reporting import render_heatmap, render_series, render_table
+from repro.experiments.setups import DATASET_NAMES, ExperimentSetup
+from repro.experiments.tables import table4_5_row, table6_search_budgets
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", default="ogbn-products", choices=DATASET_NAMES)
+    p.add_argument("--platform", default="icelake", choices=["icelake", "sapphire"])
+    p.add_argument("--library", default="dgl", choices=["dgl", "pyg"])
+    p.add_argument("--task", default="neighbor-sage", choices=["neighbor-sage", "shadow-gcn"])
+
+
+def cmd_fig1(args) -> str:
+    data = fig1_baseline_scalability(args.dataset, args.platform)
+    return render_series(data["cores"], data["speedup"], title="Fig 1 — baseline scalability")
+
+
+def cmd_fig6(args) -> str:
+    rows = fig6_workload_bandwidth(args.dataset, args.platform)
+    return render_table(
+        ["processes", "epoch edges", "bandwidth GB/s", "epoch time s"],
+        [[r["processes"], r["epoch_edges"], r["bandwidth_gbs"], r["epoch_time"]] for r in rows],
+        title="Fig 6 — workload & bandwidth vs processes",
+    )
+
+
+def cmd_fig8(args) -> str:
+    data = fig8_argo_scalability(args.dataset, args.platform)
+    return render_series(
+        data["cores"], data["series"], title=f"Fig 8 — ARGO scalability on {args.platform}"
+    )
+
+
+def cmd_landscape(args) -> str:
+    res = fig7_landscape(ExperimentSetup(args.task, args.dataset, args.platform, args.library))
+    return render_heatmap(
+        res["grid"], title=f"Fig 7 — {res['setup']} (opt={res['best']})"
+    )
+
+
+def _table_rows(library: str) -> str:
+    rows = [
+        table4_5_row(ExperimentSetup(task, ds, plat, library))
+        for plat in ("icelake", "sapphire")
+        for task in ("neighbor-sage", "shadow-gcn")
+        for ds in DATASET_NAMES
+    ]
+    return render_table(
+        ["setup", "Exhaustive", "Default", "(x)", "SimAnneal", "(x)", "AutoTuner", "(x)"],
+        [
+            [
+                r["setup"],
+                r["exhaustive"],
+                r["default"],
+                r["default_ratio"],
+                r["sim_anneal_mean"],
+                r["sim_anneal_ratio"],
+                r["auto_tuner"],
+                r["auto_tuner_ratio"],
+            ]
+            for r in rows
+        ],
+        title=f"Table {'IV' if library == 'dgl' else 'V'} — configuration quality ({library.upper()})",
+    )
+
+
+def cmd_table4(args) -> str:
+    return _table_rows("dgl")
+
+
+def cmd_table5(args) -> str:
+    return _table_rows("pyg")
+
+
+def cmd_table6(args) -> str:
+    rows = table6_search_budgets()
+    return render_table(
+        ["platform", "task", "space", "paper space", "budget", "paper budget"],
+        [
+            [r["platform"], r["task"], r["space_size"], r["paper_space_size"], r["budget"], r["paper_budget"]]
+            for r in rows
+        ],
+        title="Table VI — search budgets",
+    )
+
+
+COMMANDS = {
+    "fig1": cmd_fig1,
+    "fig6": cmd_fig6,
+    "fig8": cmd_fig8,
+    "landscape": cmd_landscape,
+    "table4": cmd_table4,
+    "table5": cmd_table5,
+    "table6": cmd_table6,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiment commands")
+    for name in COMMANDS:
+        p = sub.add_parser(name)
+        _add_common(p)
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available commands:", ", ".join(["list", *COMMANDS]))
+        return 0
+    print(COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

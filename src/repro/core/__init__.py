@@ -1,0 +1,26 @@
+"""ARGO core: the runtime system of the paper.
+
+* :class:`RuntimeConfig` — one point of the design space;
+* :class:`MultiProcessEngine` — instantiates ``n`` training ranks with
+  per-rank batch ``B/n`` and synchronous gradient averaging (Sec. IV-B2);
+* :class:`OnlineAutoTuner` — Algorithm 1: BayesOpt-driven online search;
+* :class:`ARGO` — the user-facing wrapper of Listing 1/3.
+"""
+
+from repro.core.config import RuntimeConfig
+from repro.core.engine import MultiProcessEngine, EpochStats, TrainHistory
+from repro.core.autotuner import OnlineAutoTuner, TuneResult
+from repro.core.argo import ARGO
+from repro.core.train_loop import evaluate_accuracy, make_train_fn
+
+__all__ = [
+    "RuntimeConfig",
+    "MultiProcessEngine",
+    "EpochStats",
+    "TrainHistory",
+    "OnlineAutoTuner",
+    "TuneResult",
+    "ARGO",
+    "evaluate_accuracy",
+    "make_train_fn",
+]

@@ -1,0 +1,148 @@
+"""Online auto-tuning (paper Algorithm 1).
+
+The tuner takes only ``num_searches`` as input — no information about the
+model, dataset or platform (paper Sec. V-C).  For the first
+``num_searches`` epochs it proposes a configuration, observes that
+epoch's training time, and updates the BayesOpt surrogate; afterwards it
+locks in the best configuration found.
+
+The tuner also accounts for its own cost (paper Sec. VI-D profiles 1.5 to
+9.6 seconds total overhead and ~10-20 MB of memory): ``overhead_seconds``
+measures pure tuner computation (GP fits + acquisition scans), and
+``surrogate_memory_bytes`` estimates the surrogate's footprint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.core.config import RuntimeConfig
+from repro.tuning.space import Config, ConfigSpace
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["OnlineAutoTuner", "TuneResult"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of an online tuning run."""
+
+    best_config: Config
+    best_observed: float
+    history: list[tuple[Config, float]]
+    num_searches: int
+    overhead_seconds: float
+    surrogate_memory_bytes: int
+
+    def best_so_far(self) -> list[float]:
+        out, cur = [], np.inf
+        for _, v in self.history:
+            cur = min(cur, v)
+            out.append(cur)
+        return out
+
+
+class OnlineAutoTuner:
+    """Algorithm 1: BayesOpt-driven online configuration search.
+
+    Parameters
+    ----------
+    space:
+        The configuration design space for the target platform.
+    num_searches:
+        Online-learning epochs before locking the best configuration
+        (paper Table VI: 35/45 on Ice Lake, 20/25 on Sapphire Rapids —
+        5-6% of their space; use ``space.paper_budget()`` for ours).
+    seed:
+        Controls the random initial design.
+    acquisition:
+        BayesOpt acquisition (default EI).
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        num_searches: int,
+        *,
+        seed: int = 0,
+        acquisition: str = "ei",
+        n_initial: int | None = None,
+    ):
+        self.space = space
+        self.num_searches = check_positive_int(num_searches, "num_searches")
+        self.seed = int(seed)
+        if n_initial is None:
+            n_initial = max(3, min(8, self.num_searches // 3))
+        self.bo = BayesianOptimizer(
+            space.features(),
+            n_initial=n_initial,
+            acquisition=acquisition,
+            rng=derive_rng(seed, "autotuner"),
+        )
+        self.history: list[tuple[Config, float]] = []
+        self.overhead_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # step-wise interface (mirrors Algorithm 1's loop body)
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return len(self.history) >= self.num_searches
+
+    def propose(self) -> Config:
+        """Next configuration to train one epoch with."""
+        t0 = time.perf_counter()
+        idx = self.bo.ask()
+        self.overhead_seconds += time.perf_counter() - t0
+        return self.space.configs[idx]
+
+    def observe(self, config: Config, epoch_time: float) -> None:
+        """Feed one (configuration, epoch time) observation back."""
+        t0 = time.perf_counter()
+        self.bo.tell(self.space.index(tuple(config)), float(epoch_time))
+        self.history.append((tuple(config), float(epoch_time)))
+        self.overhead_seconds += time.perf_counter() - t0
+
+    def get_opt(self) -> Config:
+        """Best configuration found so far (Algorithm 1's ``Tuner.get_opt``)."""
+        if not self.history:
+            raise RuntimeError("no observations yet")
+        return self.space.configs[self.bo.best_index]
+
+    # ------------------------------------------------------------------
+    def tune(self, objective: Callable[[Config], float]) -> TuneResult:
+        """Run the full online-learning phase against ``objective``.
+
+        ``objective(config)`` must train one epoch under ``config`` and
+        return the measured epoch time (seconds).
+        """
+        while not self.done:
+            cfg = self.propose()
+            self.observe(cfg, objective(cfg))
+        best = self.get_opt()
+        return TuneResult(
+            best_config=best,
+            best_observed=self.bo.best_value,
+            history=list(self.history),
+            num_searches=self.num_searches,
+            overhead_seconds=self.overhead_seconds,
+            surrogate_memory_bytes=self.surrogate_memory_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def surrogate_memory_bytes(self) -> int:
+        """Memory held by the surrogate: kernel matrix + observations."""
+        m = len(self.history)
+        n_cand = len(self.space)
+        # K (m x m), candidate features (n x 2), bookkeeping
+        return 8 * (m * m + 2 * n_cand + 4 * m)
+
+    def best_runtime_config(self) -> RuntimeConfig:
+        return RuntimeConfig.from_tuple(self.get_opt())

@@ -1,0 +1,55 @@
+"""Runtime configuration record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RuntimeConfig"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One point of ARGO's design space (paper Sec. V).
+
+    Attributes
+    ----------
+    num_processes:
+        GNN training processes instantiated by the Multi-Process Engine.
+    sampling_cores:
+        CPU cores bound to mini-batch sampling, per process.
+    training_cores:
+        CPU cores bound to model propagation, per process.
+    """
+
+    num_processes: int
+    sampling_cores: int
+    training_cores: int
+
+    def __post_init__(self):
+        check_positive_int(self.num_processes, "num_processes")
+        check_positive_int(self.sampling_cores, "sampling_cores")
+        check_positive_int(self.training_cores, "training_cores")
+
+    @property
+    def cores_per_process(self) -> int:
+        return self.sampling_cores + self.training_cores
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_processes * self.cores_per_process
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        return (self.num_processes, self.sampling_cores, self.training_cores)
+
+    @classmethod
+    def from_tuple(cls, cfg) -> "RuntimeConfig":
+        n, s, t = cfg
+        return cls(num_processes=int(n), sampling_cores=int(s), training_cores=int(t))
+
+    def __str__(self) -> str:
+        return (
+            f"(n={self.num_processes}, samp={self.sampling_cores}, "
+            f"train={self.training_cores})"
+        )

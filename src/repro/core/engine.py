@@ -1,0 +1,299 @@
+"""The Multi-Process Engine: semantics-preserving data-parallel training.
+
+Paper Sec. IV-B2: with ``n`` processes the engine
+
+1. splits each global mini-batch of size ``B`` into ``n`` chunks of
+   ``B/n`` (so the *effective* batch size never changes),
+2. lets every rank sample and propagate its chunk independently,
+3. averages gradients across ranks (synchronous SGD via DDP) and applies
+   the identical optimizer step on every replica.
+
+Backends
+--------
+``inline``
+    Ranks execute sequentially inside the calling thread.  Bit-for-bit
+    deterministic; the union of rank chunks equals the single-process
+    batch, so the convergence experiment (Fig. 9) compares identical
+    sample streams.
+``thread``
+    One OS thread per rank with barrier-based all-reduce
+    (:class:`repro.distributed.comm.ThreadWorld`).  numpy kernels release
+    the GIL, giving real overlap — the closest offline analogue of the
+    paper's process-level parallelism.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.functional import accuracy, cross_entropy
+from repro.autograd.module import Module
+from repro.autograd.ops import gather_rows
+from repro.autograd.optim import Adam, SGD
+from repro.autograd.tensor import Tensor, no_grad
+from repro.distributed.comm import ThreadWorld
+from repro.distributed.ddp import DistributedDataParallel, average_gradients, replicate_module
+from repro.graph.datasets import GNNDataset
+from repro.sampling.base import Sampler
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_in, check_positive_int
+
+__all__ = ["MultiProcessEngine", "EpochStats", "TrainHistory"]
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch record."""
+
+    epoch: int
+    mean_loss: float
+    epoch_time: float
+    num_global_steps: int
+    num_minibatches: int  # n per global step
+    sampled_edges: int
+
+
+@dataclass
+class TrainHistory:
+    """Accumulated training records plus optional accuracy checkpoints."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+    #: (cumulative minibatch count, validation accuracy) pairs — Fig. 9
+    accuracy_curve: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(e.epoch_time for e in self.epochs)
+
+    @property
+    def total_minibatches(self) -> int:
+        return sum(e.num_minibatches for e in self.epochs)
+
+    @property
+    def losses(self) -> list[float]:
+        return [e.mean_loss for e in self.epochs]
+
+
+def _make_optimizer(name: str, params, lr: float):
+    name = name.lower()
+    if name == "adam":
+        return Adam(params, lr=lr)
+    if name == "sgd":
+        return SGD(params, lr=lr)
+    raise ValueError(f"unknown optimizer {name!r}; options: adam, sgd")
+
+
+class MultiProcessEngine:
+    """Data-parallel trainer over a fixed number of ranks.
+
+    Parameters
+    ----------
+    dataset, sampler, model:
+        Training substrate.  The model instance becomes rank 0's replica;
+        other ranks get deep copies (DDP weight broadcast).
+    num_processes:
+        ``n`` — ranks instantiated.
+    global_batch_size:
+        ``B``; every rank trains on chunks of ``B/n`` (rounded down, min
+        1).  ``B`` must be >= ``n``.
+    lr, optimizer:
+        Optimiser settings (paper examples use Adam).
+    backend:
+        ``"inline"`` (deterministic, default) or ``"thread"``.
+    eval_nodes:
+        Optional cap on validation nodes scored per accuracy checkpoint.
+    seed:
+        Controls the epoch shuffles and per-rank sampling streams.
+    """
+
+    def __init__(
+        self,
+        dataset: GNNDataset,
+        sampler: Sampler,
+        model: Module,
+        *,
+        num_processes: int = 1,
+        global_batch_size: int = 1024,
+        lr: float = 3e-3,
+        optimizer: str = "adam",
+        backend: str = "inline",
+        eval_nodes: int = 512,
+        seed: int = 0,
+    ):
+        self.dataset = dataset
+        self.sampler = sampler
+        self.n = check_positive_int(num_processes, "num_processes")
+        self.global_batch = check_positive_int(global_batch_size, "global_batch_size")
+        if self.global_batch < self.n:
+            raise ValueError(
+                f"global batch ({self.global_batch}) must be >= num_processes ({self.n})"
+            )
+        self.backend = check_in(backend, ("inline", "thread"), "backend")
+        self.lr = float(lr)
+        self.seed = int(seed)
+        self.eval_nodes = int(eval_nodes)
+        self.replicas = replicate_module(model, self.n)
+        self.optimizers = [_make_optimizer(optimizer, m.parameters(), lr) for m in self.replicas]
+        self.features = Tensor(dataset.features)
+        self.history = TrainHistory()
+        self._epoch = 0
+        self._minibatches_done = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> Module:
+        """Rank-0 replica (all replicas hold identical weights)."""
+        return self.replicas[0]
+
+    @property
+    def per_rank_batch(self) -> int:
+        return max(1, self.global_batch // self.n)
+
+    def _epoch_plan(self, epoch: int) -> list[np.ndarray]:
+        """Shuffled global batches for this epoch (shared by all ranks)."""
+        rng = derive_rng(self.seed, "shuffle", epoch)
+        perm = rng.permutation(self.dataset.train_idx)
+        n_steps = max(1, len(perm) // self.global_batch)
+        return [
+            perm[i * self.global_batch : (i + 1) * self.global_batch]
+            for i in range(n_steps)
+        ]
+
+    def _rank_chunks(self, global_batch: np.ndarray) -> list[np.ndarray]:
+        """Split one global batch into ``n`` near-equal rank chunks."""
+        return list(np.array_split(global_batch, self.n))
+
+    def _forward_loss(self, rank: int, model: Module, seeds: np.ndarray, rng):
+        batch = self.sampler.sample(self.dataset.graph, seeds, rng=rng)
+        x = gather_rows(self.features, batch.input_ids)
+        out = model(batch.blocks, x)
+        loss = cross_entropy(out, self.dataset.labels[batch.seeds])
+        return loss, batch.total_edges
+
+    # ------------------------------------------------------------------
+    def train_epoch(self) -> EpochStats:
+        """Run one epoch; returns its stats and appends to history."""
+        epoch = self._epoch
+        start = time.perf_counter()
+        plan = self._epoch_plan(epoch)
+        if self.backend == "inline":
+            stats = self._train_epoch_inline(epoch, plan)
+        else:
+            stats = self._train_epoch_threads(epoch, plan)
+        stats.epoch_time = time.perf_counter() - start
+        self.history.epochs.append(stats)
+        self._epoch += 1
+        return stats
+
+    def _train_epoch_inline(self, epoch: int, plan) -> EpochStats:
+        losses, edges = [], 0
+        for step, global_batch in enumerate(plan):
+            chunks = self._rank_chunks(global_batch)
+            for rank, (model, seeds) in enumerate(zip(self.replicas, chunks)):
+                if len(seeds) == 0:
+                    model.zero_grad()
+                    continue
+                rng = derive_rng(self.seed, "sample", epoch, step, rank)
+                model.zero_grad()
+                loss, e = self._forward_loss(rank, model, seeds, rng)
+                loss.backward()
+                losses.append(loss.item())
+                edges += e
+            average_gradients(self.replicas)
+            for opt in self.optimizers:
+                opt.step()
+            self._minibatches_done += self.n
+        return EpochStats(
+            epoch=epoch,
+            mean_loss=float(np.mean(losses)) if losses else 0.0,
+            epoch_time=0.0,
+            num_global_steps=len(plan),
+            num_minibatches=len(plan) * self.n,
+            sampled_edges=edges,
+        )
+
+    def _train_epoch_threads(self, epoch: int, plan) -> EpochStats:
+        world = ThreadWorld(self.n)
+        losses_per_rank: list[list[float]] = [[] for _ in range(self.n)]
+        edges_per_rank = [0] * self.n
+        errors: list[BaseException] = []
+
+        def worker(rank: int):
+            try:
+                # DDP construction is itself a collective (weight
+                # broadcast), so it must happen inside the rank thread.
+                model = DistributedDataParallel(
+                    self.replicas[rank], world.communicator(rank)
+                )
+                for step, global_batch in enumerate(plan):
+                    seeds = self._rank_chunks(global_batch)[rank]
+                    model.zero_grad()
+                    if len(seeds) > 0:
+                        rng = derive_rng(self.seed, "sample", epoch, step, rank)
+                        loss, e = self._forward_loss(rank, model.module, seeds, rng)
+                        loss.backward()
+                        losses_per_rank[rank].append(loss.item())
+                        edges_per_rank[rank] += e
+                    model.sync_gradients()
+                    self.optimizers[rank].step()
+            except BaseException as exc:  # surface thread failures
+                errors.append(exc)
+                world.abort()  # unblock peers waiting on collectives
+                raise
+
+        threads = [threading.Thread(target=worker, args=(r,)) for r in range(self.n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise RuntimeError(f"rank thread failed: {errors[0]!r}") from errors[0]
+        self._minibatches_done += len(plan) * self.n
+        all_losses = [v for per in losses_per_rank for v in per]
+        return EpochStats(
+            epoch=epoch,
+            mean_loss=float(np.mean(all_losses)) if all_losses else 0.0,
+            epoch_time=0.0,
+            num_global_steps=len(plan),
+            num_minibatches=len(plan) * self.n,
+            sampled_edges=int(sum(edges_per_rank)),
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, nodes: np.ndarray | None = None) -> float:
+        """Validation accuracy of the current model (rank-0 replica)."""
+        ds = self.dataset
+        if nodes is None:
+            nodes = ds.val_idx[: self.eval_nodes]
+        if len(nodes) == 0:
+            return 0.0
+        model = self.model
+        was_training = model.training
+        model.eval()
+        rng = derive_rng(self.seed, "eval", self._epoch)
+        batch = self.sampler.sample(ds.graph, np.asarray(nodes, dtype=np.int64), rng=rng)
+        with no_grad():
+            x = gather_rows(self.features, batch.input_ids)
+            out = model(batch.blocks, x)
+            acc = accuracy(out, ds.labels[batch.seeds])
+        model.train(was_training)
+        return acc
+
+    def record_accuracy(self) -> float:
+        """Evaluate and append to the Fig.-9 curve (x = minibatch count)."""
+        acc = self.evaluate()
+        self.history.accuracy_curve.append((self._minibatches_done, acc))
+        return acc
+
+    def train(self, num_epochs: int, *, eval_every: int | None = None) -> TrainHistory:
+        """Train ``num_epochs`` epochs, optionally recording accuracy."""
+        check_positive_int(num_epochs, "num_epochs")
+        for _ in range(num_epochs):
+            self.train_epoch()
+            if eval_every and self._epoch % eval_every == 0:
+                self.record_accuracy()
+        return self.history

@@ -1,0 +1,101 @@
+"""Ready-made training functions for the ARGO wrapper.
+
+:func:`make_train_fn` turns a (dataset, sampler-factory, model) triple
+into the ``train(config=..., epochs=...)`` callable the :class:`ARGO`
+runtime expects — the equivalent of the user's Listing 2 program after
+the Listing 3 modifications.  Each call rebuilds the Multi-Process Engine
+for the requested process count (ARGO re-launches training to reallocate
+processes) while *reusing the same model object*, so learning progresses
+across the tuner's re-launches exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd.functional import accuracy
+from repro.autograd.module import Module
+from repro.autograd.ops import gather_rows
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core.config import RuntimeConfig
+from repro.core.engine import MultiProcessEngine
+from repro.graph.datasets import GNNDataset
+from repro.sampling.base import Sampler
+from repro.utils.rng import derive_rng
+
+__all__ = ["make_train_fn", "evaluate_accuracy"]
+
+
+def evaluate_accuracy(
+    dataset: GNNDataset,
+    sampler: Sampler,
+    model: Module,
+    nodes: np.ndarray | None = None,
+    *,
+    max_nodes: int = 1024,
+    seed: int = 0,
+) -> float:
+    """Sampled-subgraph accuracy of ``model`` on ``nodes`` (default: test split)."""
+    if nodes is None:
+        nodes = dataset.test_idx[:max_nodes]
+    nodes = np.asarray(nodes, dtype=np.int64)[:max_nodes]
+    if len(nodes) == 0:
+        return 0.0
+    was_training = model.training
+    model.eval()
+    batch = sampler.sample(dataset.graph, nodes, rng=derive_rng(seed, "acc-eval"))
+    with no_grad():
+        x = gather_rows(Tensor(dataset.features), batch.input_ids)
+        out = model(batch.blocks, x)
+        acc = accuracy(out, dataset.labels[batch.seeds])
+    model.train(was_training)
+    return acc
+
+
+def make_train_fn(
+    dataset: GNNDataset,
+    sampler: Sampler,
+    model: Module,
+    *,
+    global_batch_size: int = 1024,
+    lr: float = 3e-3,
+    optimizer: str = "adam",
+    backend: str = "inline",
+    seed: int = 0,
+) -> Callable:
+    """Build the ``train(config=..., epochs=...)`` callable for ARGO.
+
+    The returned function trains the *shared* ``model`` for the requested
+    epochs under the given :class:`RuntimeConfig` and returns the list of
+    measured epoch times.  A fresh engine is constructed per call (the
+    process count may change between calls), seeded by a monotone counter
+    so every epoch uses a distinct shuffle.
+    """
+    state = {"epoch_offset": 0}
+
+    def train(*, config: RuntimeConfig, epochs: int) -> list[float]:
+        engine = MultiProcessEngine(
+            dataset,
+            sampler,
+            model,
+            num_processes=config.num_processes,
+            global_batch_size=global_batch_size,
+            lr=lr,
+            optimizer=optimizer,
+            backend=backend,
+            seed=seed,
+        )
+        # continue the epoch-shuffle sequence across re-launches
+        engine._epoch = state["epoch_offset"]
+        times = []
+        for _ in range(epochs):
+            stats = engine.train_epoch()
+            times.append(stats.epoch_time)
+        state["epoch_offset"] = engine._epoch
+        # propagate the trained weights back into the shared model object
+        model.load_state_dict(engine.model.state_dict())
+        return times
+
+    return train

@@ -1,0 +1,39 @@
+"""Distributed-data-parallel substrate (the ``torch.distributed`` stand-in).
+
+Provides process-group style collectives over two backends:
+
+* ``inline`` — ranks execute sequentially inside one Python process; the
+  Multi-Process Engine drives gradient averaging explicitly.  Fully
+  deterministic; used for the correctness/convergence experiments.
+* ``thread`` — one OS thread per rank with barrier-based collectives.
+  numpy releases the GIL inside large kernels, so threads genuinely
+  overlap — the closest offline equivalent of the paper's per-process
+  parallelism.
+
+:class:`DistributedDataParallel` implements the paper's semantics rule
+(Sec. IV-B2): with ``n`` ranks at per-rank batch ``b/n`` and synchronous
+gradient averaging, training is algorithmically equivalent to one process
+at batch ``b``.
+"""
+
+from repro.distributed.comm import (
+    Communicator,
+    SingleProcessComm,
+    ThreadWorld,
+    ThreadCommunicator,
+)
+from repro.distributed.ddp import (
+    DistributedDataParallel,
+    replicate_module,
+    average_gradients,
+)
+
+__all__ = [
+    "Communicator",
+    "SingleProcessComm",
+    "ThreadWorld",
+    "ThreadCommunicator",
+    "DistributedDataParallel",
+    "replicate_module",
+    "average_gradients",
+]

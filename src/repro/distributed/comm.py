@@ -1,0 +1,158 @@
+"""Collective communication primitives.
+
+The interface mirrors the subset of ``torch.distributed`` ARGO needs:
+``allreduce_mean`` (gradient synchronisation — the synchronous SGD of
+paper Sec. IV-A step 2) and ``broadcast`` (initial weight replication).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Communicator", "SingleProcessComm", "ThreadWorld", "ThreadCommunicator"]
+
+
+class Communicator:
+    """Abstract collective interface bound to one rank."""
+
+    rank: int = 0
+    world_size: int = 1
+
+    def allreduce_mean(self, arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Element-wise mean of each array across all ranks."""
+        raise NotImplementedError
+
+    def broadcast(self, arrays: Sequence[np.ndarray], root: int = 0) -> list[np.ndarray]:
+        """Every rank receives root's arrays."""
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def gather(self, value, root: int = 0):
+        """Root receives ``[value_rank0, ..., value_rankN]``; others ``None``."""
+        raise NotImplementedError
+
+
+class SingleProcessComm(Communicator):
+    """World-size-1 communicator: all collectives are identities."""
+
+    def __init__(self):
+        self.rank = 0
+        self.world_size = 1
+
+    def allreduce_mean(self, arrays):
+        return [np.array(a, copy=True) for a in arrays]
+
+    def broadcast(self, arrays, root: int = 0):
+        if root != 0:
+            raise ValueError(f"invalid root {root} for world size 1")
+        return [np.array(a, copy=True) for a in arrays]
+
+    def barrier(self) -> None:
+        return None
+
+    def gather(self, value, root: int = 0):
+        return [value]
+
+
+class ThreadWorld:
+    """Shared rendezvous state for a group of thread ranks.
+
+    Collectives are two-phase: contribute under a lock, synchronise on a
+    barrier whose *action* (run exactly once, by the last arriver) folds
+    the contributions, then a second barrier guarantees every rank has
+    read the result before the next collective can overwrite it.
+    """
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self._lock = threading.Lock()
+        self._acc: list[np.ndarray] | None = None
+        self._result: list[np.ndarray] | None = None
+        self._bcast: list[np.ndarray] | None = None
+        self._gather: dict[int, object] = {}
+        self._reduce_barrier = threading.Barrier(world_size, action=self._fold_mean)
+        self._bcast_barrier = threading.Barrier(world_size)
+        self._gather_barrier = threading.Barrier(world_size, action=None)
+        self._exit_barrier = threading.Barrier(world_size)
+
+    def _fold_mean(self) -> None:
+        assert self._acc is not None
+        self._result = [a / self.world_size for a in self._acc]
+        self._acc = None
+
+    def abort(self) -> None:
+        """Break all barriers (raises BrokenBarrierError in waiting ranks).
+
+        Called when one rank fails so the others do not deadlock.
+        """
+        for b in (
+            self._reduce_barrier,
+            self._bcast_barrier,
+            self._gather_barrier,
+            self._exit_barrier,
+        ):
+            b.abort()
+
+    def communicator(self, rank: int) -> "ThreadCommunicator":
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
+        return ThreadCommunicator(self, rank)
+
+
+class ThreadCommunicator(Communicator):
+    """Per-rank handle onto a :class:`ThreadWorld`."""
+
+    def __init__(self, world: ThreadWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.world_size = world.world_size
+
+    def allreduce_mean(self, arrays):
+        arrays = list(arrays)
+        w = self.world
+        with w._lock:
+            if w._acc is None:
+                w._acc = [np.asarray(a, dtype=np.float64).copy() for a in arrays]
+            else:
+                if len(w._acc) != len(arrays):
+                    raise ValueError("allreduce arity mismatch across ranks")
+                for acc, a in zip(w._acc, arrays):
+                    acc += a
+        w._reduce_barrier.wait()
+        assert w._result is not None
+        out = [r.astype(arrays[i].dtype, copy=True) for i, r in enumerate(w._result)]
+        w._exit_barrier.wait()
+        return out
+
+    def broadcast(self, arrays, root: int = 0):
+        w = self.world
+        if self.rank == root:
+            w._bcast = [np.array(a, copy=True) for a in arrays]
+        w._bcast_barrier.wait()
+        assert w._bcast is not None
+        out = [np.array(a, copy=True) for a in w._bcast]
+        w._exit_barrier.wait()
+        if self.rank == root:
+            w._bcast = None
+        return out
+
+    def barrier(self) -> None:
+        self.world._bcast_barrier.wait()
+
+    def gather(self, value, root: int = 0):
+        w = self.world
+        with w._lock:
+            w._gather[self.rank] = value
+        w._gather_barrier.wait()
+        out = [w._gather[r] for r in range(self.world_size)] if self.rank == root else None
+        w._exit_barrier.wait()
+        if self.rank == root:
+            w._gather.clear()
+        return out

@@ -1,0 +1,40 @@
+"""Experiment harness: one builder per paper table/figure.
+
+Each builder returns plain data (lists of dicts) that the benchmark
+scripts print with :mod:`repro.experiments.reporting`; EXPERIMENTS.md
+records the paper-vs-measured comparison.
+"""
+
+from repro.experiments.setups import ExperimentSetup, build_runtime, PAPER_SETUPS
+from repro.experiments.figures import (
+    fig1_baseline_scalability,
+    fig2_time_traces,
+    fig6_workload_bandwidth,
+    fig7_landscape,
+    fig8_argo_scalability,
+    fig9_convergence,
+    fig10_overall_training,
+)
+from repro.experiments.tables import (
+    table4_5_row,
+    table6_search_budgets,
+)
+from repro.experiments.reporting import render_table, render_series, render_heatmap
+
+__all__ = [
+    "ExperimentSetup",
+    "build_runtime",
+    "PAPER_SETUPS",
+    "fig1_baseline_scalability",
+    "fig2_time_traces",
+    "fig6_workload_bandwidth",
+    "fig7_landscape",
+    "fig8_argo_scalability",
+    "fig9_convergence",
+    "fig10_overall_training",
+    "table4_5_row",
+    "table6_search_budgets",
+    "render_table",
+    "render_series",
+    "render_heatmap",
+]

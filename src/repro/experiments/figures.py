@@ -1,0 +1,171 @@
+"""Series builders for every figure of the paper's evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import MultiProcessEngine
+from repro.experiments.setups import ExperimentSetup, build_runtime
+from repro.gnn.models import make_task
+from repro.graph.datasets import load_dataset
+from repro.platform.simulator import SimulatedRuntime
+from repro.platform.spec import PLATFORMS
+from repro.platform.trace import Trace
+from repro.tuning.space import ConfigSpace
+
+__all__ = [
+    "fig1_baseline_scalability",
+    "fig2_time_traces",
+    "fig6_workload_bandwidth",
+    "fig7_landscape",
+    "fig8_argo_scalability",
+    "fig9_convergence",
+    "fig10_overall_training",
+]
+
+
+def _core_grid(total: int) -> list[int]:
+    cores = [c for c in (4, 8, 16, 32, 64, 128) if c <= total]
+    if total not in cores:
+        cores.append(total)
+    return cores
+
+
+def fig1_baseline_scalability(
+    dataset: str = "ogbn-products", platform: str = "icelake", *, seed: int = 0
+) -> dict:
+    """Fig. 1: DGL/PyG speedup vs core count, normalised to 4 cores."""
+    total = PLATFORMS[platform].total_cores
+    cores = _core_grid(total)
+    series = {}
+    for lib in ("dgl", "pyg"):
+        rt, _ = build_runtime(
+            ExperimentSetup("neighbor-sage", dataset, platform, lib), seed=seed
+        )
+        times = [rt.baseline_epoch_time(c) for c in cores]
+        series[lib.upper()] = [times[0] / t for t in times]
+    return {"cores": cores, "speedup": series}
+
+
+def fig2_time_traces(
+    dataset: str = "ogbn-products", platform: str = "icelake", *, seed: int = 0
+) -> dict[str, Trace]:
+    """Fig. 2: single-process vs two-process execution traces."""
+    rt, _ = build_runtime(ExperimentSetup("neighbor-sage", dataset, platform, "dgl"), seed=seed)
+    return {
+        "single": rt.make_trace((1, 4, 24), iterations=4),
+        "dual": rt.make_trace((2, 4, 24), iterations=4),
+    }
+
+
+def fig6_workload_bandwidth(
+    dataset: str = "ogbn-products", platform: str = "icelake", *, seed: int = 0
+) -> list[dict]:
+    """Fig. 6: epoch workload (edges) and bandwidth vs process count.
+
+    As in the paper, each point uses the whole machine: ``n`` processes
+    with 2 sampling cores each and the remaining cores for training.
+    """
+    rt, _ = build_runtime(ExperimentSetup("neighbor-sage", dataset, platform, "dgl"), seed=seed)
+    total = PLATFORMS[platform].total_cores
+    rows = []
+    for n in (1, 2, 4, 8, 16):
+        per_proc = total // n
+        if per_proc < 3:
+            break
+        rows.extend(rt.workload_and_bandwidth_curve([n], 2, per_proc - 2))
+    return rows
+
+
+def fig7_landscape(setup: ExperimentSetup, *, seed: int = 0) -> dict:
+    """Fig. 7/12: epoch time over the (processes, sampling cores) plane.
+
+    Training cores absorb the rest of the per-process allocation (the
+    paper fixes them for 2-D visualisation).
+    """
+    rt, space = build_runtime(setup, seed=seed)
+    grid = {}
+    for n, s, t in space:
+        grid[(n, s)] = rt.true_epoch_time((n, s, t))
+    best = min(grid, key=grid.get)
+    return {"grid": grid, "best": best, "setup": setup.label}
+
+
+def fig8_argo_scalability(
+    dataset: str = "ogbn-products", platform: str = "icelake", *, seed: int = 0
+) -> dict:
+    """Fig. 8: baseline vs ARGO speedup per core budget (one panel)."""
+    total = PLATFORMS[platform].total_cores
+    cores = _core_grid(total)
+    out: dict[str, dict] = {"cores": cores, "series": {}}
+    for lib in ("dgl", "pyg"):
+        for task in ("neighbor-sage", "shadow-gcn"):
+            rt, _ = build_runtime(ExperimentSetup(task, dataset, platform, lib), seed=seed)
+            base = [rt.baseline_epoch_time(c) for c in cores]
+            argo = [rt.argo_best_epoch_time(c)[0] for c in cores]
+            out["series"][f"{lib.upper()}-{task}"] = [base[0] / t for t in base]
+            out["series"][f"ARGO-{lib.upper()}-{task}"] = [argo[0] / t for t in argo]
+    return out
+
+
+def fig9_convergence(
+    *,
+    dataset: str = "ogbn-products",
+    task: str = "neighbor-sage",
+    process_counts: tuple[int, ...] = (1, 2, 4, 8),
+    epochs: int = 6,
+    scale_override: int = 11,
+    global_batch: int = 256,
+    seed: int = 0,
+) -> dict:
+    """Fig. 9 on the *real* engine: accuracy vs minibatch count per n.
+
+    ``n=1`` plays the paper's "DGL" baseline; the curves for every n must
+    overlap (semantics preservation).
+    """
+    ds = load_dataset(dataset, seed=seed, scale_override=scale_override)
+    curves = {}
+    for n in process_counts:
+        sampler, model = make_task(task, ds.layer_dims(2), seed=7)
+        engine = MultiProcessEngine(
+            ds,
+            sampler,
+            model,
+            num_processes=n,
+            global_batch_size=global_batch,
+            backend="inline",
+            seed=seed,
+        )
+        engine.record_accuracy()
+        engine.train(epochs, eval_every=1)
+        label = "DGL" if n == 1 else f"ARGO:{n}"
+        curves[label] = list(engine.history.accuracy_curve)
+    return {"curves": curves, "epochs": epochs}
+
+
+def fig10_overall_training(
+    setup: ExperimentSetup, *, epochs: int = 200, seed: int = 0
+) -> dict:
+    """Fig. 10/11: end-to-end 200-epoch time, library default vs ARGO.
+
+    The ARGO total includes the online-learning epochs at sub-optimal
+    configurations and the tuner's own overhead, exactly as the paper
+    measures it.
+    """
+    from repro.core.argo import ARGO
+
+    rt, space = build_runtime(setup, seed=seed)
+    total_cores = PLATFORMS[setup.platform].total_cores
+    default_total = epochs * rt.baseline_epoch_time(total_cores)
+
+    def train(*, config, epochs):
+        return [rt.measure_epoch(config.as_tuple()) for _ in range(epochs)]
+
+    result = ARGO(epoch=epochs, space=space, seed=seed).run(train)
+    return {
+        "setup": setup.label,
+        "default_total": default_total,
+        "argo_total": result.total_time,
+        "speedup": default_total / result.total_time,
+        "best_config": result.best_config.as_tuple(),
+    }

@@ -1,0 +1,95 @@
+"""ASCII rendering of tables, series and heatmaps for the benchmark logs."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "render_heatmap"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width table; numbers formatted to 3 significant places."""
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 100:
+                return f"{v:.1f}"
+            if abs(v) >= 1:
+                return f"{v:.2f}"
+            return f"{v:.3f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[float],
+    named_series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 50,
+    higher_is_better: bool = True,
+) -> str:
+    """Horizontal bar chart per x value, one row per (x, series)."""
+    lines = [title] if title else []
+    all_vals = [v for series in named_series.values() for v in series]
+    top = max(all_vals) if all_vals else 1.0
+    name_w = max(len(n) for n in named_series)
+    for i, x in enumerate(xs):
+        for name, series in named_series.items():
+            v = series[i]
+            bar = "#" * max(1, int(round(v / top * width)))
+            lines.append(f"{str(x):>6} {name.ljust(name_w)} |{bar} {v:.3g}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_heatmap(
+    grid: Mapping[tuple[int, int], float], *, title: str = "", invert: bool = True
+) -> str:
+    """Character heatmap over integer (x, y) keys.
+
+    With ``invert=True`` low values (good epoch times) render dark —
+    matching the paper's Fig. 7 where the optimum is the dark region.
+    """
+    if not grid:
+        return "(empty grid)"
+    shades = " .:-=+*#%@"
+    xs = sorted({x for x, _ in grid})
+    ys = sorted({y for _, y in grid})
+    vals = np.array(list(grid.values()))
+    lo, hi = vals.min(), vals.max()
+    span = hi - lo if hi > lo else 1.0
+    lines = [title] if title else []
+    for y in reversed(ys):
+        row = []
+        for x in xs:
+            v = grid.get((x, y))
+            if v is None:
+                row.append(" ")
+                continue
+            t = (v - lo) / span
+            if invert:
+                t = 1.0 - t
+            row.append(shades[int(round(t * (len(shades) - 1)))])
+        lines.append(f"{y:>4} |" + "".join(row))
+    lines.append("      " + "".join(str(x)[-1] for x in xs))
+    lines.append(f"   x={xs[0]}..{xs[-1]}  (dark = {'fast' if invert else 'slow'})")
+    return "\n".join(lines)

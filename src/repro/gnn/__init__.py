@@ -1,0 +1,34 @@
+"""GNN models: message-passing aggregation, GCN and GraphSAGE.
+
+Both models follow the paper's Section II-A formulation: each layer is a
+Feature Aggregation (segment sum/mean over sampled in-neighbours) followed
+by a Feature Update (linear layer + ReLU).  Layers consume the bipartite
+``Block`` structures emitted by the samplers in :mod:`repro.sampling`.
+"""
+
+from repro.gnn.aggregate import aggregate_sum, aggregate_mean, gcn_norm_coefficients
+from repro.gnn.gcn import GCNConv, GCN
+from repro.gnn.gat import GATConv, GAT
+from repro.gnn.segment import segment_softmax
+from repro.gnn.metrics import confusion_matrix, f1_scores, micro_f1, macro_f1
+from repro.gnn.sage import SAGEConv, GraphSAGE
+from repro.gnn.models import build_model, MODEL_REGISTRY
+
+__all__ = [
+    "aggregate_sum",
+    "aggregate_mean",
+    "gcn_norm_coefficients",
+    "GCNConv",
+    "GCN",
+    "GATConv",
+    "GAT",
+    "segment_softmax",
+    "confusion_matrix",
+    "f1_scores",
+    "micro_f1",
+    "macro_f1",
+    "SAGEConv",
+    "GraphSAGE",
+    "build_model",
+    "MODEL_REGISTRY",
+]

@@ -1,0 +1,118 @@
+"""Graph Attention Network layer and model (extension).
+
+The paper evaluates GCN and GraphSAGE; GAT (Velickovic et al. 2018) is
+the third canonical message-passing model and exercises a code path the
+other two do not: per-edge attention weights computed from *both*
+endpoint features and normalised with a segment softmax, with gradients
+flowing through the attention coefficients.
+
+Single-head formulation per block edge ``u -> v``::
+
+    e_uv   = LeakyReLU(a_src . (W h_u) + a_dst . (W h_v))
+    alpha  = segment_softmax(e, by v)
+    h'_v   = sum_u alpha_uv (W h_u)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.module import Linear, Module, Parameter
+from repro.autograd.ops import (
+    add,
+    dropout as dropout_op,
+    gather_rows,
+    mul,
+    relu,
+    scatter_add_rows,
+    sum_,
+)
+from repro.autograd.tensor import Tensor
+from repro.autograd import init as init_mod
+from repro.gnn.segment import segment_softmax
+from repro.sampling.block import Block
+from repro.utils.rng import derive_rng
+
+__all__ = ["GATConv", "GAT", "leaky_relu"]
+
+
+def leaky_relu(x: Tensor, slope: float = 0.2) -> Tensor:
+    """LeakyReLU via the existing primitives: ``relu(x) - slope*relu(-x)``."""
+    return add(relu(x), mul(mul(relu(mul(x, -1.0)), -1.0), slope))
+
+
+class GATConv(Module):
+    """Single-head graph attention layer over a bipartite block."""
+
+    def __init__(self, in_features: int, out_features: int, *, slope: float = 0.2, rng=None):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, bias=False, rng=rng)
+        self.attn_src = Parameter(init_mod.glorot_uniform((out_features, 1), rng=rng))
+        self.attn_dst = Parameter(init_mod.glorot_uniform((out_features, 1), rng=rng))
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32))
+        self.slope = float(slope)
+
+    def forward(self, block: Block, h_src: Tensor) -> Tensor:
+        if len(h_src.data) != block.num_src:
+            raise ValueError(
+                f"feature rows ({len(h_src.data)}) != block src nodes ({block.num_src})"
+            )
+        z = self.linear(h_src)  # (num_src, F')
+        # per-node attention halves, then per-edge logits
+        score_src = z @ self.attn_src  # (num_src, 1)
+        score_dst = z @ self.attn_dst
+        e_src = gather_rows(score_src, block.edge_src).reshape(block.num_edges)
+        e_dst = gather_rows(score_dst, block.edge_dst).reshape(block.num_edges)
+        logits = leaky_relu(add(e_src, e_dst), self.slope)
+        alpha = segment_softmax(logits, block.edge_dst, block.num_dst)
+        messages = mul(gather_rows(z, block.edge_src), alpha.reshape((block.num_edges, 1)))
+        out = scatter_add_rows(messages, block.edge_dst, block.num_dst)
+        return add(out, self.bias)
+
+
+class GAT(Module):
+    """Multi-layer single-head GAT with ELU-free ReLU nonlinearity."""
+
+    def __init__(self, dims: list[int], *, dropout: float = 0.5, seed: int = 0):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError(f"dims must list input and output sizes, got {dims}")
+        self.dims = list(dims)
+        self.dropout = float(dropout)
+        self.seed = seed
+        self._layers: list[GATConv] = []
+        for i in range(len(dims) - 1):
+            layer = GATConv(dims[i], dims[i + 1], rng=derive_rng(seed, "gat", i))
+            setattr(self, f"conv{i}", layer)
+            self._layers.append(layer)
+        self._dropout_calls = 0
+
+    def __setattr__(self, name, value):
+        if name in ("_layers", "_dropout_calls"):
+            object.__setattr__(self, name, value)
+        else:
+            super().__setattr__(name, value)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def forward(self, blocks: list[Block], x: Tensor) -> Tensor:
+        if len(blocks) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} blocks, got {len(blocks)}")
+        h = x
+        for i, (layer, block) in enumerate(zip(self._layers, blocks)):
+            h = layer(block, h)
+            if i < self.num_layers - 1:
+                h = h.relu()
+                if self.training and self.dropout > 0:
+                    self._dropout_calls += 1
+                    h = dropout_op(
+                        h,
+                        self.dropout,
+                        training=True,
+                        rng=derive_rng(self.seed, "dropout", self._dropout_calls),
+                    )
+                if len(h.data) != blocks[i + 1].num_src:
+                    raise ValueError("block chain mismatch")
+        return h

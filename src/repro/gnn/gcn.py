@@ -1,0 +1,95 @@
+"""Graph Convolutional Network (Kipf & Welling 2017; paper Eq. (1)/(3)).
+
+Feature Aggregation: ``a_v = sum_u 1/sqrt(D(v) D(u)) * h_u``
+Feature Update:      ``h_v = ReLU(a_v W + b)`` (no activation on the last layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.module import Module, Linear
+from repro.autograd.ops import dropout as dropout_op
+from repro.autograd.tensor import Tensor
+from repro.gnn.aggregate import aggregate_sum, gcn_norm_coefficients
+from repro.sampling.block import Block
+from repro.utils.rng import derive_rng
+
+__all__ = ["GCNConv", "GCN"]
+
+
+class GCNConv(Module):
+    """One GCN layer operating on a bipartite block."""
+
+    def __init__(self, in_features: int, out_features: int, *, rng=None):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, block: Block, h_src: Tensor) -> Tensor:
+        if len(h_src.data) != block.num_src:
+            raise ValueError(
+                f"feature rows ({len(h_src.data)}) != block src nodes ({block.num_src})"
+            )
+        coeff = gcn_norm_coefficients(
+            block.edge_src, block.edge_dst, block.num_src, block.num_dst
+        )
+        agg = aggregate_sum(h_src, block.edge_src, block.edge_dst, block.num_dst, coeff)
+        return self.linear(agg)
+
+
+class GCN(Module):
+    """Multi-layer GCN with ReLU + dropout between layers.
+
+    ``dims`` is ``[f0, f1, ..., f_out]`` (length ``num_layers + 1``), the
+    paper's Table III layer dimensions.
+    """
+
+    def __init__(self, dims: list[int], *, dropout: float = 0.5, seed: int = 0):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError(f"dims must list input and output sizes, got {dims}")
+        self.dims = list(dims)
+        self.dropout = float(dropout)
+        self.seed = seed
+        self._layers: list[GCNConv] = []
+        for i in range(len(dims) - 1):
+            layer = GCNConv(dims[i], dims[i + 1], rng=derive_rng(seed, "gcn", i))
+            setattr(self, f"conv{i}", layer)
+            self._layers.append(layer)
+        self._dropout_calls = 0
+
+    def __setattr__(self, name, value):
+        if name in ("_layers", "_dropout_calls"):
+            object.__setattr__(self, name, value)
+        else:
+            super().__setattr__(name, value)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def forward(self, blocks: list[Block], x: Tensor) -> Tensor:
+        if len(blocks) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} blocks, got {len(blocks)}")
+        h = x
+        for i, (layer, block) in enumerate(zip(self._layers, blocks)):
+            h = layer(block, h)
+            if i < self.num_layers - 1:
+                h = h.relu()
+                if self.training and self.dropout > 0:
+                    self._dropout_calls += 1
+                    h = dropout_op(
+                        h,
+                        self.dropout,
+                        training=True,
+                        rng=derive_rng(self.seed, "dropout", self._dropout_calls),
+                    )
+                # narrow to the next block's source rows: for neighbour
+                # sampling consecutive blocks already line up; for ShaDow
+                # the blocks are identical so this is a no-op check.
+                if len(h.data) != blocks[i + 1].num_src:
+                    raise ValueError(
+                        "block chain mismatch: layer output rows "
+                        f"{len(h.data)} != next block src {blocks[i + 1].num_src}"
+                    )
+        return h

@@ -1,0 +1,60 @@
+"""Classification metrics beyond plain accuracy.
+
+The paper reports accuracy curves (Fig. 9); micro/macro-F1 are the usual
+companions in the GNN literature (GraphSAINT, Cluster-GCN report them),
+so downstream users get them here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["confusion_matrix", "f1_scores", "micro_f1", "macro_f1"]
+
+
+def _predictions(logits, targets) -> tuple[np.ndarray, np.ndarray]:
+    if isinstance(logits, Tensor):
+        logits = logits.data
+    pred = np.asarray(logits)
+    if pred.ndim == 2:
+        pred = pred.argmax(axis=-1)
+    targets = np.asarray(targets, dtype=np.int64)
+    if pred.shape != targets.shape:
+        raise ValueError(f"prediction/target shape mismatch: {pred.shape} vs {targets.shape}")
+    return pred.astype(np.int64), targets
+
+
+def confusion_matrix(logits, targets, num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix; rows = true, cols = predicted."""
+    pred, targets = _predictions(logits, targets)
+    if len(targets) and (targets.max() >= num_classes or pred.max() >= num_classes):
+        raise ValueError("class index out of range")
+    mat = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(mat, (targets, pred), 1)
+    return mat
+
+
+def f1_scores(logits, targets, num_classes: int) -> np.ndarray:
+    """Per-class F1; classes absent from both pred and truth score 0."""
+    mat = confusion_matrix(logits, targets, num_classes)
+    tp = np.diag(mat).astype(np.float64)
+    fp = mat.sum(axis=0) - tp
+    fn = mat.sum(axis=1) - tp
+    denom = 2 * tp + fp + fn
+    with np.errstate(invalid="ignore", divide="ignore"):
+        f1 = np.where(denom > 0, 2 * tp / np.maximum(denom, 1e-300), 0.0)
+    return f1
+
+
+def micro_f1(logits, targets, num_classes: int) -> float:
+    """Micro-averaged F1 == accuracy for single-label classification."""
+    mat = confusion_matrix(logits, targets, num_classes)
+    total = mat.sum()
+    return float(np.diag(mat).sum() / total) if total else 0.0
+
+
+def macro_f1(logits, targets, num_classes: int) -> float:
+    """Unweighted mean of per-class F1."""
+    return float(f1_scores(logits, targets, num_classes).mean())

@@ -1,0 +1,91 @@
+"""GraphSAGE (Hamilton et al. 2017; paper Eq. (2)/(3)).
+
+Feature Aggregation: ``a_v = h_v || mean(h_u, u in N(v))`` (concat of the
+node's own previous-layer feature with the neighbour mean).
+Feature Update:      ``h_v = ReLU(a_v W + b)``.
+
+The destination-prefix convention of :class:`repro.sampling.block.Block`
+provides ``h_v^{l-1}`` as ``h_src[:num_dst]``.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.module import Module, Linear
+from repro.autograd.ops import concat, dropout as dropout_op, gather_rows
+from repro.autograd.tensor import Tensor
+from repro.gnn.aggregate import aggregate_mean
+from repro.sampling.block import Block
+from repro.utils.rng import derive_rng
+
+import numpy as np
+
+__all__ = ["SAGEConv", "GraphSAGE"]
+
+
+class SAGEConv(Module):
+    """One GraphSAGE layer (mean aggregator, concat combine)."""
+
+    def __init__(self, in_features: int, out_features: int, *, rng=None):
+        super().__init__()
+        # concat doubles the input width
+        self.linear = Linear(2 * in_features, out_features, rng=rng)
+
+    def forward(self, block: Block, h_src: Tensor) -> Tensor:
+        if len(h_src.data) != block.num_src:
+            raise ValueError(
+                f"feature rows ({len(h_src.data)}) != block src nodes ({block.num_src})"
+            )
+        h_self = gather_rows(h_src, np.arange(block.num_dst, dtype=np.int64))
+        h_neigh = aggregate_mean(h_src, block.edge_src, block.edge_dst, block.num_dst)
+        return self.linear(concat([h_self, h_neigh], axis=-1))
+
+
+class GraphSAGE(Module):
+    """Multi-layer GraphSAGE with ReLU + dropout between layers."""
+
+    def __init__(self, dims: list[int], *, dropout: float = 0.5, seed: int = 0):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError(f"dims must list input and output sizes, got {dims}")
+        self.dims = list(dims)
+        self.dropout = float(dropout)
+        self.seed = seed
+        self._layers: list[SAGEConv] = []
+        for i in range(len(dims) - 1):
+            layer = SAGEConv(dims[i], dims[i + 1], rng=derive_rng(seed, "sage", i))
+            setattr(self, f"conv{i}", layer)
+            self._layers.append(layer)
+        self._dropout_calls = 0
+
+    def __setattr__(self, name, value):
+        if name in ("_layers", "_dropout_calls"):
+            object.__setattr__(self, name, value)
+        else:
+            super().__setattr__(name, value)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def forward(self, blocks: list[Block], x: Tensor) -> Tensor:
+        if len(blocks) != self.num_layers:
+            raise ValueError(f"expected {self.num_layers} blocks, got {len(blocks)}")
+        h = x
+        for i, (layer, block) in enumerate(zip(self._layers, blocks)):
+            h = layer(block, h)
+            if i < self.num_layers - 1:
+                h = h.relu()
+                if self.training and self.dropout > 0:
+                    self._dropout_calls += 1
+                    h = dropout_op(
+                        h,
+                        self.dropout,
+                        training=True,
+                        rng=derive_rng(self.seed, "dropout", self._dropout_calls),
+                    )
+                if len(h.data) != blocks[i + 1].num_src:
+                    raise ValueError(
+                        "block chain mismatch: layer output rows "
+                        f"{len(h.data)} != next block src {blocks[i + 1].num_src}"
+                    )
+        return h

@@ -1,0 +1,58 @@
+"""Differentiable per-segment softmax (the edge-attention primitive).
+
+GAT normalises attention logits over each destination node's incoming
+edges: ``alpha_e = softmax_{e in N(v)}(logit_e)``.  This is a segment-wise
+softmax over a 1-D logit vector grouped by ``dst_idx``.  Implemented with
+the same numerically-stable shift used by the dense log-softmax, using
+``np.maximum.at`` / ``np.add.at`` scatter reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.ops import _make, _wrap
+from repro.autograd.tensor import Tensor
+
+__all__ = ["segment_softmax"]
+
+
+def segment_softmax(logits: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of ``logits`` within each segment.
+
+    Parameters
+    ----------
+    logits:
+        1-D tensor of per-edge scores.
+    segment_ids:
+        Segment (destination) index per entry; not required to be sorted.
+    num_segments:
+        Total number of segments (isolated segments are fine).
+    """
+    logits = _wrap(logits)
+    if logits.ndim != 1:
+        raise ValueError(f"segment_softmax expects 1-D logits, got shape {logits.shape}")
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.shape != logits.shape:
+        raise ValueError("segment_ids must align with logits")
+    if len(segment_ids) and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError("segment_ids out of range")
+
+    x = logits.data.astype(np.float64)
+    # stable shift: subtract the per-segment max
+    seg_max = np.full(num_segments, -np.inf)
+    np.maximum.at(seg_max, segment_ids, x)
+    shifted = x - np.where(np.isfinite(seg_max[segment_ids]), seg_max[segment_ids], 0.0)
+    expd = np.exp(shifted)
+    denom = np.zeros(num_segments)
+    np.add.at(denom, segment_ids, expd)
+    out_data = (expd / np.maximum(denom[segment_ids], 1e-300)).astype(logits.data.dtype)
+
+    def vjp(g):
+        # d softmax: s * (g - sum_seg(g * s))
+        gs = g * out_data
+        seg_dot = np.zeros(num_segments, dtype=np.float64)
+        np.add.at(seg_dot, segment_ids, gs)
+        return (gs - out_data * seg_dot[segment_ids]).astype(logits.data.dtype)
+
+    return _make(out_data, [(logits, vjp)], "segment_softmax")

@@ -1,0 +1,51 @@
+"""Graph substrate: CSR graphs, builders, synthetic generators, datasets.
+
+This subpackage stands in for the graph layer of DGL/PyG.  Graphs are
+stored in compressed-sparse-row (CSR) form over the *incoming* edges of
+each node, which is the access pattern both samplers need ("give me the
+neighbours that send messages to v").
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.build import (
+    from_edge_index,
+    to_undirected_edges,
+    remove_self_loops,
+    coalesce_edges,
+)
+from repro.graph.generators import rmat_edges, powerlaw_graph, erdos_renyi_graph
+from repro.graph.datasets import (
+    DatasetSpec,
+    GNNDataset,
+    DATASET_REGISTRY,
+    load_dataset,
+    list_datasets,
+)
+from repro.graph.partition import (
+    random_node_partition,
+    contiguous_node_partition,
+    greedy_bfs_partition,
+    partition_edge_cut,
+    partition_balance,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_index",
+    "to_undirected_edges",
+    "remove_self_loops",
+    "coalesce_edges",
+    "rmat_edges",
+    "powerlaw_graph",
+    "erdos_renyi_graph",
+    "DatasetSpec",
+    "GNNDataset",
+    "DATASET_REGISTRY",
+    "load_dataset",
+    "list_datasets",
+    "random_node_partition",
+    "contiguous_node_partition",
+    "greedy_bfs_partition",
+    "partition_edge_cut",
+    "partition_balance",
+]

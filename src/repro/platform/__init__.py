@@ -1,0 +1,48 @@
+"""Multi-core platform model: specs, topology, core binding, cost model.
+
+This subpackage is the substitution for the paper's physical testbeds
+(4-socket Ice Lake 8380H, 2-socket Sapphire Rapids 6430L).  It provides:
+
+* :class:`PlatformSpec` — socket/core/bandwidth description with presets
+  for both paper machines (paper Table II);
+* :class:`CoreBinder` — deterministic core-id allocation for a
+  configuration's processes (the ``taskset`` equivalent);
+* :class:`repro.platform.library.LibraryProfile` — DGL-like and PyG-like
+  execution profiles (kernel efficiency, sampler parallelism, official
+  default CPU configs);
+* :class:`repro.platform.costmodel.CostModel` — a roofline/contention
+  model turning (workload, config) into an epoch time;
+* :class:`repro.platform.simulator.SimulatedRuntime` — the noisy objective
+  the auto-tuner optimises, plus execution-trace generation (Fig. 2).
+"""
+
+from repro.platform.spec import PlatformSpec, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L, PLATFORMS
+from repro.platform.topology import CoreSet, socket_of_core
+from repro.platform.corebind import CoreBinder, ProcessBinding
+from repro.platform.library import LibraryProfile, DGL, PYG, LIBRARIES
+from repro.platform.costmodel import CostModel, EpochBreakdown
+from repro.platform.simulator import SimulatedRuntime
+from repro.platform.trace import TraceEvent, Trace
+from repro.platform.profiling import StepProfile, profile_training_step
+
+__all__ = [
+    "PlatformSpec",
+    "ICE_LAKE_8380H",
+    "SAPPHIRE_RAPIDS_6430L",
+    "PLATFORMS",
+    "CoreSet",
+    "socket_of_core",
+    "CoreBinder",
+    "ProcessBinding",
+    "LibraryProfile",
+    "DGL",
+    "PYG",
+    "LIBRARIES",
+    "CostModel",
+    "EpochBreakdown",
+    "SimulatedRuntime",
+    "TraceEvent",
+    "Trace",
+    "StepProfile",
+    "profile_training_step",
+]

@@ -1,0 +1,111 @@
+"""Core binding: assign core ids to each GNN training process.
+
+ARGO's Core-Binder (paper Sec. IV-B3) binds each process's sampling cores
+and training cores via DGL's affinity API or ``taskset``.  Here the
+binding is an explicit data structure consumed by the cost model; the
+packing policy is socket-compact: processes are laid out left-to-right
+over the socket-major core numbering, so few-process configurations stay
+NUMA-local and many-core configurations progressively span sockets —
+reproducing the remote-access (UPI) behaviour the paper profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.spec import PlatformSpec
+from repro.platform.topology import CoreSet
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ProcessBinding", "CoreBinder"]
+
+
+@dataclass(frozen=True)
+class ProcessBinding:
+    """Core assignment for a single GNN training process."""
+
+    rank: int
+    sampling_cores: CoreSet
+    training_cores: CoreSet
+
+    @property
+    def all_cores(self) -> CoreSet:
+        return CoreSet(
+            self.sampling_cores.cores + self.training_cores.cores,
+            self.sampling_cores.platform,
+        )
+
+    def taskset_command(self) -> str:
+        """The equivalent ``taskset`` invocation (what ARGO runs for PyG)."""
+        ids = ",".join(str(c) for c in self.all_cores.cores)
+        return f"taskset -c {ids}"
+
+
+class CoreBinder:
+    """Deterministic packing of process core allocations onto a platform.
+
+    Two policies:
+
+    ``compact`` (default, what ARGO does)
+        Processes fill cores left to right over the socket-major
+        numbering, so small configurations stay NUMA-local.
+    ``spread``
+        Processes are distributed round-robin over sockets *and* each
+        process's cores are striped across sockets — the pathological
+        placement an unbound scheduler can produce.  Used by the NUMA
+        ablation (paper Sec. IX motivates UPI-aware placement as future
+        work) to quantify what core binding is worth.
+    """
+
+    POLICIES = ("compact", "spread")
+
+    def __init__(self, platform: PlatformSpec, *, policy: str = "compact"):
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}, got {policy!r}")
+        self.platform = platform
+        self.policy = policy
+
+    def _core_order(self) -> list[int]:
+        """Core visitation order for the active policy."""
+        total = self.platform.total_cores
+        if self.policy == "compact":
+            return list(range(total))
+        # spread: stripe across sockets (socket 0 core 0, socket 1 core 0, ...)
+        cps = self.platform.cores_per_socket
+        return [
+            sock * cps + local
+            for local in range(cps)
+            for sock in range(self.platform.sockets)
+        ]
+
+    def bind(
+        self, num_processes: int, sampling_cores: int, training_cores: int
+    ) -> list[ProcessBinding]:
+        """Bind ``num_processes`` processes, each with the given core split.
+
+        Raises ``ValueError`` if the configuration oversubscribes the
+        machine (``n * (s + t) > total_cores``).
+        """
+        n = check_positive_int(num_processes, "num_processes")
+        s = check_positive_int(sampling_cores, "sampling_cores")
+        t = check_positive_int(training_cores, "training_cores")
+        per_proc = s + t
+        if n * per_proc > self.platform.total_cores:
+            raise ValueError(
+                f"configuration ({n} procs x {per_proc} cores) oversubscribes "
+                f"{self.platform.name} ({self.platform.total_cores} cores)"
+            )
+        order = self._core_order()
+        bindings = []
+        cursor = 0
+        for rank in range(n):
+            chunk = order[cursor : cursor + per_proc]
+            cursor += per_proc
+            bindings.append(
+                ProcessBinding(
+                    rank=rank,
+                    sampling_cores=CoreSet(tuple(chunk[:s]), self.platform),
+                    training_cores=CoreSet(tuple(chunk[s:]), self.platform),
+                )
+            )
+        return bindings

@@ -1,0 +1,128 @@
+"""Execution profiles of the baseline GNN libraries (DGL-like, PyG-like).
+
+The paper's measurements differ strongly between DGL v1.1 and PyG v2.0.3:
+DGL's fused SpMM kernels make its model propagation ~5-14x faster on CPU,
+while PyG's Python-level neighbour sampler is much slower per edge; the
+ShaDow sampler is poorly parallelised in *both* libraries (paper
+Sec. VI-E: "the implementation of ShaDow Sampler is sub-optimal with a
+limited degree of parallelism"), which is why ARGO's multi-processing
+helps ShaDow most (up to 5.06x).
+
+A :class:`LibraryProfile` captures these constants per (library, sampler):
+
+* ``sample_cost_per_edge`` — single-core seconds to sample one edge;
+* ``sampler_parallel_fraction`` — Amdahl parallel fraction of the
+  sampling stage *within one process*;
+* ``kernel_efficiency`` — multiplier on achievable dense throughput;
+* ``train_parallel_fraction`` — Amdahl fraction of model propagation;
+* ``pipeline_overlap`` — how well the library overlaps sampling with
+  training inside one process (both libraries prefetch batches);
+* ``default_config`` — the library's official CPU-guideline setup used as
+  the "Default" baseline of Tables IV/V (single process; a fixed small
+  number of dataloader workers; remaining cores for training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["LibraryProfile", "DGL", "PYG", "LIBRARIES"]
+
+
+@dataclass(frozen=True)
+class LibraryProfile:
+    name: str
+    #: seconds per sampled edge on one core, per sampler
+    sample_cost_per_edge: Dict[str, float]
+    #: Amdahl parallel fraction of sampling, per sampler
+    sampler_parallel_fraction: Dict[str, float]
+    #: fraction of platform core_gflops the library's kernels achieve
+    kernel_efficiency: float
+    #: Amdahl parallel fraction of model propagation — deliberately modest:
+    #: sparse GNN kernels have limited intra-op parallelism (paper Sec. V-A2)
+    train_parallel_fraction: float
+    #: sampling/training pipeline overlap efficiency inside one process
+    pipeline_overlap: float
+    #: default number of dataloader (sampling) workers in the CPU guides
+    default_workers: int
+    #: fixed per-iteration framework overhead (seconds), per sampler —
+    #: Python dispatch, batch collation, dataloader wakeups.  Independent of
+    #: batch size and core count, so neither more cores nor more processes
+    #: reduce it (each rank still runs train/B iterations).  Dominant for
+    #: PyG's neighbour path (paper Table V: ARGO barely improves it).
+    periter_overhead: Dict[str, float] | None = None
+
+    def __post_init__(self):
+        for d in (self.sample_cost_per_edge, self.sampler_parallel_fraction):
+            if not d:
+                raise ValueError("per-sampler dicts must not be empty")
+        for v in self.sampler_parallel_fraction.values():
+            if not 0 <= v < 1:
+                raise ValueError("parallel fractions must be in [0, 1)")
+        if not 0 < self.kernel_efficiency <= 1:
+            raise ValueError("kernel_efficiency must be in (0, 1]")
+        if not 0 <= self.train_parallel_fraction < 1:
+            raise ValueError("train_parallel_fraction must be in [0, 1)")
+        if not 0 <= self.pipeline_overlap <= 1:
+            raise ValueError("pipeline_overlap must be in [0, 1]")
+
+    def sampler_cost(self, sampler: str) -> float:
+        key = sampler.lower()
+        if key not in self.sample_cost_per_edge:
+            raise KeyError(f"{self.name} has no cost profile for sampler {sampler!r}")
+        return self.sample_cost_per_edge[key]
+
+    def sampler_parallelism(self, sampler: str) -> float:
+        key = sampler.lower()
+        if key not in self.sampler_parallel_fraction:
+            raise KeyError(f"{self.name} has no parallelism profile for sampler {sampler!r}")
+        return self.sampler_parallel_fraction[key]
+
+    def iteration_overhead(self, sampler: str) -> float:
+        if not self.periter_overhead:
+            return 0.0
+        return self.periter_overhead.get(sampler.lower(), 0.0)
+
+    def default_config(self, platform: PlatformSpec, cores: int | None = None) -> tuple[int, int, int]:
+        """The official-guideline baseline: ``(1, workers, cores - workers)``.
+
+        ``cores`` defaults to the whole machine (the guides say "use all
+        cores"); the Default baseline never multi-processes — that is
+        precisely the gap ARGO exploits.
+        """
+        total = platform.total_cores if cores is None else int(cores)
+        if total < 2:
+            raise ValueError("default config needs at least 2 cores")
+        workers = min(self.default_workers, total - 1)
+        return (1, workers, total - workers)
+
+
+# Sampling-cost constants are calibrated so that simulated epoch times land
+# in the range of paper Tables IV/V (see benchmarks/bench_table4_dgl.py);
+# ratios between libraries/samplers follow the paper's qualitative findings.
+DGL = LibraryProfile(
+    name="DGL",
+    sample_cost_per_edge={"neighbor": 2.0e-6, "shadow": 2.4e-7},
+    sampler_parallel_fraction={"neighbor": 0.93, "shadow": 0.40},
+    kernel_efficiency=0.45,
+    train_parallel_fraction=0.75,
+    pipeline_overlap=0.90,
+    default_workers=4,
+    periter_overhead={"neighbor": 3.5e-2, "shadow": 3.5e-2},
+)
+
+PYG = LibraryProfile(
+    name="PyG",
+    sample_cost_per_edge={"neighbor": 2.0e-6, "shadow": 2.15e-6},
+    sampler_parallel_fraction={"neighbor": 0.80, "shadow": 0.30},
+    kernel_efficiency=0.13,
+    train_parallel_fraction=0.75,
+    pipeline_overlap=0.85,
+    default_workers=2,
+    periter_overhead={"neighbor": 0.75, "shadow": 0.10},
+)
+
+LIBRARIES = {"dgl": DGL, "pyg": PYG}

@@ -1,0 +1,158 @@
+"""Simulated runtime: the noisy objective the auto-tuner optimises.
+
+:class:`SimulatedRuntime` wraps a deterministic :class:`CostModel` with
+
+* seeded measurement noise (epoch times on real machines vary run to run;
+  Tables IV/V report means +/- std over five runs),
+* convenience queries used by the benchmark harness: full design-space
+  grids (Fig. 7/12), baseline-library scalability curves (Fig. 1/8),
+  workload/bandwidth-vs-processes curves (Fig. 6) and execution traces
+  (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.costmodel import CostModel, EpochBreakdown
+from repro.platform.trace import Trace
+from repro.utils.rng import derive_rng
+
+__all__ = ["SimulatedRuntime"]
+
+
+class SimulatedRuntime:
+    """Noisy measurement interface over a :class:`CostModel`.
+
+    Parameters
+    ----------
+    cost_model:
+        The deterministic model.
+    noise:
+        Relative std-dev of multiplicative measurement noise (1.5% default,
+        in line with run-to-run variation on a busy NUMA machine).
+    seed:
+        Noise stream seed.  Each (config, repetition) pair has its own
+        deterministic draw, so repeated experiments are reproducible.
+    """
+
+    def __init__(self, cost_model: CostModel, *, noise: float = 0.015, seed: int = 0):
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.cost_model = cost_model
+        self.noise = float(noise)
+        self.seed = int(seed)
+        self._eval_counts: dict[tuple[int, int, int], int] = {}
+        self.num_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # objective-function interface (what the auto-tuner calls)
+    # ------------------------------------------------------------------
+    def measure_epoch(self, config: tuple[int, int, int]) -> float:
+        """One noisy epoch-time observation for ``(n, s, t)`` seconds."""
+        n, s, t = config
+        base = self.cost_model.epoch_time(n, s, t).total
+        rep = self._eval_counts.get((n, s, t), 0)
+        self._eval_counts[(n, s, t)] = rep + 1
+        self.num_evaluations += 1
+        if self.noise == 0:
+            return base
+        rng = derive_rng(self.seed, "noise", n, s, t, rep)
+        return float(base * (1.0 + self.noise * rng.standard_normal()))
+
+    def true_epoch_time(self, config: tuple[int, int, int]) -> float:
+        """Noise-free epoch time (ground truth for evaluating tuners)."""
+        n, s, t = config
+        return self.cost_model.epoch_time(n, s, t).total
+
+    def breakdown(self, config: tuple[int, int, int]) -> EpochBreakdown:
+        n, s, t = config
+        return self.cost_model.epoch_time(n, s, t)
+
+    # ------------------------------------------------------------------
+    # figure-level queries
+    # ------------------------------------------------------------------
+    def baseline_epoch_time(self, cores: int) -> float:
+        """Library-default single-process epoch time on a core budget.
+
+        This is the paper's "DGL"/"PyG" baseline line in Fig. 1/8: one
+        process configured per the library's CPU guide, given ``cores``.
+        """
+        n, s, t = self.cost_model.library.default_config(self.cost_model.platform, cores)
+        return self.cost_model.epoch_time(n, s, t).total
+
+    def argo_best_epoch_time(
+        self, cores: int, configs=None
+    ) -> tuple[float, tuple[int, int, int]]:
+        """Best (noise-free) epoch time over configs fitting in ``cores``.
+
+        ``configs`` is an iterable of ``(n, s, t)``; configurations using
+        more than ``cores`` cores are skipped.  When omitted, the natural
+        :class:`~repro.tuning.space.ConfigSpace` for the core budget is
+        used (the Fig. 8 per-budget sweep).
+        """
+        if configs is None:
+            from repro.tuning.space import ConfigSpace
+
+            configs = ConfigSpace(cores)
+        best_t, best_cfg = np.inf, None
+        for n, s, t in configs:
+            if n * (s + t) > cores:
+                continue
+            val = self.cost_model.epoch_time(n, s, t).total
+            if val < best_t:
+                best_t, best_cfg = val, (n, s, t)
+        if best_cfg is None:
+            raise ValueError(f"no configuration fits within {cores} cores")
+        return best_t, best_cfg
+
+    def workload_and_bandwidth_curve(
+        self, process_counts, sampling_cores: int, training_cores: int
+    ) -> list[dict]:
+        """Fig. 6 series: epoch workload (edges) and bandwidth vs ``n``."""
+        rows = []
+        for n in process_counts:
+            bd = self.cost_model.epoch_time(n, sampling_cores, training_cores)
+            rows.append(
+                {
+                    "processes": int(n),
+                    "epoch_edges": bd.epoch_edges,
+                    "bandwidth_gbs": bd.bandwidth_used_gbs,
+                    "epoch_time": bd.total,
+                }
+            )
+        return rows
+
+    def landscape(self, configs) -> dict[tuple[int, int, int], float]:
+        """Noise-free epoch time over a config collection (Fig. 7/12 grids)."""
+        return {cfg: self.true_epoch_time(cfg) for cfg in configs}
+
+    # ------------------------------------------------------------------
+    # Fig. 2 traces
+    # ------------------------------------------------------------------
+    def make_trace(self, config: tuple[int, int, int], iterations: int = 4) -> Trace:
+        """Synthesise a Gantt trace of ``iterations`` training iterations.
+
+        Processes are staggered by ``t_iter / n`` (the natural steady
+        state of unsynchronised pipelines), demonstrating memory/compute
+        overlap across processes (paper Fig. 2B).
+        """
+        n, s, t = config
+        bd = self.cost_model.epoch_time(n, s, t)
+        t_iter = bd.t_train + bd.t_sync
+        trace = Trace()
+        for rank in range(n):
+            clock = rank * t_iter / max(n, 1)
+            for _ in range(iterations):
+                # sampling runs on its own cores, pipelined with training —
+                # drawn in parallel with the training phases of the same slot
+                trace.add(rank, "sample", clock, min(bd.t_sample, t_iter))
+                end_mem = trace.add(rank, "memory", clock, bd.t_memory)
+                end_cmp = trace.add(rank, "compute", end_mem, bd.t_compute)
+                if bd.t_sync > 0:
+                    clock = trace.add(rank, "sync", end_cmp, bd.t_sync)
+                else:
+                    clock = end_cmp
+        return trace

@@ -1,0 +1,115 @@
+"""Platform specifications (paper Table II) and bandwidth parameters.
+
+The two presets correspond to the paper's testbeds:
+
+================  ==============  ====================
+field             Ice Lake 8380H  Sapphire Rapids 6430L
+================  ==============  ====================
+sockets           4               2
+total CPUs        112             64
+frequency         2.90 GHz        2.10 GHz
+LLC               154 MB          120 MB
+memory            384 GB          1 TB
+peak bandwidth    275 GB/s        563 GB/s
+================  ==============  ====================
+
+Beyond Table II we add the micro-architectural constants the cost model
+needs: per-core achievable DRAM bandwidth, effective dense-kernel GFLOP/s
+per core, and the UPI inter-socket penalty the paper's Section IX
+profiling highlights (more than half of accesses remote on Ice Lake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlatformSpec", "ICE_LAKE_8380H", "SAPPHIRE_RAPIDS_6430L", "PLATFORMS"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of a multi-core machine."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    freq_ghz: float
+    llc_mb: float
+    memory_gb: float
+    peak_bw_gbs: float  # aggregate DRAM bandwidth, all sockets
+    #: single-core achievable DRAM stream bandwidth (GB/s); caps how much of
+    #: the socket bandwidth a small core set can actually draw
+    core_bw_gbs: float = 7.0
+    #: effective dense-kernel throughput per core (GFLOP/s) for fp32 GEMMs of
+    #: GNN size (far below peak FMA throughput — small irregular matrices)
+    core_gflops: float = 30.0
+    #: fraction of nominal bandwidth retained when the access is remote
+    #: (served over UPI); Sec. IX: UPI throughput well below DDR
+    upi_efficiency: float = 0.45
+
+    def __post_init__(self):
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError(f"invalid topology {self.sockets}x{self.cores_per_socket}")
+        for field_name in ("freq_ghz", "llc_mb", "memory_gb", "peak_bw_gbs", "core_bw_gbs", "core_gflops"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be > 0")
+        if not 0 < self.upi_efficiency <= 1:
+            raise ValueError("upi_efficiency must be in (0, 1]")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def socket_bw_gbs(self) -> float:
+        """Local DRAM bandwidth of a single socket."""
+        return self.peak_bw_gbs / self.sockets
+
+    def effective_bandwidth(self, cores_used: int, remote_fraction: float) -> float:
+        """Aggregate achievable bandwidth for a workload on ``cores_used``
+        cores of which a ``remote_fraction`` of traffic crosses UPI.
+
+        Bandwidth is the minimum of (a) what the cores can draw
+        (``cores * core_bw``) and (b) what the memory system can serve
+        given the remote-traffic mix.
+        """
+        if not 0 <= remote_fraction <= 1:
+            raise ValueError(f"remote_fraction must be in [0,1], got {remote_fraction}")
+        cores_used = max(0, min(cores_used, self.total_cores))
+        draw = cores_used * self.core_bw_gbs
+        sockets_spanned = min(self.sockets, max(1, -(-cores_used // self.cores_per_socket)))
+        local_supply = sockets_spanned * self.socket_bw_gbs
+        mix_efficiency = (1.0 - remote_fraction) + remote_fraction * self.upi_efficiency
+        return min(draw, local_supply * mix_efficiency)
+
+
+ICE_LAKE_8380H = PlatformSpec(
+    name="Ice Lake 8380H",
+    sockets=4,
+    cores_per_socket=28,
+    freq_ghz=2.90,
+    llc_mb=154.0,
+    memory_gb=384.0,
+    peak_bw_gbs=275.0,
+    core_bw_gbs=10.0,
+    core_gflops=32.0,
+    upi_efficiency=0.40,
+)
+
+SAPPHIRE_RAPIDS_6430L = PlatformSpec(
+    name="Sapphire Rapids 6430L",
+    sockets=2,
+    cores_per_socket=32,
+    freq_ghz=2.10,
+    llc_mb=120.0,
+    memory_gb=1024.0,
+    peak_bw_gbs=563.0,
+    core_bw_gbs=12.0,
+    core_gflops=36.0,
+    upi_efficiency=0.50,
+)
+
+PLATFORMS = {
+    "icelake": ICE_LAKE_8380H,
+    "sapphire": SAPPHIRE_RAPIDS_6430L,
+}

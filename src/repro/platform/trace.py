@@ -1,0 +1,102 @@
+"""Execution traces (the paper's Figure 2 time-trace).
+
+A :class:`Trace` is a list of ``(process, phase, start, end)`` events.
+:func:`render_ascii` draws the Gantt-style view the paper uses to show
+that a single process alternates memory-intensive and compute-intensive
+phases (leaving one resource idle at all times) while two staggered
+processes overlap them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["TraceEvent", "Trace", "render_ascii"]
+
+#: canonical phase names
+PHASES = ("sample", "memory", "compute", "sync")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    process: int
+    phase: str
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.phase not in PHASES:
+            raise ValueError(f"unknown phase {self.phase!r}; expected one of {PHASES}")
+        if self.end < self.start:
+            raise ValueError(f"event ends ({self.end}) before it starts ({self.start})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, process: int, phase: str, start: float, duration: float) -> float:
+        """Append an event; returns its end time."""
+        ev = TraceEvent(process, phase, start, start + duration)
+        self.events.append(ev)
+        return ev.end
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def busy_fraction(self, phase: str) -> float:
+        """Fraction of the makespan during which >=1 process runs ``phase``.
+
+        The paper's point: with one process the memory phase covers only
+        part of the timeline (bandwidth idles in the gaps); with several
+        staggered processes the union approaches 1.
+        """
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        intervals = sorted(
+            (e.start, e.end) for e in self.events if e.phase == phase and e.end > e.start
+        )
+        covered = 0.0
+        cur_start, cur_end = None, None
+        for s, e in intervals:
+            if cur_end is None or s > cur_end:
+                if cur_end is not None:
+                    covered += cur_end - cur_start
+                cur_start, cur_end = s, e
+            else:
+                cur_end = max(cur_end, e)
+        if cur_end is not None:
+            covered += cur_end - cur_start
+        return covered / span
+
+    def for_process(self, process: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.process == process]
+
+
+_GLYPH = {"sample": "s", "memory": "M", "compute": "#", "sync": "|"}
+
+
+def render_ascii(trace: Trace, width: int = 78) -> str:
+    """Gantt rendering: one row per process, columns are time buckets."""
+    span = trace.makespan
+    if span <= 0:
+        return "(empty trace)"
+    procs = sorted({e.process for e in trace.events})
+    lines = []
+    for p in procs:
+        row = [" "] * width
+        for e in trace.for_process(p):
+            lo = int(e.start / span * (width - 1))
+            hi = max(lo, int(e.end / span * (width - 1)))
+            for i in range(lo, hi + 1):
+                row[i] = _GLYPH[e.phase]
+        lines.append(f"P{p} |" + "".join(row))
+    legend = "  legend: s=sampling  M=memory-bound  #=compute-bound  |=sync"
+    return "\n".join(lines) + "\n" + legend

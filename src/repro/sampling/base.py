@@ -1,0 +1,57 @@
+"""Sampler base class and registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sampling.block import MiniBatch
+
+__all__ = ["Sampler", "SAMPLER_REGISTRY", "make_sampler", "register_sampler"]
+
+
+class Sampler:
+    """Abstract mini-batch sampler.
+
+    A sampler turns ``(graph, seed nodes)`` into a :class:`MiniBatch` of
+    message-flow blocks.  Samplers are stateless apart from the RNG passed
+    per call, so one sampler instance can be shared by all ranks of the
+    Multi-Process Engine.
+    """
+
+    #: how many GNN layers the produced blocks feed (set by subclasses)
+    num_layers: int = 0
+
+    def sample(self, graph: CSRGraph, seeds: np.ndarray, *, rng=None) -> MiniBatch:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+SAMPLER_REGISTRY: Dict[str, Callable[..., Sampler]] = {}
+
+
+def register_sampler(name: str):
+    """Class decorator adding a sampler to the registry."""
+
+    def deco(cls):
+        SAMPLER_REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def make_sampler(name: str, **kwargs) -> Sampler:
+    """Instantiate a registered sampler: ``neighbor`` or ``shadow``.
+
+    Paper-default fanouts are used when none are given: ``[15, 10, 5]``
+    for neighbour sampling, ``[10, 5]`` for ShaDow.
+    """
+    key = name.lower()
+    if key not in SAMPLER_REGISTRY:
+        raise KeyError(f"unknown sampler {name!r}; known: {sorted(SAMPLER_REGISTRY)}")
+    return SAMPLER_REGISTRY[key](**kwargs)

@@ -1,0 +1,114 @@
+"""Bipartite message-flow blocks (DGL's ``MFG``/``block`` equivalent).
+
+A :class:`Block` connects a set of *source* nodes (holding layer ``l-1``
+features) to a set of *destination* nodes (receiving layer ``l`` features)
+with local-index edges.  The invariant ``dst_ids == src_ids[:num_dst]``
+(destination prefix) lets layers access the previous representation of
+each destination node as ``h_src[:num_dst]`` — required by GraphSAGE's
+``h_v || mean(h_u)`` update.
+
+:class:`MiniBatch` bundles the ``L`` blocks of one training iteration plus
+the bookkeeping the workload profiler (Fig. 5/6) needs: total sampled
+edges and nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Block", "MiniBatch"]
+
+
+@dataclass
+class Block:
+    """One bipartite sampling layer.
+
+    Attributes
+    ----------
+    src_ids:
+        Global node ids of source nodes; the first ``num_dst`` entries are
+        the destination nodes (prefix convention).
+    num_dst:
+        Number of destination nodes.
+    edge_src, edge_dst:
+        Local edge endpoints: ``edge_src[e]`` indexes ``src_ids``;
+        ``edge_dst[e]`` indexes the destination prefix.
+    """
+
+    src_ids: np.ndarray
+    num_dst: int
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+
+    def __post_init__(self):
+        self.src_ids = np.asarray(self.src_ids, dtype=np.int64)
+        self.edge_src = np.asarray(self.edge_src, dtype=np.int64)
+        self.edge_dst = np.asarray(self.edge_dst, dtype=np.int64)
+        if self.num_dst < 0 or self.num_dst > len(self.src_ids):
+            raise ValueError(
+                f"num_dst={self.num_dst} out of range for {len(self.src_ids)} src nodes"
+            )
+        if self.edge_src.shape != self.edge_dst.shape:
+            raise ValueError("edge_src/edge_dst length mismatch")
+        if len(self.edge_src):
+            if self.edge_src.min() < 0 or self.edge_src.max() >= self.num_src:
+                raise ValueError("edge_src out of range")
+            if self.edge_dst.min() < 0 or self.edge_dst.max() >= self.num_dst:
+                raise ValueError("edge_dst out of range")
+
+    @property
+    def num_src(self) -> int:
+        return len(self.src_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_src)
+
+    @property
+    def dst_ids(self) -> np.ndarray:
+        return self.src_ids[: self.num_dst]
+
+    def validate_prefix(self) -> None:
+        """Assert the destination-prefix convention (used by tests)."""
+        if not np.array_equal(self.dst_ids, self.src_ids[: self.num_dst]):
+            raise AssertionError("destination nodes are not a prefix of src_ids")
+
+
+@dataclass
+class MiniBatch:
+    """All blocks for one iteration, innermost (input) layer first.
+
+    ``blocks[0]`` consumes raw node features of ``input_ids``;
+    ``blocks[-1]`` produces outputs for the ``seeds``.
+    """
+
+    seeds: np.ndarray
+    blocks: list[Block]
+    labels: np.ndarray | None = None
+
+    def __post_init__(self):
+        self.seeds = np.asarray(self.seeds, dtype=np.int64)
+        if not self.blocks:
+            raise ValueError("MiniBatch needs at least one block")
+        if not np.array_equal(self.blocks[-1].dst_ids, self.seeds):
+            raise ValueError("last block's destinations must equal the seeds")
+
+    @property
+    def input_ids(self) -> np.ndarray:
+        """Global node ids whose raw features feed the first layer."""
+        return self.blocks[0].src_ids
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_edges(self) -> int:
+        """Total aggregation workload of this batch (paper Fig. 6 metric)."""
+        return sum(b.num_edges for b in self.blocks)
+
+    @property
+    def total_src_nodes(self) -> int:
+        return sum(b.num_src for b in self.blocks)

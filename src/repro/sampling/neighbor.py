@@ -1,0 +1,117 @@
+"""Layered neighbour sampling (GraphSAGE-style, paper Sec. II-B).
+
+For an ``L``-layer model with fanouts ``[k_1, ..., k_L]`` (outermost
+layer first, the DGL convention — paper default ``[15, 10, 5]``), the
+sampler walks from the seed nodes inwards: the layer-``l`` block connects
+each destination node to at most ``k_l`` of its in-neighbours, chosen
+uniformly without replacement.  Nodes with degree ``<= k`` keep all their
+neighbours.
+
+The whole per-layer step is vectorised: neighbour lists for the entire
+frontier are gathered at once with :meth:`CSRGraph.gather_neighbors`, and
+the without-replacement choice is made with a single vectorised
+random-key-sort trick instead of a per-node ``rng.choice`` loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sampling.base import Sampler, register_sampler
+from repro.sampling.block import Block, MiniBatch
+from repro.utils.rng import as_generator
+
+__all__ = ["NeighborSampler", "sample_neighbors_uniform"]
+
+
+def sample_neighbors_uniform(
+    graph: CSRGraph, nodes: np.ndarray, fanout: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample up to ``fanout`` in-neighbours per node, without replacement.
+
+    Returns ``(src, dst_pos)`` where ``src`` are global neighbour ids and
+    ``dst_pos[e]`` is the position in ``nodes`` the edge points to.
+
+    Implementation: gather all candidate edges, assign each a uniform
+    random key, sort keys *within each destination segment*, and keep the
+    first ``min(fanout, deg)`` of each segment.  This is an exact uniform
+    without-replacement sample and runs in ``O(E_frontier log)`` with no
+    Python-level loop.
+    """
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    nodes = np.asarray(nodes, dtype=np.int64)
+    srcs, offsets = graph.gather_neighbors(nodes)
+    degs = np.diff(offsets)
+    if len(srcs) == 0:
+        return srcs, np.empty(0, dtype=np.int64)
+    seg_ids = np.repeat(np.arange(len(nodes), dtype=np.int64), degs)
+    keys = rng.random(len(srcs))
+    # sort by (segment, key): stable segment grouping with random order inside
+    order = np.lexsort((keys, seg_ids))
+    srcs_sorted = srcs[order]
+    # rank of each edge within its segment after the random sort
+    ranks = np.arange(len(srcs)) - np.repeat(offsets[:-1], degs)
+    keep = ranks < np.minimum(degs, fanout)[seg_ids]
+    return srcs_sorted[keep], seg_ids[keep]
+
+
+def _build_block(
+    dst_ids: np.ndarray, src_global: np.ndarray, dst_pos: np.ndarray
+) -> Block:
+    """Assemble a Block given sampled edges in (global-src, dst-position) form.
+
+    Source node set = destination prefix + newly-seen neighbours, so the
+    prefix convention holds by construction.
+    """
+    # unique neighbours not already among the destinations, keep stable order
+    uniq = np.unique(src_global)
+    is_dst = np.isin(uniq, dst_ids, assume_unique=True)
+    extra = uniq[~is_dst]
+    src_ids = np.concatenate([dst_ids, extra])
+    # map global -> local index in src_ids
+    lookup_keys = src_ids
+    sorter = np.argsort(lookup_keys, kind="stable")
+    pos = sorter[np.searchsorted(lookup_keys, src_global, sorter=sorter)]
+    return Block(src_ids=src_ids, num_dst=len(dst_ids), edge_src=pos, edge_dst=dst_pos)
+
+
+@register_sampler("neighbor")
+class NeighborSampler(Sampler):
+    """Uniform layered neighbour sampler.
+
+    Parameters
+    ----------
+    fanouts:
+        Per-layer sample sizes, outermost (seed) layer first; the paper
+        uses ``[15, 10, 5]`` — note the sampler *walks* the list in
+        reverse so that ``fanouts[0]`` applies at the layer nearest the
+        seeds, matching DGL's ``NeighborSampler([15, 10, 5])``.
+    """
+
+    def __init__(self, fanouts: list[int] | tuple[int, ...] = (15, 10, 5)):
+        fanouts = [int(f) for f in fanouts]
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise ValueError(f"fanouts must be positive ints, got {fanouts}")
+        self.fanouts = fanouts
+        self.num_layers = len(fanouts)
+
+    def sample(self, graph: CSRGraph, seeds: np.ndarray, *, rng=None) -> MiniBatch:
+        rng = as_generator(rng)
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if len(seeds) == 0:
+            raise ValueError("cannot sample an empty seed batch")
+        if len(np.unique(seeds)) != len(seeds):
+            raise ValueError("seed nodes must be unique within a batch")
+        blocks: list[Block] = []
+        frontier = seeds
+        # innermost fanout is applied last in model order; we build from the
+        # output layer inwards, then reverse.
+        for fanout in self.fanouts:
+            src_global, dst_pos = sample_neighbors_uniform(graph, frontier, fanout, rng)
+            block = _build_block(frontier, src_global, dst_pos)
+            blocks.append(block)
+            frontier = block.src_ids
+        blocks.reverse()
+        return MiniBatch(seeds=seeds, blocks=blocks)

@@ -1,0 +1,27 @@
+"""Configuration search: the design space and the baseline search
+algorithms ARGO's auto-tuner is compared against (paper Sec. VI-D).
+
+* :class:`ConfigSpace` — every valid ``(n_processes, sampling_cores,
+  training_cores)`` triple on a platform;
+* :class:`ExhaustiveSearch` — the oracle (726-point sweep on 112 cores);
+* :class:`RandomSearch` — uniform random baseline;
+* :class:`SimulatedAnnealing` — the paper's random-search baseline;
+* :func:`default_config` — the library CPU-guideline static setup.
+"""
+
+from repro.tuning.space import ConfigSpace
+from repro.tuning.search import Searcher, SearchResult, ExhaustiveSearch, RandomSearch
+from repro.tuning.anneal import SimulatedAnnealing
+from repro.tuning.pruning import PruningSearch
+from repro.tuning.defaults import default_config
+
+__all__ = [
+    "ConfigSpace",
+    "Searcher",
+    "SearchResult",
+    "ExhaustiveSearch",
+    "RandomSearch",
+    "SimulatedAnnealing",
+    "PruningSearch",
+    "default_config",
+]

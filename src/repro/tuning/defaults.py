@@ -1,0 +1,21 @@
+"""The "Default" baseline: official library CPU-setup guidelines.
+
+Both DGL and PyG publish CPU best-practice guides (paper refs [24], [25])
+prescribing a single training process with a small number of dataloader
+workers and the remaining cores for compute.  The paper uses these as the
+static ``Default`` column of Tables IV/V.
+"""
+
+from __future__ import annotations
+
+from repro.platform.library import LibraryProfile
+from repro.platform.spec import PlatformSpec
+
+__all__ = ["default_config"]
+
+
+def default_config(
+    library: LibraryProfile, platform: PlatformSpec, cores: int | None = None
+) -> tuple[int, int, int]:
+    """The library-guideline static configuration ``(1, workers, rest)``."""
+    return library.default_config(platform, cores)

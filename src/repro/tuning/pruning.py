@@ -1,0 +1,86 @@
+"""Search-space pruning tuner (paper Sec. VII-B, extension).
+
+The paper's discussion considers strategic pruning as an alternative to
+BayesOpt: measure coarsely, discard the unpromising region, refine — and
+argues it degrades in higher-dimensional spaces.  We implement a
+successive-halving pruner so that claim can be tested (see
+``benchmarks/bench_ablation_pruning.py``):
+
+1. probe an even lattice of the space,
+2. keep the best ``keep_fraction`` of probed points,
+3. next round probes unexplored neighbours of the survivors,
+4. repeat until the budget is spent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tuning.search import Searcher, SearchResult
+from repro.tuning.space import Config, ConfigSpace
+from repro.utils.rng import derive_rng
+
+__all__ = ["PruningSearch"]
+
+
+class PruningSearch(Searcher):
+    """Lattice-probe + successive-halving refinement."""
+
+    name = "pruning"
+
+    def __init__(self, initial_fraction: float = 0.4, keep_fraction: float = 0.3):
+        if not 0 < initial_fraction <= 1 or not 0 < keep_fraction < 1:
+            raise ValueError("fractions must be in (0, 1]")
+        self.initial_fraction = float(initial_fraction)
+        self.keep_fraction = float(keep_fraction)
+
+    def run(
+        self,
+        objective: Callable[[Config], float],
+        space: ConfigSpace,
+        budget: int,
+        seed: int = 0,
+    ) -> SearchResult:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        rng = derive_rng(seed, "pruning")
+        history: list[tuple[Config, float]] = []
+        seen: set[Config] = set()
+
+        def evaluate(cfg: Config) -> None:
+            history.append((cfg, float(objective(cfg))))
+            seen.add(cfg)
+
+        # round 0: even lattice over the (sorted) config list
+        n_init = max(2, min(budget, int(round(budget * self.initial_fraction))))
+        stride = max(1, len(space) // n_init)
+        offset = int(rng.integers(stride))
+        for i in range(offset, len(space), stride):
+            if len(history) >= budget:
+                break
+            evaluate(space.configs[i])
+
+        # refinement rounds: expand neighbours of the surviving region
+        while len(history) < budget:
+            ranked = sorted(history, key=lambda cv: cv[1])
+            survivors = [cfg for cfg, _ in ranked[: max(1, int(len(ranked) * self.keep_fraction))]]
+            frontier = [
+                nb
+                for cfg in survivors
+                for nb in space.neighbors(cfg)
+                if nb not in seen
+            ]
+            if not frontier:
+                # pruned region exhausted: random restart
+                remaining = [c for c in space.configs if c not in seen]
+                if not remaining:
+                    break
+                frontier = [remaining[int(rng.integers(len(remaining)))]]
+            for cfg in frontier:
+                if len(history) >= budget:
+                    break
+                if cfg not in seen:
+                    evaluate(cfg)
+        return self._finalize(history)

@@ -1,0 +1,97 @@
+"""Search-algorithm baselines and the common result record.
+
+All searchers share the interface ``run(objective, space, budget, seed)``
+where ``objective(config) -> observed epoch seconds`` (one full training
+epoch per evaluation, as in the paper's online setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.tuning.space import Config, ConfigSpace
+from repro.utils.rng import derive_rng
+
+__all__ = ["SearchResult", "Searcher", "ExhaustiveSearch", "RandomSearch"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a configuration search."""
+
+    best_config: Config
+    best_observed: float
+    num_evaluations: int
+    history: list[tuple[Config, float]] = field(default_factory=list)
+
+    @property
+    def observations(self) -> list[float]:
+        return [v for _, v in self.history]
+
+    def best_so_far(self) -> list[float]:
+        """Running minimum over the history (convergence curves)."""
+        out, cur = [], np.inf
+        for _, v in self.history:
+            cur = min(cur, v)
+            out.append(cur)
+        return out
+
+
+class Searcher:
+    """Base class: bookkeeping shared by all search strategies."""
+
+    name = "base"
+
+    def run(
+        self,
+        objective: Callable[[Config], float],
+        space: ConfigSpace,
+        budget: int,
+        seed: int = 0,
+    ) -> SearchResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _finalize(history: list[tuple[Config, float]]) -> SearchResult:
+        if not history:
+            raise ValueError("search produced no evaluations")
+        best_idx = int(np.argmin([v for _, v in history]))
+        cfg, val = history[best_idx]
+        return SearchResult(
+            best_config=cfg,
+            best_observed=val,
+            num_evaluations=len(history),
+            history=history,
+        )
+
+
+class ExhaustiveSearch(Searcher):
+    """Evaluate every configuration (the paper's oracle baseline).
+
+    ``budget`` is ignored — the whole space is swept, which on a real
+    machine is the "prohibitively expensive" 726-epoch sweep the paper
+    warns about.
+    """
+
+    name = "exhaustive"
+
+    def run(self, objective, space, budget: int = 0, seed: int = 0) -> SearchResult:
+        history = [(cfg, float(objective(cfg))) for cfg in space]
+        return self._finalize(history)
+
+
+class RandomSearch(Searcher):
+    """Uniform random sampling without replacement."""
+
+    name = "random"
+
+    def run(self, objective, space, budget: int, seed: int = 0) -> SearchResult:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        rng = derive_rng(seed, "random-search")
+        order = rng.permutation(len(space))[: min(budget, len(space))]
+        history = [(space.configs[i], float(objective(space.configs[i]))) for i in order]
+        return self._finalize(history)

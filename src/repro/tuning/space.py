@@ -1,0 +1,185 @@
+"""The ARGO configuration design space.
+
+A configuration is ``(n, s, t)``: the number of GNN training processes,
+and the sampling/training cores bound to *each* process (paper Sec. V).
+The canonical space uses the whole machine for each candidate — processes
+split the cores evenly (``s + t = total // n``) and the split point ``s``
+is free:
+
+    n in {1, ..., max_processes},  s in [1, total//n - 1],  t = total//n - s.
+
+This yields 295 configurations on the 112-core Ice Lake and 164 on the
+64-core Sapphire Rapids.  The paper reports 726 and 408 for its grid; the
+exact enumeration rule is not published, so our space is smaller but
+spans the same axes and ranges — the auto-tuner's search *fraction*
+(5-6%) is preserved by scaling the budget to our space size
+(see :meth:`paper_budget`).
+
+``features()`` maps configs to a normalised ``[0, 1]^2`` cube —
+``(log2(n)/log2(n_max), s/(s+t))`` — the GP surrogate's input space.
+Core counts enter the second coordinate as a *fraction*, which makes the
+landscape comparably smooth across process counts (Fig. 7's heatmaps use
+the same two axes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.spec import PlatformSpec
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ConfigSpace"]
+
+Config = tuple[int, int, int]
+
+
+class ConfigSpace:
+    """Finite enumeration of valid runtime configurations.
+
+    The canonical space is 2-D per process count (``t`` is determined by
+    ``s``); :meth:`full3d` builds the higher-dimensional variant of the
+    paper's Sec. VII-B discussion where the training-core count is a free
+    third axis (configurations may deliberately leave cores idle).
+    """
+
+    def __init__(
+        self,
+        total_cores: int,
+        *,
+        max_processes: int = 8,
+        process_counts=None,
+        _configs: list[Config] | None = None,
+        _three_d: bool = False,
+    ):
+        total_cores = check_positive_int(total_cores, "total_cores")
+        if total_cores < 2:
+            raise ValueError("need at least 2 cores (1 sampling + 1 training)")
+        if process_counts is None:
+            max_processes = check_positive_int(max_processes, "max_processes")
+            process_counts = range(1, max_processes + 1)
+        self.total_cores = total_cores
+        self.process_counts = sorted({int(n) for n in process_counts})
+        if not self.process_counts or self.process_counts[0] < 1:
+            raise ValueError("process_counts must be positive")
+        self.three_d = bool(_three_d)
+        if _configs is not None:
+            configs = list(_configs)
+        else:
+            configs = []
+            for n in self.process_counts:
+                per_proc = total_cores // n
+                if per_proc < 2:
+                    continue
+                for s in range(1, per_proc):
+                    configs.append((n, s, per_proc - s))
+        if not configs:
+            raise ValueError(f"no valid configurations for {total_cores} cores")
+        self.configs: list[Config] = configs
+        self._index = {cfg: i for i, cfg in enumerate(configs)}
+        self._max_n = max(n for n, _, _ in configs)
+
+    @classmethod
+    def for_platform(cls, platform: PlatformSpec, **kwargs) -> "ConfigSpace":
+        return cls(platform.total_cores, **kwargs)
+
+    @classmethod
+    def full3d(cls, total_cores: int, *, max_processes: int = 8) -> "ConfigSpace":
+        """The 3-D design space: ``t`` free, cores may stay idle.
+
+        Every ``(n, s, t)`` with ``n * (s + t) <= total_cores`` is a
+        candidate — the exponential growth the paper's Sec. VII-B warns
+        pruning-based search about (e.g. ~9000 points on 112 cores vs the
+        canonical 295).
+        """
+        total_cores = check_positive_int(total_cores, "total_cores")
+        max_processes = check_positive_int(max_processes, "max_processes")
+        configs: list[Config] = []
+        for n in range(1, max_processes + 1):
+            budget = total_cores // n
+            if budget < 2:
+                continue
+            for s in range(1, budget):
+                for t in range(1, budget - s + 1):
+                    configs.append((n, s, t))
+        return cls(
+            total_cores,
+            max_processes=max_processes,
+            _configs=configs,
+            _three_d=True,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+    def __contains__(self, cfg) -> bool:
+        return tuple(cfg) in self._index
+
+    def index(self, cfg: Config) -> int:
+        return self._index[tuple(cfg)]
+
+    def paper_budget(self, fraction: float = 0.05) -> int:
+        """Search budget covering ``fraction`` of the space (paper: 5-6%)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return max(3, int(round(fraction * len(self))))
+
+    # ------------------------------------------------------------------
+    def features(self) -> np.ndarray:
+        """Normalised surrogate features, one row per config.
+
+        Canonical spaces use 2 dims (log process count, sampling split);
+        3-D spaces add core utilisation ``n (s + t) / total`` as a third
+        coordinate (otherwise distinct configs would collide).
+        """
+        d = 3 if self.three_d else 2
+        feats = np.zeros((len(self.configs), d), dtype=np.float64)
+        log_max = np.log2(max(self._max_n, 2))
+        for i, (n, s, t) in enumerate(self.configs):
+            feats[i, 0] = np.log2(n) / log_max
+            feats[i, 1] = s / (s + t)
+            if self.three_d:
+                feats[i, 2] = n * (s + t) / self.total_cores
+        return feats
+
+    def neighbors(self, cfg: Config) -> list[Config]:
+        """Adjacent configurations (simulated-annealing moves).
+
+        Moves: shift the sampling/training split by ±1, or change the
+        process count by one step (re-scaling the split fraction).
+        """
+        n, s, t = cfg
+        if cfg not in self:
+            raise KeyError(f"{cfg} not in space")
+        out: list[Config] = []
+        for ds in (-1, 1):
+            cand = (n, s + ds, t - ds)
+            if cand in self:
+                out.append(cand)
+        if self.three_d:
+            # the utilisation axis: grow/shrink one side independently
+            for cand in ((n, s + 1, t), (n, s - 1, t), (n, s, t + 1), (n, s, t - 1)):
+                if cand in self and cand not in out:
+                    out.append(cand)
+        idx = self.process_counts.index(n)
+        frac = s / (s + t)
+        for dn in (-1, 1):
+            j = idx + dn
+            if 0 <= j < len(self.process_counts):
+                n2 = self.process_counts[j]
+                per = self.total_cores // n2
+                if per >= 2:
+                    s2 = min(per - 1, max(1, int(round(frac * per))))
+                    cand = (n2, s2, per - s2)
+                    if cand in self:
+                        out.append(cand)
+        return out
+
+    def random_config(self, rng: np.random.Generator) -> Config:
+        return self.configs[int(rng.integers(len(self.configs)))]

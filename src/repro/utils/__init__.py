@@ -1,0 +1,23 @@
+"""Shared utilities: seeded RNG management, timers, validation helpers."""
+
+from repro.utils.rng import RngMixin, derive_rng, spawn_seeds
+from repro.utils.timer import Timer, WallClock, VirtualClock
+from repro.utils.validation import (
+    check_positive_int,
+    check_nonneg_int,
+    check_probability,
+    check_in,
+)
+
+__all__ = [
+    "RngMixin",
+    "derive_rng",
+    "spawn_seeds",
+    "Timer",
+    "WallClock",
+    "VirtualClock",
+    "check_positive_int",
+    "check_nonneg_int",
+    "check_probability",
+    "check_in",
+]

@@ -1,0 +1,72 @@
+"""Wall-clock and virtual clocks.
+
+The ARGO runtime needs two notions of time:
+
+* ``WallClock`` — real ``perf_counter`` time, used when actually executing
+  numpy training (correctness / convergence experiments).
+* ``VirtualClock`` — an advanceable clock used by the platform simulator so
+  that simulated epoch times are deterministic and independent of the host.
+
+``Timer`` is a small context-manager accumulator usable with either clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["WallClock", "VirtualClock", "Timer"]
+
+
+class WallClock:
+    """Monotonic wall-clock based on :func:`time.perf_counter`."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def advance(self, dt: float) -> None:  # pragma: no cover - no-op by design
+        """Wall clocks cannot be advanced; provided for interface parity."""
+
+
+class VirtualClock:
+    """A manually-advanced clock for deterministic simulation."""
+
+    def __init__(self, start: float = 0.0):
+        self._t = float(start)
+
+    def now(self) -> float:
+        return self._t
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._t += float(dt)
+
+
+@dataclass
+class Timer:
+    """Accumulating timer; ``with timer: ...`` adds elapsed time to total."""
+
+    clock: WallClock | VirtualClock = field(default_factory=WallClock)
+    total: float = 0.0
+    count: int = 0
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = self.clock.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.total += self.clock.now() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._start = None

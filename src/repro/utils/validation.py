@@ -1,0 +1,52 @@
+"""Lightweight argument validation with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Collection
+
+__all__ = [
+    "check_positive_int",
+    "check_nonneg_int",
+    "check_probability",
+    "check_in",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as int, raising ``ValueError`` unless it is >= 1."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        try:
+            ivalue = int(value)
+        except (TypeError, ValueError):
+            raise TypeError(f"{name} must be an integer, got {value!r}") from None
+        if ivalue != value:
+            raise TypeError(f"{name} must be an integer, got {value!r}")
+        value = ivalue
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonneg_int(value: Any, name: str) -> int:
+    """Return ``value`` as int, raising ``ValueError`` unless it is >= 0."""
+    if isinstance(value, bool) or (not isinstance(value, int) and int(value) != value):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Return ``value`` as float in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in(value: Any, options: Collection, name: str):
+    """Raise ``ValueError`` unless ``value`` is one of ``options``."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {sorted(map(str, options))}, got {value!r}")
+    return value

@@ -1,0 +1,26 @@
+"""Workload measurement: the sampled-edge / byte / FLOP accounting that
+feeds the platform cost model.
+
+The paper quantifies GNN training workload by the number of sampled edges
+(Fig. 6: "the number of aggregations performed is proportional to the
+number of edges") and shows it *grows* with the number of processes
+because smaller per-process mini-batches share fewer neighbours (Fig. 5).
+:func:`measure_workload` measures exactly that from the real samplers in
+:mod:`repro.sampling`; :class:`WorkloadModel` interpolates measurements
+across batch sizes and converts them to bytes/FLOPs for a model's layer
+dimensions.
+"""
+
+from repro.workload.stats import (
+    WorkloadSample,
+    measure_workload,
+    duplicate_aggregation_count,
+)
+from repro.workload.model import WorkloadModel
+
+__all__ = [
+    "WorkloadSample",
+    "measure_workload",
+    "duplicate_aggregation_count",
+    "WorkloadModel",
+]

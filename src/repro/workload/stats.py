@@ -1,0 +1,121 @@
+"""Measured workload statistics from the real samplers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.datasets import GNNDataset
+from repro.sampling.base import Sampler
+from repro.utils.rng import derive_rng
+
+__all__ = ["WorkloadSample", "measure_workload", "duplicate_aggregation_count"]
+
+
+@dataclass(frozen=True)
+class WorkloadSample:
+    """Mean per-iteration workload at one batch size.
+
+    ``layer_edges``/``layer_rows`` are in model order (input layer first):
+    ``layer_rows[l]`` is the number of destination rows the layer-``l``
+    feature-update GEMM processes; ``layer_edges[l]`` the number of
+    aggregation edges feeding it.
+    """
+
+    batch_size: int
+    edges_per_iter: float
+    input_nodes_per_iter: float
+    layer_edges: tuple[float, ...]
+    layer_rows: tuple[float, ...]
+    #: edges of the *distinct* sampled structures — for neighbour sampling
+    #: every block is sampled separately (== edges_per_iter), but ShaDow
+    #: builds one subgraph and reuses it for all layers, so the sampler
+    #: only pays for it once even though aggregation runs L times.
+    structure_edges_per_iter: float = 0.0
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_edges)
+
+
+def measure_workload(
+    dataset: GNNDataset,
+    sampler: Sampler,
+    batch_size: int,
+    *,
+    num_batches: int = 8,
+    seed: int = 0,
+) -> WorkloadSample:
+    """Sample ``num_batches`` mini-batches and average their block sizes.
+
+    Seeds are drawn from the full node set (workload characterisation does
+    not care about the train/test split), without replacement within a
+    batch.  Deterministic in ``seed``.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if num_batches < 1:
+        raise ValueError(f"num_batches must be >= 1, got {num_batches}")
+    n = dataset.num_nodes
+    bs = min(batch_size, n)
+    rng = derive_rng(seed, "workload", dataset.name, sampler.name, batch_size)
+    edges = np.zeros(num_batches)
+    structure_edges = np.zeros(num_batches)
+    inputs = np.zeros(num_batches)
+    layer_edges = None
+    layer_rows = None
+    for i in range(num_batches):
+        seeds = rng.choice(n, size=bs, replace=False)
+        batch = sampler.sample(dataset.graph, seeds, rng=rng)
+        edges[i] = batch.total_edges
+        # distinct structures: ShaDow reuses one Block object across layers
+        structure_edges[i] = sum(
+            blk.num_edges for blk in {id(b): b for b in batch.blocks}.values()
+        )
+        inputs[i] = batch.blocks[0].num_src
+        if layer_edges is None:
+            layer_edges = np.zeros((num_batches, batch.num_layers))
+            layer_rows = np.zeros((num_batches, batch.num_layers))
+        for l, blk in enumerate(batch.blocks):
+            layer_edges[i, l] = blk.num_edges
+            layer_rows[i, l] = blk.num_dst
+    return WorkloadSample(
+        batch_size=batch_size,
+        edges_per_iter=float(edges.mean()),
+        input_nodes_per_iter=float(inputs.mean()),
+        layer_edges=tuple(layer_edges.mean(axis=0)),
+        layer_rows=tuple(layer_rows.mean(axis=0)),
+        structure_edges_per_iter=float(structure_edges.mean()),
+    )
+
+
+def duplicate_aggregation_count(
+    dataset: GNNDataset,
+    sampler: Sampler,
+    batch_size: int,
+    num_splits: int,
+    *,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Quantify the paper's Figure 5 effect on real data.
+
+    Samples one batch of ``batch_size`` seeds as a whole and again split
+    into ``num_splits`` sub-batches, returning
+    ``(edges_whole, edges_split_total)``.  Splitting loses shared
+    neighbours, so ``edges_split_total >= edges_whole`` in expectation —
+    the workload-inflation mechanism behind Fig. 6.
+    """
+    if num_splits < 1 or num_splits > batch_size:
+        raise ValueError("need 1 <= num_splits <= batch_size")
+    n = dataset.num_nodes
+    bs = min(batch_size, n)
+    rng = derive_rng(seed, "fig5", dataset.name, batch_size, num_splits)
+    seeds = rng.choice(n, size=bs, replace=False)
+    whole = sampler.sample(dataset.graph, seeds, rng=derive_rng(seed, "w")).total_edges
+    split_total = 0
+    for part in np.array_split(seeds, num_splits):
+        split_total += sampler.sample(
+            dataset.graph, part, rng=derive_rng(seed, "s", len(part))
+        ).total_edges
+    return float(whole), float(split_total)

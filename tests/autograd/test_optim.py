@@ -1,0 +1,104 @@
+"""Optimizer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.module import Parameter
+from repro.autograd.optim import SGD, Adam
+from repro.autograd.tensor import Tensor
+
+
+def quadratic_params():
+    """One parameter minimising f(w) = ||w - 3||^2."""
+    return Parameter(np.zeros(4, dtype=np.float32))
+
+
+def grad_of(p):
+    return 2.0 * (p.data - 3.0)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0, 2.0], dtype=np.float32))
+        p.grad = np.array([0.5, -0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(2))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0, 1.0])
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_params(), quadratic_params()
+        plain, mom = SGD([p1], lr=0.01), SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            p1.grad, p2.grad = grad_of(p1), grad_of(p2)
+            plain.step()
+            mom.step()
+        assert np.abs(p2.data - 3.0).sum() < np.abs(p1.data - 3.0).sum()
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(3))
+        p.grad = np.zeros(3, dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=1.0).step()
+        assert np.all(p.data < 1.0)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            p.grad = grad_of(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            p.grad = grad_of(p)
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction the first Adam step is ~lr in each coord."""
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([1.0, -2.0, 0.5], dtype=np.float32)
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(np.abs(p.data), 0.01, rtol=1e-3)
+
+    def test_zero_grad_helper(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.ones(3, dtype=np.float32)
+        opt = Adam([p], lr=0.01)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.9))
+
+    def test_deterministic_given_grads(self):
+        def run():
+            p = Parameter(np.zeros(3))
+            opt = Adam([p], lr=0.05)
+            for i in range(10):
+                p.grad = np.full(3, 0.1 * (i + 1), dtype=np.float32)
+                opt.step()
+            return p.data.copy()
+
+        np.testing.assert_array_equal(run(), run())

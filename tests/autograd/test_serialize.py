@@ -1,0 +1,55 @@
+"""Model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.module import Linear, Module
+from repro.autograd.serialize import load_module, save_module
+
+
+class Net(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(seed))
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(seed + 1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestSerialize:
+    def test_roundtrip(self, tmp_path):
+        a, b = Net(seed=0), Net(seed=99)
+        path = save_module(a, tmp_path / "model")
+        load_module(b, path)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_npz_suffix_added(self, tmp_path):
+        path = save_module(Net(), tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_load_into_mismatched_model_fails(self, tmp_path):
+        path = save_module(Net(), tmp_path / "m")
+        other = Linear(3, 3)
+        with pytest.raises(KeyError):
+            load_module(other, path)
+
+    def test_empty_module_rejected(self, tmp_path):
+        class Empty(Module):
+            pass
+
+        with pytest.raises(ValueError):
+            save_module(Empty(), tmp_path / "e")
+
+    def test_gnn_model_roundtrip(self, tmp_path, tiny_dataset):
+        from repro.gnn.models import build_model
+
+        m1 = build_model("sage", tiny_dataset.layer_dims(2), seed=0)
+        m2 = build_model("sage", tiny_dataset.layer_dims(2), seed=5)
+        path = save_module(m1, tmp_path / "sage")
+        load_module(m2, path)
+        assert all(
+            np.array_equal(v, m2.state_dict()[k]) for k, v in m1.state_dict().items()
+        )

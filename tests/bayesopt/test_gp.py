@@ -1,0 +1,108 @@
+"""Gaussian-process regression correctness."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.gp import GaussianProcessRegressor
+from repro.bayesopt.kernels import RBF, Matern52
+
+
+def toy_data(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 1))
+    y = np.sin(6 * X[:, 0]) + 0.01 * rng.standard_normal(n)
+    return X, y
+
+
+class TestFitPredict:
+    def test_interpolates_training_points(self):
+        X, y = toy_data()
+        gp = GaussianProcessRegressor(noise=1e-6, optimize_hypers=False, kernel=RBF(ell=0.2))
+        gp.fit(X, y)
+        mean, std = gp.predict(X)
+        np.testing.assert_allclose(mean, y, atol=5e-2)
+
+    def test_uncertainty_grows_away_from_data(self):
+        X, y = toy_data()
+        gp = GaussianProcessRegressor(kernel=Matern52(ell=0.15), optimize_hypers=False)
+        gp.fit(X, y)
+        _, std_near = gp.predict(X[:1])
+        _, std_far = gp.predict(np.array([[5.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 1)))
+
+    def test_mean_only_mode(self):
+        X, y = toy_data()
+        gp = GaussianProcessRegressor().fit(X, y)
+        mean = gp.predict(X, return_std=False)
+        assert mean.shape == (len(X),)
+
+    def test_scale_invariance_through_standardisation(self):
+        """Predictions must track targets scaled by 1000x (epoch times
+        range from ~1s to ~400s across the paper's tasks)."""
+        X, y = toy_data()
+        gp1 = GaussianProcessRegressor().fit(X, y)
+        gp2 = GaussianProcessRegressor().fit(X, 1000 * y)
+        m1, _ = gp1.predict(X)
+        m2, _ = gp2.predict(X)
+        np.testing.assert_allclose(m2 / 1000, m1, atol=1e-2)
+
+    def test_constant_targets_handled(self):
+        X, _ = toy_data()
+        gp = GaussianProcessRegressor().fit(X, np.full(len(X), 3.0))
+        mean, std = gp.predict(X)
+        np.testing.assert_allclose(mean, 3.0, atol=1e-6)
+
+    def test_input_validation(self):
+        gp = GaussianProcessRegressor()
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((3, 1)), np.zeros(2))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((0, 1)), np.zeros(0))
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=0.0)
+
+
+class TestHyperparameterFitting:
+    def test_mle_improves_lml(self):
+        X, y = toy_data(n=20)
+        gp = GaussianProcessRegressor(kernel=Matern52(ell=2.0), optimize_hypers=True)
+        y_std = (y - y.mean()) / y.std()
+        before = gp.log_marginal_likelihood(X, y_std, Matern52(ell=2.0))
+        gp.fit(X, y)
+        after = gp.log_marginal_likelihood(X, y_std, gp.kernel)
+        assert after >= before
+
+    def test_lml_finite_for_reasonable_kernels(self):
+        X, y = toy_data()
+        gp = GaussianProcessRegressor()
+        y_std = (y - y.mean()) / y.std()
+        assert np.isfinite(gp.log_marginal_likelihood(X, y_std, Matern52(ell=0.3)))
+
+    def test_fit_learns_short_lengthscale_for_wiggly_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((30, 1))
+        y = np.sin(40 * X[:, 0])
+        gp = GaussianProcessRegressor(optimize_hypers=True)
+        gp.fit(X, y)
+        assert gp.kernel.ell < 0.5
+
+
+class TestPosteriorMath:
+    def test_matches_direct_formula(self):
+        """Cholesky pipeline must equal the textbook closed form."""
+        X, y = toy_data(n=8)
+        kern = RBF(sigma2=1.0, ell=0.3)
+        noise = 1e-3
+        gp = GaussianProcessRegressor(kernel=kern, noise=noise, optimize_hypers=False)
+        gp.fit(X, y)
+        Xq = np.linspace(0, 1, 5)[:, None]
+        mean, _ = gp.predict(Xq)
+
+        y_std = (y - y.mean()) / y.std()
+        K = kern(X, X) + (noise + 1e-10) * np.eye(len(X))
+        direct = kern(Xq, X) @ np.linalg.solve(K, y_std) * y.std() + y.mean()
+        np.testing.assert_allclose(mean, direct, rtol=1e-8)

@@ -1,0 +1,88 @@
+"""Kernel math: PSD-ness, limits, distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bayesopt.kernels import RBF, Matern52, pairwise_sqdist
+
+
+class TestPairwiseSqdist:
+    def test_known_values(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        d = pairwise_sqdist(a, b)
+        np.testing.assert_allclose(d, [[1.0], [2.0]])
+
+    def test_self_distance_zero(self):
+        x = np.random.default_rng(0).random((5, 3))
+        d = pairwise_sqdist(x, x)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-12)
+
+    def test_nonnegative(self):
+        x = np.random.default_rng(1).random((10, 2)) * 1000
+        assert pairwise_sqdist(x, x).min() >= 0.0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_sqdist(np.ones((2, 2)), np.ones((2, 3)))
+
+
+@pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+class TestKernels:
+    def test_diagonal_is_sigma2(self, kernel_cls):
+        k = kernel_cls(sigma2=2.5, ell=0.3)
+        x = np.random.default_rng(0).random((6, 2))
+        np.testing.assert_allclose(np.diag(k(x, x)), 2.5, rtol=1e-10)
+
+    def test_symmetry(self, kernel_cls):
+        k = kernel_cls()
+        x = np.random.default_rng(0).random((6, 2))
+        K = k(x, x)
+        np.testing.assert_allclose(K, K.T, rtol=1e-12)
+
+    def test_positive_semidefinite(self, kernel_cls):
+        k = kernel_cls()
+        x = np.random.default_rng(0).random((8, 2))
+        eig = np.linalg.eigvalsh(k(x, x))
+        assert eig.min() > -1e-8
+
+    def test_decays_with_distance(self, kernel_cls):
+        k = kernel_cls(ell=0.2)
+        a = np.array([[0.0]])
+        near, far = np.array([[0.1]]), np.array([[1.0]])
+        assert k(a, near)[0, 0] > k(a, far)[0, 0]
+
+    def test_with_params(self, kernel_cls):
+        k = kernel_cls().with_params(4.0, 0.5)
+        assert isinstance(k, kernel_cls)
+        assert k.sigma2 == 4.0 and k.ell == 0.5
+
+    def test_diag_matches_gram_diagonal(self, kernel_cls):
+        """diag() must equal the Gram diagonal without building the Gram
+        matrix (the acquisition scan relies on this for large spaces)."""
+        k = kernel_cls(sigma2=1.7)
+        x = np.random.default_rng(0).random((7, 3))
+        np.testing.assert_allclose(k.diag(x), np.diag(k(x, x)), rtol=1e-12)
+
+    def test_rejects_bad_params(self, kernel_cls):
+        with pytest.raises(ValueError):
+            kernel_cls(sigma2=0.0)
+        with pytest.raises(ValueError):
+            kernel_cls(ell=-1.0)
+
+    @given(hnp.arrays(np.float64, (4, 2), elements=st.floats(0, 1)))
+    @settings(max_examples=25, deadline=None)
+    def test_property_gram_psd(self, kernel_cls, x):
+        K = kernel_cls()(x, x)
+        assert np.linalg.eigvalsh(K).min() > -1e-8
+
+
+class TestKernelDifferences:
+    def test_matern_heavier_tail_than_rbf(self):
+        """At moderate distance the Matérn keeps more correlation."""
+        r = np.array([[0.0]]), np.array([[1.2]])
+        rbf = RBF(ell=0.3)(r[0], r[1])[0, 0]
+        mat = Matern52(ell=0.3)(r[0], r[1])[0, 0]
+        assert mat > rbf

@@ -1,0 +1,123 @@
+"""BayesianOptimizer over finite candidate sets."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.optimizer import BayesianOptimizer
+
+
+def grid_candidates(n=60):
+    return np.linspace(0, 1, n)[:, None]
+
+
+def objective_on(candidates):
+    """Smooth multimodal 1-D function; global min near x=0.72."""
+
+    def f(idx):
+        x = candidates[idx, 0]
+        return np.sin(5 * x) + 0.5 * (x - 0.7) ** 2
+
+    return f
+
+
+class TestAskTell:
+    def test_initial_design_is_random_unique(self):
+        cands = grid_candidates()
+        bo = BayesianOptimizer(cands, n_initial=5, rng=0)
+        seen = []
+        for _ in range(5):
+            idx = bo.ask()
+            assert idx not in seen
+            seen.append(idx)
+            bo.tell(idx, float(idx))
+
+    def test_never_repeats_until_exhausted(self):
+        cands = grid_candidates(10)
+        bo = BayesianOptimizer(cands, n_initial=3, rng=0)
+        f = objective_on(cands)
+        seen = set()
+        for _ in range(10):
+            idx = bo.ask()
+            assert idx not in seen
+            seen.add(idx)
+            bo.tell(idx, f(idx))
+        # space exhausted: returns incumbent
+        assert bo.ask() == bo.best_index
+
+    def test_tell_validates(self):
+        bo = BayesianOptimizer(grid_candidates(), rng=0)
+        with pytest.raises(IndexError):
+            bo.tell(999, 1.0)
+        with pytest.raises(ValueError):
+            bo.tell(0, float("nan"))
+
+    def test_best_tracking(self):
+        bo = BayesianOptimizer(grid_candidates(), rng=0)
+        bo.tell(3, 5.0)
+        bo.tell(7, 2.0)
+        bo.tell(9, 4.0)
+        assert bo.best_index == 7
+        assert bo.best_value == 2.0
+
+    def test_best_before_observations_raises(self):
+        bo = BayesianOptimizer(grid_candidates(), rng=0)
+        with pytest.raises(RuntimeError):
+            _ = bo.best_index
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(np.zeros((0, 2)))
+
+    def test_rejects_unknown_acquisition(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(grid_candidates(), acquisition="thompson")
+
+
+class TestMinimize:
+    def test_finds_near_optimum_with_small_budget(self):
+        cands = grid_candidates(80)
+        f = objective_on(cands)
+        truth = min(f(i) for i in range(len(cands)))
+        bo = BayesianOptimizer(cands, n_initial=5, rng=1)
+        _, best = bo.minimize(f, budget=16)  # 20% of the space
+        assert best <= truth + 0.05
+
+    def test_beats_random_search_on_average(self):
+        """The paper's core tuner claim: BO > random at equal budget."""
+        cands = grid_candidates(100)
+        f = objective_on(cands)
+        budget = 12
+        bo_vals, rand_vals = [], []
+        for seed in range(6):
+            bo = BayesianOptimizer(cands, n_initial=4, rng=seed)
+            _, val = bo.minimize(f, budget=budget)
+            bo_vals.append(val)
+            rng = np.random.default_rng(seed)
+            picks = rng.choice(len(cands), size=budget, replace=False)
+            rand_vals.append(min(f(i) for i in picks))
+        assert np.mean(bo_vals) <= np.mean(rand_vals) + 1e-9
+
+    def test_deterministic_in_seed(self):
+        cands = grid_candidates(50)
+        f = objective_on(cands)
+        a = BayesianOptimizer(cands, rng=3).minimize(f, budget=10)
+        b = BayesianOptimizer(cands, rng=3).minimize(f, budget=10)
+        assert a == b
+
+    def test_rejects_zero_budget(self):
+        bo = BayesianOptimizer(grid_candidates(), rng=0)
+        with pytest.raises(ValueError):
+            bo.minimize(lambda i: 1.0, budget=0)
+
+    def test_handles_noisy_objective(self):
+        cands = grid_candidates(60)
+        f = objective_on(cands)
+        rng = np.random.default_rng(0)
+
+        def noisy(idx):
+            return f(idx) * (1 + 0.02 * rng.standard_normal())
+
+        bo = BayesianOptimizer(cands, n_initial=5, noise=1e-2, rng=2)
+        _, best = bo.minimize(noisy, budget=15)
+        truth = min(f(i) for i in range(len(cands)))
+        assert best < truth + 0.2

@@ -1,0 +1,112 @@
+"""The ARGO wrapper (Listing 1/3 usage)."""
+
+import numpy as np
+import pytest
+
+from repro.core.argo import ARGO
+from repro.core.config import RuntimeConfig
+from repro.platform.simulator import SimulatedRuntime
+from repro.tuning.space import ConfigSpace
+
+
+@pytest.fixture
+def space():
+    return ConfigSpace(64)
+
+
+def simulated_train_fn(runtime):
+    """A Listing-3-style train function backed by the simulator."""
+
+    def train(*, config: RuntimeConfig, epochs: int):
+        return [runtime.measure_epoch(config.as_tuple()) for _ in range(epochs)]
+
+    return train
+
+
+class TestConstruction:
+    def test_default_budget_is_5pct(self, space):
+        runtime = ARGO(epoch=200, space=space)
+        assert runtime.n_search == space.paper_budget()
+
+    def test_rejects_search_budget_ge_epochs(self, space):
+        with pytest.raises(ValueError):
+            ARGO(n_search=10, epoch=10, space=space)
+
+    def test_rejects_bad_epoch(self, space):
+        with pytest.raises(ValueError):
+            ARGO(n_search=1, epoch=0, space=space)
+
+
+class TestRun:
+    def test_full_run_structure(self, dgl_cost_model, space):
+        rt = SimulatedRuntime(dgl_cost_model, seed=0)
+        runtime = ARGO(n_search=6, epoch=20, space=space, seed=0)
+        result = runtime.run(simulated_train_fn(rt))
+        assert result.total_epochs == 20
+        assert result.search_epochs == 6
+        assert len(result.search_history) == 6
+        assert len(result.exploit_epoch_times) == 14
+        assert result.best_config.as_tuple() in space
+
+    def test_total_time_includes_search_and_overhead(self, dgl_cost_model, space):
+        """Fig. 10/11 end-to-end time counts the sub-optimal search epochs
+        AND tuner overhead."""
+        rt = SimulatedRuntime(dgl_cost_model, seed=0)
+        runtime = ARGO(n_search=6, epoch=20, space=space, seed=0)
+        result = runtime.run(simulated_train_fn(rt))
+        parts = (
+            sum(t for _, t in result.search_history)
+            + sum(result.exploit_epoch_times)
+            + result.tuner_overhead_seconds
+        )
+        assert result.total_time == pytest.approx(parts)
+
+    def test_exploit_config_is_search_best(self, dgl_cost_model, space):
+        rt = SimulatedRuntime(dgl_cost_model, seed=0)
+        runtime = ARGO(n_search=6, epoch=10, space=space, seed=0)
+        result = runtime.run(simulated_train_fn(rt))
+        best_searched = min(result.search_history, key=lambda cv: cv[1])[0]
+        assert result.best_config.as_tuple() == best_searched
+
+    def test_train_fn_receives_config_and_epochs(self, dgl_cost_model, space):
+        rt = SimulatedRuntime(dgl_cost_model, seed=0)
+        calls = []
+
+        def train(*, config, epochs):
+            calls.append((config.as_tuple(), epochs))
+            return [rt.measure_epoch(config.as_tuple()) for _ in range(epochs)]
+
+        ARGO(n_search=4, epoch=10, space=space, seed=0).run(train)
+        assert len(calls) == 5  # 4 single-epoch searches + 1 exploit call
+        assert all(e == 1 for _, e in calls[:4])
+        assert calls[-1][1] == 6
+
+    def test_scalar_return_accepted_for_single_epoch(self, dgl_cost_model, space):
+        rt = SimulatedRuntime(dgl_cost_model, seed=0)
+
+        def train(*, config, epochs):
+            if epochs == 1:
+                return rt.measure_epoch(config.as_tuple())
+            return [rt.measure_epoch(config.as_tuple()) for _ in range(epochs)]
+
+        result = ARGO(n_search=3, epoch=6, space=space, seed=0).run(train)
+        assert len(result.search_history) == 3
+
+    def test_wrong_epoch_count_rejected(self, dgl_cost_model, space):
+        def train(*, config, epochs):
+            return [1.0]  # always one epoch time
+
+        runtime = ARGO(n_search=3, epoch=10, space=space, seed=0)
+        with pytest.raises(ValueError):
+            runtime.run(train)
+
+    def test_positional_args_forwarded(self, dgl_cost_model, space):
+        rt = SimulatedRuntime(dgl_cost_model, seed=0)
+        seen = []
+
+        def train(tag, *, config, epochs):
+            seen.append(tag)
+            return [rt.measure_epoch(config.as_tuple())] * epochs
+
+        ARGO(n_search=3, epoch=5, space=space, seed=0).run(train, args=("hello",))
+        assert seen and all(s == "hello" for s in seen)

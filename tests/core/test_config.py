@@ -1,0 +1,29 @@
+"""RuntimeConfig record."""
+
+import pytest
+
+from repro.core.config import RuntimeConfig
+
+
+class TestRuntimeConfig:
+    def test_fields_and_derived(self):
+        cfg = RuntimeConfig(4, 2, 6)
+        assert cfg.cores_per_process == 8
+        assert cfg.total_cores == 32
+
+    def test_tuple_roundtrip(self):
+        cfg = RuntimeConfig.from_tuple((2, 3, 5))
+        assert cfg.as_tuple() == (2, 3, 5)
+
+    def test_frozen(self):
+        cfg = RuntimeConfig(1, 1, 1)
+        with pytest.raises(Exception):
+            cfg.num_processes = 2
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            RuntimeConfig(*bad)
+
+    def test_str(self):
+        assert str(RuntimeConfig(2, 3, 5)) == "(n=2, samp=3, train=5)"

@@ -1,0 +1,66 @@
+"""make_train_fn / evaluate_accuracy helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.core.train_loop import evaluate_accuracy, make_train_fn
+from repro.gnn.models import make_task
+
+
+@pytest.fixture
+def task(tiny_dataset):
+    return make_task("neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5])
+
+
+class TestMakeTrainFn:
+    def test_returns_epoch_times(self, tiny_dataset, task):
+        sampler, model = task
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=64)
+        times = train(config=RuntimeConfig(2, 1, 1), epochs=2)
+        assert len(times) == 2
+        assert all(t > 0 for t in times)
+
+    def test_weights_persist_across_calls(self, tiny_dataset, task):
+        """Re-launching with a different process count must continue
+        training the same model (paper: tuner re-launches the train fn)."""
+        sampler, model = task
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=64)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        train(config=RuntimeConfig(1, 1, 1), epochs=1)
+        mid = {k: v.copy() for k, v in model.state_dict().items()}
+        train(config=RuntimeConfig(4, 1, 1), epochs=1)
+        after = model.state_dict()
+        assert any(not np.array_equal(before[k], mid[k]) for k in before)
+        assert any(not np.array_equal(mid[k], after[k]) for k in mid)
+
+    def test_learning_progresses_across_relaunches(self, tiny_dataset, task):
+        sampler, model = task
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=128)
+        acc0 = evaluate_accuracy(tiny_dataset, sampler, model, seed=0)
+        for cfg in [(1, 1, 1), (2, 1, 1), (4, 1, 1), (2, 1, 1)]:
+            train(config=RuntimeConfig(*cfg), epochs=2)
+        acc1 = evaluate_accuracy(tiny_dataset, sampler, model, seed=0)
+        assert acc1 > acc0
+
+
+class TestEvaluateAccuracy:
+    def test_unit_interval(self, tiny_dataset, task):
+        sampler, model = task
+        acc = evaluate_accuracy(tiny_dataset, sampler, model)
+        assert 0.0 <= acc <= 1.0
+
+    def test_respects_max_nodes(self, tiny_dataset, task):
+        sampler, model = task
+        acc = evaluate_accuracy(tiny_dataset, sampler, model, max_nodes=16)
+        assert 0.0 <= acc <= 1.0
+
+    def test_empty_nodes(self, tiny_dataset, task):
+        sampler, model = task
+        assert evaluate_accuracy(tiny_dataset, sampler, model, nodes=np.array([])) == 0.0
+
+    def test_restores_training_mode(self, tiny_dataset, task):
+        sampler, model = task
+        model.train()
+        evaluate_accuracy(tiny_dataset, sampler, model)
+        assert model.training

@@ -1,0 +1,70 @@
+"""Figure/table series builders (on small cached setups)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig1_baseline_scalability,
+    fig2_time_traces,
+    fig6_workload_bandwidth,
+    fig7_landscape,
+    fig9_convergence,
+)
+from repro.experiments.setups import ExperimentSetup
+from repro.experiments.tables import table4_5_row, table6_search_budgets
+
+
+class TestFigureBuilders:
+    def test_fig1_structure(self):
+        data = fig1_baseline_scalability("flickr", "sapphire")
+        assert data["cores"][0] == 4
+        assert data["cores"][-1] == 64
+        assert set(data["speedup"]) == {"DGL", "PYG"}
+        for series in data["speedup"].values():
+            assert series[0] == pytest.approx(1.0)
+
+    def test_fig2_traces(self):
+        traces = fig2_time_traces("flickr", "sapphire")
+        assert traces["single"].makespan > 0
+        assert len(traces["dual"].for_process(1)) > 0
+
+    def test_fig6_rows(self):
+        rows = fig6_workload_bandwidth("flickr", "sapphire")
+        assert [r["processes"] for r in rows][:2] == [1, 2]
+        assert all(r["epoch_time"] > 0 for r in rows)
+
+    def test_fig7_landscape(self):
+        res = fig7_landscape(ExperimentSetup("neighbor-sage", "flickr", "sapphire", "dgl"))
+        assert res["best"] in res["grid"]
+        assert res["grid"][res["best"]] == min(res["grid"].values())
+
+    def test_fig9_runs_real_training(self):
+        data = fig9_convergence(
+            dataset="flickr",
+            process_counts=(1, 2),
+            epochs=2,
+            scale_override=9,
+            global_batch=32,
+        )
+        assert set(data["curves"]) == {"DGL", "ARGO:2"}
+        for curve in data["curves"].values():
+            assert len(curve) == 3  # initial + one per epoch
+            assert all(0 <= acc <= 1 for _, acc in curve)
+
+
+class TestTableBuilders:
+    def test_table_row_fields(self):
+        row = table4_5_row(
+            ExperimentSetup("neighbor-sage", "flickr", "sapphire", "dgl"), sa_repeats=2
+        )
+        assert row["exhaustive"] <= row["default"]
+        assert row["exhaustive"] <= row["auto_tuner"] * 1.001
+        assert 0 < row["auto_tuner_ratio"] <= 1.001
+        assert row["sim_anneal_std"] >= 0
+        assert row["best_config"] is not None
+
+    def test_table6_rows(self):
+        rows = table6_search_budgets()
+        assert len(rows) == 4
+        for r in rows:
+            assert r["space_size"] < r["paper_space_size"]
+            assert 0.04 <= r["fraction"] <= 0.07

@@ -1,0 +1,70 @@
+"""ASCII rendering helpers."""
+
+import pytest
+
+from repro.experiments.reporting import render_heatmap, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [3, 40.123]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_number_formatting(self):
+        out = render_table(["x"], [[0.00123], [12.3456], [1234.5]])
+        assert "0.001" in out
+        assert "12.35" in out
+        assert "1234.5" in out
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+    def test_column_alignment(self):
+        out = render_table(["name", "v"], [["long-setup-name", 1.0], ["x", 2.0]])
+        lines = out.splitlines()
+        # all data rows have the same separator position
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+
+class TestRenderSeries:
+    def test_one_row_per_series_per_x(self):
+        out = render_series([1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}, title="S")
+        assert out.count("a |") + out.count("a  |") >= 0  # names present
+        assert out.count("#") > 0
+        assert "S" in out
+
+    def test_bars_scale_with_values(self):
+        out = render_series([1], {"big": [10.0], "small": [1.0]}, width=40)
+        lines = [l for l in out.splitlines() if "#" in l]
+        big = next(l for l in lines if "big" in l)
+        small = next(l for l in lines if "small" in l)
+        assert big.count("#") > small.count("#")
+
+
+class TestRenderHeatmap:
+    def test_empty(self):
+        assert "empty" in render_heatmap({})
+
+    def test_shades_cover_range(self):
+        grid = {(x, y): float(x + y) for x in range(1, 5) for y in range(1, 4)}
+        out = render_heatmap(grid, invert=False)
+        assert "@" in out  # the max renders darkest glyph
+        assert "x=1..4" in out
+
+    def test_invert_marks_minimum_dark(self):
+        grid = {(1, 1): 0.0, (2, 1): 100.0}
+        out = render_heatmap(grid, invert=True)
+        row = [l for l in out.splitlines() if l.strip().startswith("1 |")][0]
+        # the low-value cell (good) should be the dark glyph
+        assert "@" in row
+
+    def test_constant_grid_no_crash(self):
+        grid = {(1, 1): 5.0, (2, 1): 5.0}
+        out = render_heatmap(grid)
+        assert "|" in out

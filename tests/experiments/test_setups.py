@@ -1,0 +1,56 @@
+"""Experiment setup plumbing."""
+
+import pytest
+
+from repro.experiments.setups import (
+    DATASET_NAMES,
+    PAPER_SETUPS,
+    ExperimentSetup,
+    build_runtime,
+)
+from repro.platform.simulator import SimulatedRuntime
+from repro.tuning.space import ConfigSpace
+
+
+class TestExperimentSetup:
+    def test_full_matrix_size(self):
+        assert len(PAPER_SETUPS) == 2 * 4 * 2 * 2
+
+    def test_label(self):
+        s = ExperimentSetup("neighbor-sage", "reddit", "icelake", "dgl")
+        assert s.label == "DGL-neighbor-sage-reddit@icelake"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(task="cluster", dataset="reddit", platform="icelake", library="dgl"),
+            dict(task="neighbor-sage", dataset="reddit", platform="arm", library="dgl"),
+            dict(task="neighbor-sage", dataset="reddit", platform="icelake", library="jax"),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ExperimentSetup(**bad)
+
+
+class TestBuildRuntime:
+    def test_returns_runtime_and_space(self):
+        rt, space = build_runtime(
+            ExperimentSetup("neighbor-sage", "flickr", "sapphire", "dgl")
+        )
+        assert isinstance(rt, SimulatedRuntime)
+        assert isinstance(space, ConfigSpace)
+        assert space.total_cores == 64
+
+    def test_caching_shares_workload(self):
+        a, _ = build_runtime(ExperimentSetup("neighbor-sage", "flickr", "icelake", "dgl"))
+        b, _ = build_runtime(ExperimentSetup("neighbor-sage", "flickr", "sapphire", "pyg"))
+        assert a.cost_model.workload is b.cost_model.workload
+
+    def test_different_tasks_get_different_workloads(self):
+        a, _ = build_runtime(ExperimentSetup("neighbor-sage", "flickr", "icelake", "dgl"))
+        b, _ = build_runtime(ExperimentSetup("shadow-gcn", "flickr", "icelake", "dgl"))
+        assert a.cost_model.workload is not b.cost_model.workload
+
+    def test_dataset_names_cover_table3(self):
+        assert DATASET_NAMES == ["flickr", "reddit", "ogbn-products", "ogbn-papers100M"]

@@ -1,0 +1,138 @@
+"""GAT layer + segment softmax (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.gnn.gat import GAT, GATConv, leaky_relu
+from repro.gnn.segment import segment_softmax
+from repro.sampling.block import Block
+from repro.sampling.neighbor import NeighborSampler
+from tests.autograd.test_gradcheck import check_op
+
+
+class TestSegmentSoftmax:
+    def test_sums_to_one_per_segment(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.standard_normal(20))
+        seg = rng.integers(0, 5, size=20)
+        out = segment_softmax(logits, seg, 5)
+        sums = np.zeros(5)
+        np.add.at(sums, seg, out.data)
+        present = np.unique(seg)
+        np.testing.assert_allclose(sums[present], 1.0, rtol=1e-5)
+
+    def test_single_edge_segment_is_one(self):
+        out = segment_softmax(Tensor(np.array([3.7])), np.array([2]), 4)
+        np.testing.assert_allclose(out.data, [1.0])
+
+    def test_stable_for_huge_logits(self):
+        out = segment_softmax(Tensor(np.array([1e4, 1e4])), np.array([0, 0]), 1)
+        np.testing.assert_allclose(out.data, [0.5, 0.5])
+
+    def test_matches_dense_softmax(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        out = segment_softmax(Tensor(logits), np.zeros(3, dtype=np.int64), 1)
+        dense = np.exp(logits) / np.exp(logits).sum()
+        np.testing.assert_allclose(out.data, dense, rtol=1e-6)
+
+    def test_gradient_matches_finite_difference(self):
+        seg = np.array([0, 0, 1, 1, 1])
+        check_op(
+            lambda t: segment_softmax(t, seg, 2) * Tensor(np.arange(5.0)),
+            np.random.default_rng(0).standard_normal(5),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segment_softmax(Tensor(np.ones((2, 2))), np.array([0, 0]), 1)
+        with pytest.raises(ValueError):
+            segment_softmax(Tensor(np.ones(2)), np.array([0]), 1)
+        with pytest.raises(ValueError):
+            segment_softmax(Tensor(np.ones(2)), np.array([0, 5]), 2)
+
+
+class TestLeakyRelu:
+    def test_values(self):
+        out = leaky_relu(Tensor(np.array([-2.0, 0.0, 3.0])), 0.2)
+        np.testing.assert_allclose(out.data, [-0.4, 0.0, 3.0], atol=1e-7)
+
+    def test_gradient(self):
+        x = np.random.default_rng(0).standard_normal(8)
+        x[np.abs(x) < 0.1] = 0.7
+        check_op(lambda t: leaky_relu(t, 0.2), x)
+
+
+def toy_block():
+    return Block(
+        src_ids=np.array([10, 11, 12, 20, 21]),
+        num_dst=3,
+        edge_src=np.array([3, 4, 0, 1]),
+        edge_dst=np.array([0, 0, 1, 2]),
+    )
+
+
+class TestGATConv:
+    def test_output_shape(self):
+        conv = GATConv(4, 8, rng=np.random.default_rng(0))
+        out = conv(toy_block(), Tensor(np.ones((5, 4))))
+        assert out.shape == (3, 8)
+
+    def test_attention_gradient_flows(self):
+        conv = GATConv(4, 8, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((5, 4)).astype(np.float32))
+        out = conv(toy_block(), x)
+        out.sum().backward()
+        assert conv.attn_src.grad is not None
+        assert np.any(conv.attn_src.grad != 0)
+
+    def test_feature_mismatch_rejected(self):
+        conv = GATConv(4, 8)
+        with pytest.raises(ValueError):
+            conv(toy_block(), Tensor(np.ones((2, 4))))
+
+
+class TestGATModel:
+    def test_registered(self, tiny_dataset):
+        from repro.gnn.models import build_model
+
+        model = build_model("gat", tiny_dataset.layer_dims(2), seed=0)
+        assert isinstance(model, GAT)
+
+    def test_trains_on_sampled_batches(self, tiny_dataset):
+        from repro.autograd.functional import cross_entropy
+        from repro.autograd.ops import gather_rows
+        from repro.autograd.optim import Adam
+        from repro.gnn.models import build_model
+
+        ds = tiny_dataset
+        sampler = NeighborSampler([5, 5])
+        model = build_model("gat", ds.layer_dims(2), seed=0, dropout=0.0)
+        opt = Adam(model.parameters(), lr=0.01)
+        batch = sampler.sample(ds.graph, ds.train_idx[:64], rng=np.random.default_rng(0))
+        x = gather_rows(Tensor(ds.features), batch.input_ids)
+        first = last = None
+        for _ in range(20):
+            loss = cross_entropy(model(batch.blocks, x), ds.labels[batch.seeds])
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+            last = loss.item()
+        assert last < first * 0.8
+
+    def test_engine_compatible(self, tiny_dataset):
+        from repro.core.engine import MultiProcessEngine
+        from repro.gnn.models import build_model
+
+        model = build_model("gat", tiny_dataset.layer_dims(2), seed=0)
+        engine = MultiProcessEngine(
+            tiny_dataset,
+            NeighborSampler([5, 5]),
+            model,
+            num_processes=2,
+            global_batch_size=64,
+            seed=0,
+        )
+        stats = engine.train_epoch()
+        assert stats.mean_loss > 0

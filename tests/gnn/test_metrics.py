@@ -1,0 +1,61 @@
+"""Classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.gnn.metrics import confusion_matrix, f1_scores, macro_f1, micro_f1
+
+
+class TestConfusionMatrix:
+    def test_known_values(self):
+        pred = np.array([0, 1, 1, 2])
+        true = np.array([0, 1, 2, 2])
+        mat = confusion_matrix(pred, true, 3)
+        expected = np.array([[1, 0, 0], [0, 1, 0], [0, 1, 1]])
+        np.testing.assert_array_equal(mat, expected)
+
+    def test_accepts_logits(self):
+        logits = Tensor(np.array([[5.0, 0.0], [0.0, 5.0]]))
+        mat = confusion_matrix(logits, np.array([0, 1]), 2)
+        np.testing.assert_array_equal(mat, np.eye(2, dtype=int))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 3]), np.array([0, 1]), 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+
+
+class TestF1:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 1])
+        np.testing.assert_allclose(f1_scores(y, y, 3), 1.0)
+        assert micro_f1(y, y, 3) == 1.0
+        assert macro_f1(y, y, 3) == 1.0
+
+    def test_absent_class_scores_zero(self):
+        pred = np.array([0, 0])
+        true = np.array([0, 0])
+        f1 = f1_scores(pred, true, 3)
+        assert f1[0] == 1.0
+        assert f1[1] == 0.0 and f1[2] == 0.0
+
+    def test_micro_equals_accuracy_single_label(self):
+        rng = np.random.default_rng(0)
+        pred = rng.integers(0, 4, 100)
+        true = rng.integers(0, 4, 100)
+        acc = float((pred == true).mean())
+        assert micro_f1(pred, true, 4) == pytest.approx(acc)
+
+    def test_known_binary_f1(self):
+        # tp=1 fp=1 fn=1 for class 1 -> F1 = 2/(2+1+1) = 0.5
+        pred = np.array([1, 1, 0])
+        true = np.array([1, 0, 1])
+        f1 = f1_scores(pred, true, 2)
+        assert f1[1] == pytest.approx(0.5)
+
+    def test_empty_inputs(self):
+        assert micro_f1(np.array([], dtype=int), np.array([], dtype=int), 3) == 0.0

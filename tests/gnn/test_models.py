@@ -1,0 +1,139 @@
+"""GCN / GraphSAGE model behaviour on sampled blocks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.functional import cross_entropy
+from repro.autograd.ops import gather_rows
+from repro.autograd.tensor import Tensor
+from repro.gnn.gcn import GCN, GCNConv
+from repro.gnn.sage import GraphSAGE, SAGEConv
+from repro.gnn.models import MODEL_REGISTRY, TASKS, build_model, make_task
+from repro.sampling.block import Block
+from repro.sampling.neighbor import NeighborSampler
+
+
+def toy_block():
+    """3 dst nodes (prefix) + 2 extra sources, 4 edges."""
+    return Block(
+        src_ids=np.array([10, 11, 12, 20, 21]),
+        num_dst=3,
+        edge_src=np.array([3, 4, 0, 1]),
+        edge_dst=np.array([0, 0, 1, 2]),
+    )
+
+
+class TestConvLayers:
+    def test_gcn_conv_shape(self):
+        conv = GCNConv(4, 8, rng=np.random.default_rng(0))
+        out = conv(toy_block(), Tensor(np.ones((5, 4))))
+        assert out.shape == (3, 8)
+
+    def test_sage_conv_shape(self):
+        conv = SAGEConv(4, 8, rng=np.random.default_rng(0))
+        out = conv(toy_block(), Tensor(np.ones((5, 4))))
+        assert out.shape == (3, 8)
+
+    def test_sage_uses_self_features(self):
+        """Isolated dst node output must depend on its own feature."""
+        blk = Block(
+            src_ids=np.array([0, 1]), num_dst=2, edge_src=np.array([1]), edge_dst=np.array([1])
+        )
+        conv = SAGEConv(2, 2, rng=np.random.default_rng(0))
+        h1 = Tensor(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        h2 = Tensor(np.array([[2.0, 0.0], [0.0, 0.0]]))
+        out1, out2 = conv(blk, h1), conv(blk, h2)
+        assert not np.allclose(out1.data[0], out2.data[0])
+
+    def test_rejects_feature_row_mismatch(self):
+        conv = GCNConv(4, 8)
+        with pytest.raises(ValueError):
+            conv(toy_block(), Tensor(np.ones((3, 4))))
+
+
+@pytest.mark.parametrize("model_name", ["gcn", "sage"])
+class TestFullModels:
+    def test_forward_on_sampled_batch(self, model_name, tiny_dataset):
+        ds = tiny_dataset
+        sampler = NeighborSampler([5, 5, 5])
+        batch = sampler.sample(ds.graph, ds.train_idx[:16], rng=np.random.default_rng(0))
+        model = build_model(model_name, ds.layer_dims(3), seed=0)
+        x = gather_rows(Tensor(ds.features), batch.input_ids)
+        out = model(batch.blocks, x)
+        assert out.shape == (16, ds.spec.num_classes)
+
+    def test_training_reduces_loss(self, model_name, tiny_dataset):
+        from repro.autograd.optim import Adam
+
+        ds = tiny_dataset
+        sampler = NeighborSampler([5, 5, 5])
+        model = build_model(model_name, ds.layer_dims(3), seed=0, dropout=0.0)
+        opt = Adam(model.parameters(), lr=0.01)
+        rng = np.random.default_rng(0)
+        batch = sampler.sample(ds.graph, ds.train_idx[:64], rng=rng)
+        x = gather_rows(Tensor(ds.features), batch.input_ids)
+        first = last = None
+        for step in range(30):
+            out = model(batch.blocks, x)
+            loss = cross_entropy(out, ds.labels[batch.seeds])
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+            last = loss.item()
+        assert last < first * 0.7
+
+    def test_block_count_validated(self, model_name, tiny_dataset):
+        model = build_model(model_name, tiny_dataset.layer_dims(3), seed=0)
+        with pytest.raises(ValueError):
+            model([toy_block()], Tensor(np.ones((5, 100))))
+
+    def test_eval_mode_deterministic(self, model_name, tiny_dataset):
+        ds = tiny_dataset
+        sampler = NeighborSampler([5, 5, 5])
+        batch = sampler.sample(ds.graph, ds.train_idx[:8], rng=np.random.default_rng(0))
+        model = build_model(model_name, ds.layer_dims(3), seed=0, dropout=0.5)
+        model.eval()
+        x = gather_rows(Tensor(ds.features), batch.input_ids)
+        a = model(batch.blocks, x).data
+        b = model(batch.blocks, x).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFactories:
+    def test_registry_names(self):
+        assert set(MODEL_REGISTRY) == {"gcn", "gat", "sage", "graphsage"}
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("transformer", [4, 2])
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            build_model("gcn", [4])
+
+    def test_tasks_are_papers_pairings(self):
+        assert TASKS == {
+            "neighbor-sage": ("neighbor", "sage"),
+            "shadow-gcn": ("shadow", "gcn"),
+        }
+
+    def test_make_task_neighbor_defaults(self, tiny_dataset):
+        sampler, model = make_task("neighbor-sage", tiny_dataset.layer_dims(3))
+        assert sampler.fanouts == [15, 10, 5]
+        assert isinstance(model, GraphSAGE)
+
+    def test_make_task_shadow_defaults(self, tiny_dataset):
+        sampler, model = make_task("shadow-gcn", tiny_dataset.layer_dims(3))
+        assert sampler.fanouts == [10, 5]
+        assert sampler.num_layers == 3
+        assert isinstance(model, GCN)
+
+    def test_make_task_unknown(self):
+        with pytest.raises(KeyError):
+            make_task("cluster-gat", [4, 2])
+
+    def test_make_task_fanout_mismatch(self):
+        with pytest.raises(ValueError):
+            make_task("neighbor-sage", [4, 8, 2], fanouts=[5, 5, 5])

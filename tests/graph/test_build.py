@@ -1,0 +1,80 @@
+"""Edge-list builder behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import (
+    coalesce_edges,
+    from_edge_index,
+    remove_self_loops,
+    to_undirected_edges,
+)
+
+
+class TestCoalesce:
+    def test_removes_duplicates(self):
+        src, dst = coalesce_edges([1, 1, 2], [0, 0, 0])
+        assert len(src) == 2
+
+    def test_sorted_by_dst_then_src(self):
+        src, dst = coalesce_edges([3, 1, 2], [1, 0, 0])
+        assert dst.tolist() == [0, 0, 1]
+        assert src.tolist() == [1, 2, 3]
+
+    def test_empty(self):
+        src, dst = coalesce_edges([], [])
+        assert len(src) == 0
+
+
+class TestSelfLoops:
+    def test_removed(self):
+        src, dst = remove_self_loops([0, 1], [0, 2])
+        assert src.tolist() == [1]
+        assert dst.tolist() == [2]
+
+
+class TestUndirected:
+    def test_mirrors(self):
+        src, dst = to_undirected_edges([0], [1])
+        assert sorted(zip(src, dst)) == [(0, 1), (1, 0)]
+
+
+class TestFromEdgeIndex:
+    def test_infers_num_nodes(self):
+        g = from_edge_index([0, 5], [1, 2])
+        assert g.num_nodes == 6
+
+    def test_explicit_num_nodes(self):
+        g = from_edge_index([0], [1], 10)
+        assert g.num_nodes == 10
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_edge_index([0, 4], [1, 1], 3)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            from_edge_index([0, 1], [1])
+
+    def test_undirected_flag(self):
+        g = from_edge_index([0], [1], 2, undirected=True)
+        assert g.num_edges == 2
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == [0]
+
+    def test_no_self_loops_flag(self):
+        g = from_edge_index([0, 1], [0, 0], 2, self_loops=False)
+        assert g.num_edges == 1
+
+    def test_coalesce_default(self):
+        g = from_edge_index([1, 1], [0, 0], 2)
+        assert g.num_edges == 1
+
+    def test_keep_duplicates(self):
+        g = from_edge_index([1, 1], [0, 0], 2, coalesce=False)
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = from_edge_index([], [], 5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0

@@ -1,0 +1,100 @@
+"""Dataset registry and synthetic instantiation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    DATASET_REGISTRY,
+    DatasetSpec,
+    list_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        names = list_datasets()
+        assert names == ["flickr", "reddit", "ogbn-products", "ogbn-papers100m"]
+
+    def test_paper_table3_statistics(self):
+        spec = DATASET_REGISTRY["ogbn-products"]
+        assert spec.paper_num_nodes == 2_449_029
+        assert spec.paper_num_edges == 61_859_140
+        assert spec.feature_dim == 100
+        assert spec.num_classes == 47
+
+    def test_size_ordering_preserved(self):
+        sizes = [DATASET_REGISTRY[n].local_num_nodes for n in list_datasets()]
+        assert sizes == sorted(sizes)
+
+    def test_avg_degree(self):
+        spec = DATASET_REGISTRY["reddit"]
+        assert spec.avg_degree == pytest.approx(11_606_919 / 232_965)
+
+    def test_scale_factor(self):
+        spec = DATASET_REGISTRY["flickr"]
+        assert spec.paper_scale_factor == pytest.approx(89_250 / 4096)
+
+
+class TestLoadDataset:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("citeseer")
+
+    def test_case_insensitive(self):
+        ds = load_dataset("FLICKR", seed=0, scale_override=8)
+        assert ds.name == "flickr"
+
+    def test_shapes_consistent(self, tiny_dataset):
+        ds = tiny_dataset
+        n = ds.num_nodes
+        assert ds.features.shape == (n, ds.spec.feature_dim)
+        assert ds.labels.shape == (n,)
+        assert ds.labels.min() >= 0
+        assert ds.labels.max() < ds.spec.num_classes
+
+    def test_split_partitions_nodes(self, tiny_dataset):
+        ds = tiny_dataset
+        all_idx = np.concatenate([ds.train_idx, ds.val_idx, ds.test_idx])
+        assert len(all_idx) == ds.num_nodes
+        assert len(np.unique(all_idx)) == ds.num_nodes
+
+    def test_deterministic_in_seed(self):
+        a = load_dataset("flickr", seed=3, scale_override=8)
+        b = load_dataset("flickr", seed=3, scale_override=8)
+        assert a.graph == b.graph
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.train_idx, b.train_idx)
+
+    def test_seed_changes_instance(self):
+        a = load_dataset("flickr", seed=3, scale_override=8)
+        b = load_dataset("flickr", seed=4, scale_override=8)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_scale_override(self):
+        ds = load_dataset("reddit", seed=0, scale_override=9)
+        assert ds.num_nodes == 512
+
+    def test_layer_dims_paper_shape(self, tiny_dataset):
+        dims = tiny_dataset.layer_dims(3)
+        assert dims == [100, 128, 128, 47]
+
+    def test_layer_dims_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.layer_dims(0)
+
+    def test_labels_graph_correlated(self, tiny_dataset):
+        """Planted labels must beat chance when predicted from neighbours —
+        otherwise the convergence experiment is untrainable."""
+        ds = tiny_dataset
+        g = ds.graph
+        hits, total = 0, 0
+        for v in range(0, ds.num_nodes, 7):
+            nb = g.neighbors(v)
+            if nb.size == 0:
+                continue
+            counts = np.bincount(ds.labels[nb], minlength=ds.spec.num_classes)
+            hits += counts.argmax() == ds.labels[v]
+            total += 1
+        assert hits / total > 2.0 / ds.spec.num_classes

@@ -1,0 +1,82 @@
+"""Synthetic graph generator properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import erdos_renyi_graph, powerlaw_graph, rmat_edges
+from repro.utils.rng import derive_rng
+
+
+class TestRmat:
+    def test_edge_count(self):
+        src, dst = rmat_edges(8, 4.0, rng=derive_rng(0))
+        assert len(src) == 4 * 256
+        assert len(dst) == len(src)
+
+    def test_endpoints_in_range(self):
+        src, dst = rmat_edges(8, 4.0, rng=derive_rng(0))
+        for arr in (src, dst):
+            assert arr.min() >= 0
+            assert arr.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(8, 2.0, rng=derive_rng(1))
+        b = rmat_edges(8, 2.0, rng=derive_rng(1))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_heavy_tail(self):
+        """RMAT with Graph500 params must produce a skewed degree profile."""
+        src, dst = rmat_edges(12, 8.0, rng=derive_rng(0))
+        deg = np.bincount(dst, minlength=1 << 12)
+        assert deg.max() > 10 * max(deg.mean(), 1.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0, 4.0)
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 4.0, a=0.9, b=0.2, c=0.2)
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_any_scale_valid(self, scale):
+        src, dst = rmat_edges(scale, 1.0, rng=derive_rng(0))
+        assert src.max(initial=0) < (1 << scale)
+
+
+class TestPowerlaw:
+    def test_basic_shape(self):
+        g = powerlaw_graph(500, 6.0, rng=derive_rng(0))
+        assert g.num_nodes == 500
+        assert g.num_edges > 0
+        assert not g.has_self_loops()
+
+    def test_undirected(self):
+        g = powerlaw_graph(200, 4.0, rng=derive_rng(1))
+        src, dst = g.to_edge_index()
+        edges = set(zip(src.tolist(), dst.tolist()))
+        assert all((d, s) in edges for s, d in edges)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(1, 2.0)
+
+    def test_rejects_nonpositive_degree(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(10, 0.0)
+
+
+class TestErdosRenyi:
+    def test_average_degree_close(self):
+        g = erdos_renyi_graph(2000, 10.0, rng=derive_rng(0))
+        # undirected edges are stored in both directions, so mean in-degree
+        # equals the target average degree (minus duplicate/self-loop loss)
+        avg = g.num_edges / g.num_nodes
+        assert 8.0 < avg < 10.5
+
+    def test_deterministic(self):
+        a = erdos_renyi_graph(100, 4.0, rng=derive_rng(2))
+        b = erdos_renyi_graph(100, 4.0, rng=derive_rng(2))
+        assert a == b

@@ -1,0 +1,107 @@
+"""Node partitioning invariants (Multi-Process Engine data splitting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.partition import (
+    contiguous_node_partition,
+    greedy_bfs_partition,
+    partition_balance,
+    partition_edge_cut,
+    random_node_partition,
+)
+from repro.utils.rng import derive_rng
+
+
+def _assert_valid_partition(nodes, parts):
+    merged = np.concatenate(parts)
+    assert sorted(merged.tolist()) == sorted(np.asarray(nodes).tolist())
+    sizes = [len(p) for p in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+class TestRandomPartition:
+    def test_partition_covers_exactly(self):
+        nodes = np.arange(103)
+        parts = random_node_partition(nodes, 4, rng=derive_rng(0))
+        _assert_valid_partition(nodes, parts)
+
+    def test_deterministic(self):
+        nodes = np.arange(50)
+        a = random_node_partition(nodes, 3, rng=derive_rng(1))
+        b = random_node_partition(nodes, 3, rng=derive_rng(1))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_single_part(self):
+        nodes = np.arange(10)
+        (part,) = random_node_partition(nodes, 1, rng=derive_rng(0))
+        assert np.array_equal(part, nodes)
+
+    def test_rejects_too_many_parts(self):
+        with pytest.raises(ValueError):
+            random_node_partition(np.arange(3), 5)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_cover_and_balance(self, n, k):
+        if k > n:
+            return
+        nodes = np.arange(n)
+        parts = random_node_partition(nodes, k, rng=derive_rng(n * 13 + k))
+        _assert_valid_partition(nodes, parts)
+
+
+class TestContiguousPartition:
+    def test_order_preserved(self):
+        parts = contiguous_node_partition(np.arange(10), 3)
+        assert np.array_equal(np.concatenate(parts), np.arange(10))
+
+
+class TestGreedyBfsPartition:
+    def test_valid_partition(self, tiny_dataset):
+        nodes = tiny_dataset.train_idx
+        parts = greedy_bfs_partition(tiny_dataset.graph, nodes, 4, rng=derive_rng(0))
+        _assert_valid_partition(nodes, parts)
+
+    def test_locality_beats_random(self, tiny_dataset):
+        """The METIS stand-in should cut fewer edges than a random split
+        (paper Sec. VII-A observes METIS balances workload better)."""
+        g = tiny_dataset.graph
+        nodes = np.arange(tiny_dataset.num_nodes)
+        cuts_bfs, cuts_rand = [], []
+        for seed in range(3):
+            bfs = greedy_bfs_partition(g, nodes, 4, rng=derive_rng(seed))
+            rand = random_node_partition(nodes, 4, rng=derive_rng(seed))
+            cuts_bfs.append(partition_edge_cut(g, bfs))
+            cuts_rand.append(partition_edge_cut(g, rand))
+        assert np.mean(cuts_bfs) < np.mean(cuts_rand)
+
+
+class TestMetrics:
+    def test_edge_cut_all_in_one_part(self, tiny_dataset):
+        g = tiny_dataset.graph
+        assert partition_edge_cut(g, [np.arange(g.num_nodes)]) == 0
+
+    def test_edge_cut_counts_cross_edges(self):
+        from repro.graph.build import from_edge_index
+
+        g = from_edge_index([0, 2], [1, 3], 4)
+        parts = [np.array([0, 1]), np.array([2, 3])]
+        assert partition_edge_cut(g, parts) == 0
+        parts = [np.array([0, 3]), np.array([1, 2])]
+        assert partition_edge_cut(g, parts) == 2
+
+    def test_balance_perfect(self):
+        assert partition_balance([np.arange(5), np.arange(5)]) == pytest.approx(1.0)
+
+    def test_balance_skewed(self):
+        val = partition_balance([np.arange(9), np.arange(1)])
+        assert val == pytest.approx(1.8)
+
+    def test_balance_empty(self):
+        assert partition_balance([np.array([]), np.array([])]) == 1.0

@@ -1,0 +1,102 @@
+"""Full-stack integration: ARGO wrapper over real training and over the
+platform simulator, mirroring how the benchmarks drive the system."""
+
+import numpy as np
+import pytest
+
+from repro.core.argo import ARGO
+from repro.core.train_loop import evaluate_accuracy, make_train_fn
+from repro.gnn.models import make_task
+from repro.platform import DGL, ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L, LIBRARIES
+from repro.platform.costmodel import CostModel
+from repro.platform.simulator import SimulatedRuntime
+from repro.tuning.space import ConfigSpace
+from repro.workload import WorkloadModel
+
+
+class TestArgoOverRealTraining:
+    def test_listing3_usage(self, tiny_dataset):
+        """The paper's integration story: wrap an existing train function,
+        get a tuned configuration and a trained model."""
+        sampler, model = make_task(
+            "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=64)
+        space = ConfigSpace(8, max_processes=4)
+        acc_before = evaluate_accuracy(tiny_dataset, sampler, model, seed=0)
+        runtime = ARGO(n_search=4, epoch=10, space=space, seed=0)
+        result = runtime.run(train)
+        acc_after = evaluate_accuracy(tiny_dataset, sampler, model, seed=0)
+        assert result.best_config.as_tuple() in space
+        assert acc_after > acc_before
+
+    def test_wrapped_epochs_sum_to_total(self, tiny_dataset):
+        sampler, model = make_task(
+            "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=64)
+        space = ConfigSpace(8, max_processes=4)
+        result = ARGO(n_search=3, epoch=8, space=space, seed=0).run(train)
+        assert len(result.search_history) + len(result.exploit_epoch_times) == 8
+
+
+class TestArgoOverSimulator:
+    @pytest.fixture(scope="class")
+    def sim_stack(self, request):
+        ds = request.getfixturevalue("tiny_dataset")
+        sampler, _ = make_task("neighbor-sage", ds.layer_dims(3), seed=0)
+        wm = WorkloadModel(ds, sampler, num_batches=2, seed=0)
+        cm = CostModel(
+            ICE_LAKE_8380H,
+            DGL,
+            wm,
+            sampler_name="neighbor",
+            model_name="sage",
+            dims=ds.layer_dims(3),
+            train_nodes=ds.spec.paper_train_nodes,
+        )
+        return SimulatedRuntime(cm, seed=0), ConfigSpace(112)
+
+    def test_argo_beats_default_end_to_end(self, sim_stack):
+        """Fig. 10 pattern: 200 simulated epochs with ARGO (search cost
+        included) beat 200 epochs of the library default."""
+        rt, space = sim_stack
+
+        def train(*, config, epochs):
+            return [rt.measure_epoch(config.as_tuple()) for _ in range(epochs)]
+
+        total_epochs = 200
+        result = ARGO(epoch=total_epochs, space=space, seed=0).run(train)
+        default_total = total_epochs * rt.baseline_epoch_time(112)
+        assert result.total_time < default_total
+
+    def test_tuner_overhead_below_one_percent(self, sim_stack):
+        """Sec. VI-D: auto-tuning overhead <1% of overall training time."""
+        rt, space = sim_stack
+
+        def train(*, config, epochs):
+            return [rt.measure_epoch(config.as_tuple()) for _ in range(epochs)]
+
+        result = ARGO(epoch=200, space=space, seed=0).run(train)
+        assert result.tuner_overhead_seconds < 0.01 * result.total_time
+
+
+class TestCrossPlatformCrossLibrary:
+    @pytest.mark.parametrize("libname", ["dgl", "pyg"])
+    @pytest.mark.parametrize("plat", [ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L])
+    def test_tuned_beats_default_everywhere(self, tiny_dataset, neighbor_workload, libname, plat):
+        """The Table IV/V headline: the tuned configuration beats the
+        library default on every platform x library combination."""
+        cm = CostModel(
+            plat,
+            LIBRARIES[libname],
+            neighbor_workload,
+            sampler_name="neighbor",
+            model_name="sage",
+            dims=tiny_dataset.layer_dims(3),
+            train_nodes=tiny_dataset.spec.paper_train_nodes,
+        )
+        rt = SimulatedRuntime(cm, seed=0)
+        space = ConfigSpace(plat.total_cores)
+        best, _ = rt.argo_best_epoch_time(plat.total_cores, space)
+        assert best < rt.baseline_epoch_time(plat.total_cores)

@@ -1,0 +1,45 @@
+"""Example scripts must run end to end (fast ones as subprocesses)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "final test accuracy" in out
+
+    def test_rl_resource_allocation(self):
+        out = run_example("rl_resource_allocation.py")
+        assert "quality vs oracle" in out
+
+    def test_platform_study(self):
+        out = run_example("platform_study.py")
+        assert "ARGO auto-tuner" in out
+        assert "oracle config" in out
+
+    @pytest.mark.slow
+    def test_products_autotune(self):
+        out = run_example("products_autotune.py")
+        assert "best configuration" in out
+
+    @pytest.mark.slow
+    def test_convergence_study(self):
+        out = run_example("convergence_study.py")
+        assert "semantics preserved" in out

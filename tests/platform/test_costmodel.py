@@ -1,0 +1,140 @@
+"""Cost-model behaviour: the trade-offs of paper Sec. V-A must emerge."""
+
+import numpy as np
+import pytest
+
+from repro.platform.costmodel import CostModel, amdahl_speedup
+from repro.platform.library import DGL, PYG
+from repro.platform.spec import ICE_LAKE_8380H
+
+
+class TestAmdahl:
+    def test_one_core_is_unity(self):
+        assert amdahl_speedup(1, 0.9) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        vals = [amdahl_speedup(c, 0.9) for c in (1, 2, 4, 8, 16)]
+        assert vals == sorted(vals)
+
+    def test_bounded_by_serial_fraction(self):
+        assert amdahl_speedup(10_000, 0.9) < 10.0
+
+    def test_fully_serial_never_speeds_up(self):
+        assert amdahl_speedup(64, 0.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(0, 0.5)
+        with pytest.raises(ValueError):
+            amdahl_speedup(4, 1.0)
+
+
+class TestEpochTime:
+    def test_breakdown_positive(self, dgl_cost_model):
+        bd = dgl_cost_model.epoch_time(4, 4, 20)
+        assert bd.total > 0
+        assert bd.t_sample > 0
+        assert bd.t_compute > 0
+        assert bd.t_memory > 0
+        assert bd.t_train == pytest.approx(bd.t_compute + bd.t_memory)
+
+    def test_deterministic(self, dgl_cost_model):
+        a = dgl_cost_model.epoch_time(4, 4, 20)
+        b = dgl_cost_model.epoch_time(4, 4, 20)
+        assert a.total == b.total
+
+    def test_oversubscription_rejected(self, dgl_cost_model):
+        with pytest.raises(ValueError):
+            dgl_cost_model.epoch_time(8, 10, 10)  # 160 > 112
+
+    def test_sync_zero_for_single_process(self, dgl_cost_model):
+        assert dgl_cost_model.epoch_time(1, 4, 20).t_sync == 0.0
+
+    def test_sync_grows_with_processes(self, dgl_cost_model):
+        """Paper Sec. V-A1: more processes, more synchronisation overhead."""
+        s2 = dgl_cost_model.epoch_time(2, 4, 8).t_sync
+        s8 = dgl_cost_model.epoch_time(8, 4, 8).t_sync
+        assert s8 > s2 > 0
+
+    def test_iters_match_paper_formula(self, dgl_cost_model, tiny_dataset):
+        expected = int(np.ceil(tiny_dataset.spec.paper_train_nodes / 1024))
+        assert dgl_cost_model.iters_per_epoch() == expected
+
+
+class TestPaperTradeoffs:
+    """The qualitative claims of Sec. V-A, checked on the model."""
+
+    def test_more_sampling_cores_saturate(self, dgl_cost_model):
+        """Beyond the sampler's parallel fraction, extra cores don't help."""
+        t1 = dgl_cost_model.epoch_time(2, 1, 40).t_sample
+        t8 = dgl_cost_model.epoch_time(2, 8, 40).t_sample
+        t40 = dgl_cost_model.epoch_time(2, 40, 8).t_sample
+        assert t8 < t1
+        # diminishing returns: 8->40 gains far less than 1->8
+        assert (t8 - t40) < 0.3 * (t1 - t8)
+
+    def test_epoch_workload_grows_with_processes(self, dgl_cost_model):
+        """Fig. 6: smaller per-process batches share fewer neighbours."""
+        edges = [dgl_cost_model.epoch_time(n, 2, 4).epoch_edges for n in (1, 2, 4, 8)]
+        assert edges == sorted(edges)
+        assert edges[-1] > edges[0]
+
+    def test_bandwidth_grows_then_flattens(self, dgl_cost_model):
+        """Fig. 6: bandwidth utilisation rises with n and saturates."""
+        bw = [dgl_cost_model.epoch_time(n, 2, 12).bandwidth_used_gbs for n in (1, 2, 4, 8)]
+        assert bw[1] >= bw[0]
+        assert bw[-1] <= ICE_LAKE_8380H.peak_bw_gbs
+
+    def test_single_process_cannot_use_whole_machine(self, dgl_cost_model):
+        """Fig. 1: 1 process on 112 cores is far from 8x1-socket procs."""
+        one = dgl_cost_model.epoch_time(1, 4, 108).total
+        eight = dgl_cost_model.epoch_time(8, 4, 10).total
+        assert eight < one
+
+    def test_launching_max_processes_not_always_best(self, tiny_dataset, neighbor_workload):
+        """Sec. V-A1: too many processes can lose to a moderate count
+        (extra workload + sync).  Check on the *shadow* profile where
+        per-process parallelism is poor, both extremes exist in-space."""
+        cm = CostModel(
+            ICE_LAKE_8380H,
+            DGL,
+            neighbor_workload,
+            sampler_name="neighbor",
+            model_name="sage",
+            dims=tiny_dataset.layer_dims(3),
+            train_nodes=tiny_dataset.spec.paper_train_nodes,
+        )
+        # sweep the full space: the argmin must not be the max-core split of
+        # a single process (i.e. multi-processing wins), and the optimum
+        # must use >1 process but not necessarily 8
+        from repro.tuning.space import ConfigSpace
+
+        space = ConfigSpace(112)
+        best = min(space, key=lambda cfg: cm.epoch_time(*cfg).total)
+        assert best[0] > 1
+
+    def test_pyg_slower_than_dgl(self, tiny_dataset, neighbor_workload):
+        args = dict(
+            workload=neighbor_workload,
+            sampler_name="neighbor",
+            model_name="sage",
+            dims=tiny_dataset.layer_dims(3),
+            train_nodes=tiny_dataset.spec.paper_train_nodes,
+        )
+        dgl_t = CostModel(ICE_LAKE_8380H, DGL, **args).epoch_time(4, 4, 20).total
+        pyg_t = CostModel(ICE_LAKE_8380H, PYG, **args).epoch_time(4, 4, 20).total
+        assert pyg_t > 2 * dgl_t
+
+
+class TestValidation:
+    def test_rejects_bad_train_nodes(self, tiny_dataset, neighbor_workload):
+        with pytest.raises(ValueError):
+            CostModel(
+                ICE_LAKE_8380H,
+                DGL,
+                neighbor_workload,
+                sampler_name="neighbor",
+                model_name="sage",
+                dims=tiny_dataset.layer_dims(3),
+                train_nodes=0,
+            )

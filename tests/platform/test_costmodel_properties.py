@@ -1,0 +1,96 @@
+"""Property-based tests of the cost model (hypothesis).
+
+These pin down the *structural* soundness of the performance substitute:
+whatever the configuration, epoch times are finite and positive, scale
+sensibly with problem size, and respect the resource-allocation logic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platform.costmodel import CostModel
+from repro.platform.library import DGL, PYG
+from repro.platform.spec import ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L
+
+
+@st.composite
+def valid_configs(draw, total=112, max_processes=8):
+    n = draw(st.integers(min_value=1, max_value=max_processes))
+    per_proc = total // n
+    s = draw(st.integers(min_value=1, max_value=per_proc - 1))
+    return (n, s, per_proc - s)
+
+
+class TestCostModelProperties:
+    @given(valid_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_epoch_time_finite_positive(self, dgl_cost_model, cfg):
+        bd = dgl_cost_model.epoch_time(*cfg)
+        assert np.isfinite(bd.total)
+        assert bd.total > 0
+        for field in ("t_sample", "t_compute", "t_memory", "t_sync", "t_fixed"):
+            assert getattr(bd, field) >= 0
+
+    @given(valid_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_bandwidth_never_exceeds_peak(self, dgl_cost_model, cfg):
+        bd = dgl_cost_model.epoch_time(*cfg)
+        assert bd.bandwidth_used_gbs <= ICE_LAKE_8380H.peak_bw_gbs + 1e-9
+
+    @given(valid_configs())
+    @settings(max_examples=30, deadline=None)
+    def test_memoisation_consistent(self, dgl_cost_model, cfg):
+        assert dgl_cost_model.epoch_time(*cfg) == dgl_cost_model.epoch_time(*cfg)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_more_train_nodes_longer_epochs(
+        self, tiny_dataset, neighbor_workload, n
+    ):
+        per_proc = 112 // n
+        cfg = (n, max(1, per_proc // 4), per_proc - max(1, per_proc // 4))
+        times = []
+        for train_nodes in (50_000, 200_000):
+            cm = CostModel(
+                ICE_LAKE_8380H,
+                DGL,
+                neighbor_workload,
+                sampler_name="neighbor",
+                model_name="sage",
+                dims=tiny_dataset.layer_dims(3),
+                train_nodes=train_nodes,
+            )
+            times.append(cm.epoch_time(*cfg).total)
+        assert times[1] > times[0]
+
+    @given(valid_configs(total=64))
+    @settings(max_examples=30, deadline=None)
+    def test_platforms_differ(self, tiny_dataset, neighbor_workload, cfg):
+        """The same config must not produce identical times on both
+        machines (the tuner's per-platform retraining would be moot)."""
+        kwargs = dict(
+            workload=neighbor_workload,
+            sampler_name="neighbor",
+            model_name="sage",
+            dims=tiny_dataset.layer_dims(3),
+            train_nodes=tiny_dataset.spec.paper_train_nodes,
+        )
+        a = CostModel(ICE_LAKE_8380H, DGL, **kwargs).epoch_time(*cfg).total
+        b = CostModel(SAPPHIRE_RAPIDS_6430L, DGL, **kwargs).epoch_time(*cfg).total
+        assert a != b
+
+    @given(valid_configs())
+    @settings(max_examples=20, deadline=None)
+    def test_pyg_never_faster_than_dgl(self, tiny_dataset, neighbor_workload, cfg):
+        """Paper Tables IV/V: PyG's CPU path is slower everywhere."""
+        kwargs = dict(
+            workload=neighbor_workload,
+            sampler_name="neighbor",
+            model_name="sage",
+            dims=tiny_dataset.layer_dims(3),
+            train_nodes=tiny_dataset.spec.paper_train_nodes,
+        )
+        dgl_t = CostModel(ICE_LAKE_8380H, DGL, **kwargs).epoch_time(*cfg).total
+        pyg_t = CostModel(ICE_LAKE_8380H, PYG, **kwargs).epoch_time(*cfg).total
+        assert pyg_t > dgl_t

@@ -1,0 +1,93 @@
+"""Library execution profiles."""
+
+import pytest
+
+from repro.platform.library import DGL, LIBRARIES, PYG, LibraryProfile
+from repro.platform.spec import ICE_LAKE_8380H
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert LIBRARIES == {"dgl": DGL, "pyg": PYG}
+
+    def test_dgl_kernels_faster_than_pyg(self):
+        """Paper Tables IV/V: DGL's fused kernels outperform PyG on CPU."""
+        assert DGL.kernel_efficiency > PYG.kernel_efficiency
+
+    def test_shadow_poorly_parallelised(self):
+        """Paper Sec. VI-E: ShaDow has limited intra-process parallelism."""
+        for lib in (DGL, PYG):
+            assert lib.sampler_parallelism("shadow") < lib.sampler_parallelism("neighbor")
+
+    def test_pyg_neighbor_overhead_dominant(self):
+        """Paper Table V: PyG-neighbor barely improves under ARGO because
+        its per-iteration overhead dwarfs the tunable stages."""
+        assert PYG.iteration_overhead("neighbor") > 10 * DGL.iteration_overhead("neighbor")
+
+    def test_sampler_cost_lookup(self):
+        assert DGL.sampler_cost("neighbor") > 0
+        with pytest.raises(KeyError):
+            DGL.sampler_cost("cluster")
+
+    def test_parallelism_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            PYG.sampler_parallelism("cluster")
+
+    def test_iteration_overhead_default_zero(self):
+        prof = LibraryProfile(
+            name="bare",
+            sample_cost_per_edge={"neighbor": 1e-6},
+            sampler_parallel_fraction={"neighbor": 0.5},
+            kernel_efficiency=1.0,
+            train_parallel_fraction=0.5,
+            pipeline_overlap=0.5,
+            default_workers=1,
+        )
+        assert prof.iteration_overhead("neighbor") == 0.0
+
+
+class TestDefaultConfig:
+    def test_single_process(self):
+        n, s, t = DGL.default_config(ICE_LAKE_8380H)
+        assert n == 1
+        assert s == DGL.default_workers
+        assert s + t == ICE_LAKE_8380H.total_cores
+
+    def test_core_budget(self):
+        n, s, t = DGL.default_config(ICE_LAKE_8380H, cores=16)
+        assert n == 1
+        assert s + t == 16
+
+    def test_small_budget_clamps_workers(self):
+        n, s, t = DGL.default_config(ICE_LAKE_8380H, cores=3)
+        assert s >= 1 and t >= 1
+
+    def test_rejects_single_core(self):
+        with pytest.raises(ValueError):
+            DGL.default_config(ICE_LAKE_8380H, cores=1)
+
+
+class TestValidation:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            LibraryProfile(
+                name="x",
+                sample_cost_per_edge={"neighbor": 1e-6},
+                sampler_parallel_fraction={"neighbor": 1.0},
+                kernel_efficiency=1.0,
+                train_parallel_fraction=0.5,
+                pipeline_overlap=0.5,
+                default_workers=1,
+            )
+
+    def test_rejects_empty_dicts(self):
+        with pytest.raises(ValueError):
+            LibraryProfile(
+                name="x",
+                sample_cost_per_edge={},
+                sampler_parallel_fraction={},
+                kernel_efficiency=1.0,
+                train_parallel_fraction=0.5,
+                pipeline_overlap=0.5,
+                default_workers=1,
+            )

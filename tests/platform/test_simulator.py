@@ -1,0 +1,105 @@
+"""SimulatedRuntime: noise discipline and figure-level queries."""
+
+import numpy as np
+import pytest
+
+from repro.platform.simulator import SimulatedRuntime
+from repro.tuning.space import ConfigSpace
+
+
+@pytest.fixture
+def runtime(dgl_cost_model):
+    return SimulatedRuntime(dgl_cost_model, noise=0.02, seed=0)
+
+
+class TestNoise:
+    def test_true_time_noise_free(self, runtime):
+        a = runtime.true_epoch_time((4, 4, 20))
+        b = runtime.true_epoch_time((4, 4, 20))
+        assert a == b
+
+    def test_measurements_vary_per_repetition(self, runtime):
+        a = runtime.measure_epoch((4, 4, 20))
+        b = runtime.measure_epoch((4, 4, 20))
+        assert a != b
+
+    def test_measurements_reproducible_across_runtimes(self, dgl_cost_model):
+        r1 = SimulatedRuntime(dgl_cost_model, noise=0.02, seed=7)
+        r2 = SimulatedRuntime(dgl_cost_model, noise=0.02, seed=7)
+        assert r1.measure_epoch((2, 4, 8)) == r2.measure_epoch((2, 4, 8))
+
+    def test_noise_centred_on_truth(self, runtime):
+        truth = runtime.true_epoch_time((2, 4, 8))
+        obs = [runtime.measure_epoch((2, 4, 8)) for _ in range(50)]
+        assert abs(np.mean(obs) - truth) / truth < 0.02
+
+    def test_zero_noise_exact(self, dgl_cost_model):
+        rt = SimulatedRuntime(dgl_cost_model, noise=0.0)
+        assert rt.measure_epoch((2, 4, 8)) == rt.true_epoch_time((2, 4, 8))
+
+    def test_rejects_negative_noise(self, dgl_cost_model):
+        with pytest.raises(ValueError):
+            SimulatedRuntime(dgl_cost_model, noise=-0.1)
+
+    def test_counts_evaluations(self, runtime):
+        before = runtime.num_evaluations
+        runtime.measure_epoch((2, 4, 8))
+        assert runtime.num_evaluations == before + 1
+
+
+class TestFigureQueries:
+    def test_baseline_plateau(self, runtime):
+        """Fig. 1: the library-default baseline stops scaling at ~16 cores."""
+        t16 = runtime.baseline_epoch_time(16)
+        t64 = runtime.baseline_epoch_time(64)
+        t112 = runtime.baseline_epoch_time(112)
+        assert t64 > 0.8 * t16  # little improvement past 16
+        assert t112 > 0.8 * t16
+
+    def test_baseline_improves_to_16(self, runtime):
+        assert runtime.baseline_epoch_time(16) < runtime.baseline_epoch_time(4)
+
+    def test_argo_scales_past_16(self, runtime):
+        """Fig. 8: ARGO keeps improving beyond 16 cores."""
+        t16, _ = runtime.argo_best_epoch_time(16, ConfigSpace(16))
+        t64, _ = runtime.argo_best_epoch_time(64, ConfigSpace(64))
+        assert t64 < 0.9 * t16
+
+    def test_argo_best_respects_core_budget(self, runtime):
+        _, cfg = runtime.argo_best_epoch_time(32)
+        n, s, t = cfg
+        assert n * (s + t) <= 32
+
+    def test_argo_best_no_fit_raises(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.argo_best_epoch_time(4, ConfigSpace(112))
+
+    def test_workload_bandwidth_curve(self, runtime):
+        rows = runtime.workload_and_bandwidth_curve([1, 2, 4, 8], 2, 8)
+        assert [r["processes"] for r in rows] == [1, 2, 4, 8]
+        edges = [r["epoch_edges"] for r in rows]
+        assert edges == sorted(edges)
+
+    def test_landscape_covers_space(self, runtime):
+        space = ConfigSpace(16)
+        grid = runtime.landscape(space)
+        assert len(grid) == len(space)
+        assert all(v > 0 for v in grid.values())
+
+
+class TestTraces:
+    def test_single_process_memory_gaps(self, runtime):
+        """Fig. 2A: with one process the memory phase leaves idle gaps."""
+        trace = runtime.make_trace((1, 4, 24), iterations=4)
+        assert trace.busy_fraction("memory") < 0.9
+
+    def test_multi_process_overlap(self, runtime):
+        """Fig. 2B: staggered processes overlap memory with compute."""
+        t1 = runtime.make_trace((1, 4, 24), iterations=4)
+        t4 = runtime.make_trace((4, 4, 24), iterations=4)
+        assert t4.busy_fraction("memory") > t1.busy_fraction("memory")
+
+    def test_trace_events_per_process(self, runtime):
+        trace = runtime.make_trace((2, 4, 8), iterations=3)
+        for rank in (0, 1):
+            assert len(trace.for_process(rank)) >= 9

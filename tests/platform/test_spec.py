@@ -1,0 +1,72 @@
+"""Platform specs: Table II fidelity and bandwidth model."""
+
+import pytest
+
+from repro.platform.spec import ICE_LAKE_8380H, PLATFORMS, SAPPHIRE_RAPIDS_6430L, PlatformSpec
+
+
+class TestPaperTable2:
+    def test_ice_lake(self):
+        p = ICE_LAKE_8380H
+        assert p.sockets == 4
+        assert p.total_cores == 112
+        assert p.freq_ghz == 2.90
+        assert p.llc_mb == 154.0
+        assert p.memory_gb == 384.0
+        assert p.peak_bw_gbs == 275.0
+
+    def test_sapphire_rapids(self):
+        p = SAPPHIRE_RAPIDS_6430L
+        assert p.sockets == 2
+        assert p.total_cores == 64
+        assert p.freq_ghz == 2.10
+        assert p.llc_mb == 120.0
+        assert p.memory_gb == 1024.0
+        assert p.peak_bw_gbs == 563.0
+
+    def test_registry(self):
+        assert PLATFORMS["icelake"] is ICE_LAKE_8380H
+        assert PLATFORMS["sapphire"] is SAPPHIRE_RAPIDS_6430L
+
+
+class TestValidation:
+    def test_rejects_bad_topology(self):
+        with pytest.raises(ValueError):
+            PlatformSpec("x", 0, 8, 2.0, 10, 10, 100)
+
+    def test_rejects_nonpositive_bw(self):
+        with pytest.raises(ValueError):
+            PlatformSpec("x", 1, 8, 2.0, 10, 10, 0.0)
+
+    def test_rejects_bad_upi(self):
+        with pytest.raises(ValueError):
+            PlatformSpec("x", 1, 8, 2.0, 10, 10, 100, upi_efficiency=1.5)
+
+
+class TestBandwidthModel:
+    def test_socket_bw(self):
+        assert ICE_LAKE_8380H.socket_bw_gbs == pytest.approx(275.0 / 4)
+
+    def test_few_cores_draw_limited(self):
+        p = ICE_LAKE_8380H
+        assert p.effective_bandwidth(2, 0.0) == pytest.approx(2 * p.core_bw_gbs)
+
+    def test_many_cores_supply_limited(self):
+        p = ICE_LAKE_8380H
+        bw = p.effective_bandwidth(28, 0.0)
+        assert bw == pytest.approx(p.socket_bw_gbs)
+
+    def test_remote_fraction_penalises(self):
+        p = ICE_LAKE_8380H
+        local = p.effective_bandwidth(28, 0.0)
+        mixed = p.effective_bandwidth(28, 0.5)
+        assert mixed < local
+
+    def test_monotone_in_cores(self):
+        p = SAPPHIRE_RAPIDS_6430L
+        vals = [p.effective_bandwidth(c, 0.0) for c in (1, 4, 16, 64)]
+        assert vals == sorted(vals)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            ICE_LAKE_8380H.effective_bandwidth(4, 1.5)

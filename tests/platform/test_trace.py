@@ -1,0 +1,67 @@
+"""Trace structure and rendering."""
+
+import pytest
+
+from repro.platform.trace import Trace, TraceEvent, render_ascii
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        ev = TraceEvent(0, "compute", 1.0, 3.0)
+        assert ev.duration == 2.0
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0, "nap", 0.0, 1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0, "compute", 2.0, 1.0)
+
+
+class TestTrace:
+    def test_add_returns_end(self):
+        tr = Trace()
+        end = tr.add(0, "sample", 0.0, 1.5)
+        assert end == 1.5
+        assert tr.makespan == 1.5
+
+    def test_busy_fraction_full_coverage(self):
+        tr = Trace()
+        tr.add(0, "memory", 0.0, 1.0)
+        tr.add(1, "memory", 0.5, 1.5)  # overlapping, extends to 2.0
+        assert tr.busy_fraction("memory") == pytest.approx(1.0)
+
+    def test_busy_fraction_with_gap(self):
+        tr = Trace()
+        tr.add(0, "memory", 0.0, 1.0)
+        tr.add(0, "compute", 1.0, 1.0)
+        tr.add(0, "memory", 2.0, 1.0)
+        assert tr.busy_fraction("memory") == pytest.approx(2.0 / 3.0)
+
+    def test_busy_fraction_empty(self):
+        assert Trace().busy_fraction("memory") == 0.0
+
+    def test_for_process_filters(self):
+        tr = Trace()
+        tr.add(0, "compute", 0.0, 1.0)
+        tr.add(1, "compute", 0.0, 1.0)
+        assert len(tr.for_process(0)) == 1
+
+
+class TestRender:
+    def test_renders_rows_and_legend(self):
+        tr = Trace()
+        tr.add(0, "memory", 0.0, 1.0)
+        tr.add(0, "compute", 1.0, 1.0)
+        tr.add(1, "sample", 0.0, 2.0)
+        out = render_ascii(tr, width=40)
+        lines = out.splitlines()
+        assert lines[0].startswith("P0 |")
+        assert lines[1].startswith("P1 |")
+        assert "legend" in lines[-1]
+        assert "M" in lines[0] and "#" in lines[0]
+        assert "s" in lines[1]
+
+    def test_empty_trace(self):
+        assert "empty" in render_ascii(Trace())

@@ -1,0 +1,71 @@
+"""Cluster-GCN sampler (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.cluster import ClusterSampler
+from repro.utils.rng import derive_rng
+
+
+class TestClusterSampler:
+    def test_registered(self):
+        from repro.sampling.base import make_sampler
+
+        assert isinstance(make_sampler("cluster", num_clusters=4), ClusterSampler)
+
+    def test_minibatch_valid(self, tiny_dataset):
+        seeds = tiny_dataset.train_idx[:8]
+        mb = ClusterSampler(num_clusters=16, num_layers=2).sample(
+            tiny_dataset.graph, seeds, rng=derive_rng(0)
+        )
+        assert mb.num_layers == 2
+        np.testing.assert_array_equal(mb.blocks[-1].dst_ids, seeds)
+        for b in mb.blocks:
+            b.validate_prefix()
+
+    def test_subgraph_contains_seed_clusters(self, tiny_dataset):
+        sampler = ClusterSampler(num_clusters=16, num_layers=2)
+        seeds = tiny_dataset.train_idx[:4]
+        mb = sampler.sample(tiny_dataset.graph, seeds, rng=derive_rng(0))
+        owner = sampler._ensure_clusters(tiny_dataset.graph)
+        clusters = np.unique(owner[seeds])
+        members = np.where(np.isin(owner, clusters))[0]
+        assert set(members) <= set(mb.blocks[0].src_ids)
+
+    def test_clustering_cached_per_graph(self, tiny_dataset):
+        sampler = ClusterSampler(num_clusters=8)
+        a = sampler._ensure_clusters(tiny_dataset.graph)
+        b = sampler._ensure_clusters(tiny_dataset.graph)
+        assert a is b
+
+    def test_more_clusters_smaller_batches(self, tiny_dataset):
+        seeds = tiny_dataset.train_idx[:4]
+        coarse = ClusterSampler(num_clusters=4, num_layers=2).sample(
+            tiny_dataset.graph, seeds, rng=derive_rng(0)
+        )
+        fine = ClusterSampler(num_clusters=64, num_layers=2).sample(
+            tiny_dataset.graph, seeds, rng=derive_rng(0)
+        )
+        assert fine.blocks[0].num_src <= coarse.blocks[0].num_src
+
+    def test_trains_end_to_end(self, tiny_dataset):
+        from repro.core.engine import MultiProcessEngine
+        from repro.gnn.models import build_model
+
+        model = build_model("gcn", tiny_dataset.layer_dims(2), seed=0)
+        engine = MultiProcessEngine(
+            tiny_dataset,
+            ClusterSampler(num_clusters=16, num_layers=2),
+            model,
+            num_processes=2,
+            global_batch_size=64,
+            seed=0,
+        )
+        hist = engine.train(2)
+        assert hist.losses[-1] > 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ClusterSampler(num_clusters=0)
+        with pytest.raises(ValueError):
+            ClusterSampler(num_layers=0)

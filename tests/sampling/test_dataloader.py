@@ -1,0 +1,73 @@
+"""NodeDataLoader: batching, shuffling, epochs."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.dataloader import NodeDataLoader
+from repro.sampling.neighbor import NeighborSampler
+
+
+@pytest.fixture
+def loader_args(tiny_dataset):
+    return dict(
+        graph=tiny_dataset.graph,
+        nodes=tiny_dataset.train_idx,
+        labels=tiny_dataset.labels,
+        sampler=NeighborSampler([5, 5]),
+    )
+
+
+class TestBatching:
+    def test_len_without_drop(self, loader_args):
+        n = len(loader_args["nodes"])
+        loader = NodeDataLoader(**loader_args, batch_size=16)
+        assert len(loader) == (n + 15) // 16
+
+    def test_len_with_drop(self, loader_args):
+        n = len(loader_args["nodes"])
+        loader = NodeDataLoader(**loader_args, batch_size=16, drop_last=True)
+        assert len(loader) == n // 16
+
+    def test_covers_all_nodes(self, loader_args):
+        loader = NodeDataLoader(**loader_args, batch_size=16, seed=0)
+        seen = np.concatenate([b.seeds for b in loader])
+        assert sorted(seen.tolist()) == sorted(loader_args["nodes"].tolist())
+
+    def test_labels_attached(self, loader_args, tiny_dataset):
+        loader = NodeDataLoader(**loader_args, batch_size=16, seed=0)
+        batch = next(iter(loader))
+        np.testing.assert_array_equal(batch.labels, tiny_dataset.labels[batch.seeds])
+
+    def test_rejects_empty_nodes(self, loader_args):
+        args = dict(loader_args, nodes=np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            NodeDataLoader(**args, batch_size=4)
+
+    def test_rejects_bad_batch_size(self, loader_args):
+        with pytest.raises(ValueError):
+            NodeDataLoader(**loader_args, batch_size=0)
+
+
+class TestShuffling:
+    def test_same_epoch_same_order(self, loader_args):
+        loader = NodeDataLoader(**loader_args, batch_size=16, seed=1)
+        a = [b.seeds.copy() for b in loader]
+        b = [b.seeds.copy() for b in loader]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_epochs_reshuffle(self, loader_args):
+        loader = NodeDataLoader(**loader_args, batch_size=16, seed=1)
+        first = next(iter(loader)).seeds.copy()
+        loader.set_epoch(1)
+        second = next(iter(loader)).seeds.copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_keeps_order(self, loader_args):
+        loader = NodeDataLoader(**loader_args, batch_size=16, shuffle=False)
+        batch = next(iter(loader))
+        np.testing.assert_array_equal(batch.seeds, loader_args["nodes"][:16])
+
+    def test_num_workers_metadata(self, loader_args):
+        loader = NodeDataLoader(**loader_args, batch_size=16, num_workers=4)
+        assert loader.num_workers == 4

@@ -1,0 +1,100 @@
+"""GraphSAINT-RW sampler (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edge_index
+from repro.sampling.saint import SaintRWSampler, random_walk
+from repro.utils.rng import derive_rng
+
+
+def chain_graph(n=10):
+    """0 <- 1 <- 2 <- ... (each node's single in-neighbour is node+1)."""
+    src = np.arange(1, n)
+    dst = np.arange(0, n - 1)
+    return from_edge_index(src, dst, n)
+
+
+class TestRandomWalk:
+    def test_shape(self, tiny_dataset):
+        walks = random_walk(tiny_dataset.graph, np.array([0, 1, 2]), 4, derive_rng(0))
+        assert walks.shape == (3, 5)
+
+    def test_starts_preserved(self, tiny_dataset):
+        starts = np.array([5, 9])
+        walks = random_walk(tiny_dataset.graph, starts, 3, derive_rng(0))
+        np.testing.assert_array_equal(walks[:, 0], starts)
+
+    def test_deterministic_chain(self):
+        g = chain_graph(6)
+        walks = random_walk(g, np.array([0]), 3, derive_rng(0))
+        np.testing.assert_array_equal(walks[0], [0, 1, 2, 3])
+
+    def test_isolated_node_stays(self):
+        g = chain_graph(4)  # node 3 has no in-neighbours
+        walks = random_walk(g, np.array([3]), 3, derive_rng(0))
+        np.testing.assert_array_equal(walks[0], [3, 3, 3, 3])
+
+    def test_steps_follow_edges(self, tiny_dataset):
+        g = tiny_dataset.graph
+        walks = random_walk(g, np.arange(20), 3, derive_rng(1))
+        for row in walks:
+            for a, b in zip(row, row[1:]):
+                assert b == a or b in g.neighbors(a)
+
+    def test_rejects_negative_length(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            random_walk(tiny_dataset.graph, np.array([0]), -1, derive_rng(0))
+
+
+class TestSaintRWSampler:
+    def test_registered(self):
+        from repro.sampling.base import make_sampler
+
+        s = make_sampler("saint-rw", walk_length=2, num_layers=2)
+        assert isinstance(s, SaintRWSampler)
+
+    def test_minibatch_valid(self, tiny_dataset):
+        seeds = tiny_dataset.train_idx[:8]
+        mb = SaintRWSampler(walk_length=3, num_layers=3).sample(
+            tiny_dataset.graph, seeds, rng=derive_rng(0)
+        )
+        assert mb.num_layers == 3
+        np.testing.assert_array_equal(mb.blocks[-1].dst_ids, seeds)
+        for b in mb.blocks:
+            b.validate_prefix()
+
+    def test_subgraph_bounded_by_walks(self, tiny_dataset):
+        seeds = tiny_dataset.train_idx[:8]
+        mb = SaintRWSampler(walk_length=3, num_layers=2).sample(
+            tiny_dataset.graph, seeds, rng=derive_rng(0)
+        )
+        # at most walk_length new nodes per seed
+        assert mb.blocks[0].num_src <= len(seeds) * 4
+
+    def test_trains_end_to_end(self, tiny_dataset):
+        """The engine accepts any registered sampler (sampler-agnostic)."""
+        from repro.core.engine import MultiProcessEngine
+        from repro.gnn.models import build_model
+
+        model = build_model("gcn", tiny_dataset.layer_dims(2), seed=0)
+        engine = MultiProcessEngine(
+            tiny_dataset,
+            SaintRWSampler(walk_length=3, num_layers=2),
+            model,
+            num_processes=2,
+            global_batch_size=64,
+            seed=0,
+        )
+        hist = engine.train(3)
+        assert hist.losses[-1] < hist.losses[0] * 1.2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SaintRWSampler(walk_length=0)
+        with pytest.raises(ValueError):
+            SaintRWSampler(num_layers=0)
+
+    def test_rejects_duplicate_seeds(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SaintRWSampler().sample(tiny_dataset.graph, np.array([1, 1]))

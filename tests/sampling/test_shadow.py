@@ -1,0 +1,81 @@
+"""ShaDow sampler: subgraph locality, seed prefix, layer reuse."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.shadow import ShadowSampler
+from repro.utils.rng import derive_rng
+
+
+class TestShadowSampler:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ShadowSampler(fanouts=[])
+        with pytest.raises(ValueError):
+            ShadowSampler(num_layers=0)
+
+    def test_block_count_is_model_depth(self, tiny_dataset):
+        mb = ShadowSampler(fanouts=[5, 3], num_layers=3).sample(
+            tiny_dataset.graph, tiny_dataset.train_idx[:8], rng=derive_rng(0)
+        )
+        assert mb.num_layers == 3
+
+    def test_intermediate_blocks_shared_structure(self, tiny_dataset):
+        """Paper: ShaDow runs all L layers on ONE localized subgraph."""
+        mb = ShadowSampler(fanouts=[5, 3], num_layers=3).sample(
+            tiny_dataset.graph, tiny_dataset.train_idx[:8], rng=derive_rng(0)
+        )
+        assert mb.blocks[0] is mb.blocks[1]
+
+    def test_last_block_targets_seeds(self, tiny_dataset):
+        seeds = tiny_dataset.train_idx[:8]
+        mb = ShadowSampler(fanouts=[5, 3], num_layers=3).sample(
+            tiny_dataset.graph, seeds, rng=derive_rng(0)
+        )
+        np.testing.assert_array_equal(mb.blocks[-1].dst_ids, seeds)
+        assert mb.blocks[-1].num_dst == len(seeds)
+
+    def test_seeds_first_in_node_set(self, tiny_dataset):
+        seeds = tiny_dataset.train_idx[:8]
+        mb = ShadowSampler(fanouts=[5, 3], num_layers=2).sample(
+            tiny_dataset.graph, seeds, rng=derive_rng(0)
+        )
+        np.testing.assert_array_equal(mb.blocks[0].src_ids[: len(seeds)], seeds)
+
+    def test_subgraph_edges_exist_in_graph(self, tiny_dataset):
+        g = tiny_dataset.graph
+        seeds = tiny_dataset.train_idx[:8]
+        mb = ShadowSampler(fanouts=[5, 3], num_layers=2).sample(g, seeds, rng=derive_rng(0))
+        blk = mb.blocks[0]
+        full = set(zip(*g.to_edge_index()))
+        for e_src, e_dst in zip(blk.src_ids[blk.edge_src], blk.src_ids[blk.edge_dst]):
+            assert (e_src, e_dst) in full
+
+    def test_subgraph_bounded_by_fanout_expansion(self, tiny_dataset):
+        """Scope is bounded: |subgraph nodes| <= b * (1 + k1 + k1*k2)."""
+        seeds = tiny_dataset.train_idx[:4]
+        mb = ShadowSampler(fanouts=[5, 3], num_layers=2).sample(
+            tiny_dataset.graph, seeds, rng=derive_rng(0)
+        )
+        assert mb.blocks[0].num_src <= len(seeds) * (1 + 5 + 15)
+
+    def test_rejects_duplicate_seeds(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            ShadowSampler().sample(tiny_dataset.graph, np.array([1, 1]))
+
+    def test_rejects_empty_seeds(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            ShadowSampler().sample(tiny_dataset.graph, np.array([], dtype=np.int64))
+
+    def test_deterministic_given_rng(self, tiny_dataset):
+        seeds = tiny_dataset.train_idx[:8]
+        a = ShadowSampler().sample(tiny_dataset.graph, seeds, rng=derive_rng(5))
+        b = ShadowSampler().sample(tiny_dataset.graph, seeds, rng=derive_rng(5))
+        np.testing.assert_array_equal(a.blocks[0].src_ids, b.blocks[0].src_ids)
+
+    def test_single_layer_model(self, tiny_dataset):
+        mb = ShadowSampler(fanouts=[3], num_layers=1).sample(
+            tiny_dataset.graph, tiny_dataset.train_idx[:4], rng=derive_rng(0)
+        )
+        assert mb.num_layers == 1
+        np.testing.assert_array_equal(mb.blocks[0].dst_ids, tiny_dataset.train_idx[:4])

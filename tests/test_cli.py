@@ -1,0 +1,36 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "fig1" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available commands" in capsys.readouterr().out
+
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Ice Lake" in out
+        assert "295" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth" in out
+
+    def test_landscape(self, capsys):
+        assert main(["landscape", "--dataset", "flickr", "--platform", "sapphire"]) == 0
+        out = capsys.readouterr().out
+        assert "opt=" in out
+
+    def test_bad_command(self):
+        with pytest.raises(SystemExit):
+            main(["nonexistent"])

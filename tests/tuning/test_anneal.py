@@ -1,0 +1,67 @@
+"""Simulated annealing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.anneal import SimulatedAnnealing
+from repro.tuning.space import ConfigSpace
+
+
+def bowl(space):
+    target = space.configs[len(space) // 3]
+
+    def f(cfg):
+        n, s, t = cfg
+        return 1.0 + abs(n - target[0]) + 0.05 * abs(s - target[1])
+
+    return f
+
+
+class TestSimulatedAnnealing:
+    def test_budget_respected(self):
+        space = ConfigSpace(64)
+        res = SimulatedAnnealing().run(bowl(space), space, budget=20, seed=0)
+        assert res.num_evaluations == 20
+
+    def test_deterministic_in_seed(self):
+        space = ConfigSpace(64)
+        a = SimulatedAnnealing().run(bowl(space), space, budget=20, seed=3)
+        b = SimulatedAnnealing().run(bowl(space), space, budget=20, seed=3)
+        assert a.history == b.history
+
+    def test_seeds_change_trajectory(self):
+        space = ConfigSpace(64)
+        a = SimulatedAnnealing().run(bowl(space), space, budget=20, seed=3)
+        b = SimulatedAnnealing().run(bowl(space), space, budget=20, seed=4)
+        assert a.history != b.history
+
+    def test_beats_single_random_draw_on_average(self):
+        """SA with 20 moves should land well below the space median."""
+        space = ConfigSpace(64)
+        f = bowl(space)
+        all_vals = sorted(f(c) for c in space)
+        median = all_vals[len(all_vals) // 2]
+        finals = [
+            SimulatedAnnealing().run(f, space, budget=20, seed=s).best_observed
+            for s in range(5)
+        ]
+        assert np.mean(finals) < median
+
+    def test_rejects_zero_budget(self):
+        space = ConfigSpace(64)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing().run(bowl(space), space, budget=0)
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(t_initial=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=1.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(restart_prob=1.0)
+
+    def test_moves_stay_in_space(self):
+        space = ConfigSpace(48)
+        res = SimulatedAnnealing().run(bowl(space), space, budget=30, seed=0)
+        for cfg, _ in res.history:
+            assert cfg in space

@@ -1,0 +1,97 @@
+"""Pruning searcher (Sec. VII-B extension)."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.pruning import PruningSearch
+from repro.tuning.space import ConfigSpace
+
+
+def bowl(space):
+    target = space.configs[len(space) // 3]
+
+    def f(cfg):
+        n, s, t = cfg
+        return 1.0 + abs(n - target[0]) + 0.05 * abs(s - target[1])
+
+    return f
+
+
+class TestPruningSearch:
+    def test_budget_respected(self):
+        space = ConfigSpace(64)
+        res = PruningSearch().run(bowl(space), space, budget=20, seed=0)
+        assert res.num_evaluations == 20
+
+    def test_no_duplicate_evaluations(self):
+        space = ConfigSpace(64)
+        res = PruningSearch().run(bowl(space), space, budget=30, seed=0)
+        cfgs = [c for c, _ in res.history]
+        assert len(set(cfgs)) == len(cfgs)
+
+    def test_deterministic(self):
+        space = ConfigSpace(64)
+        a = PruningSearch().run(bowl(space), space, budget=20, seed=1)
+        b = PruningSearch().run(bowl(space), space, budget=20, seed=1)
+        assert a.history == b.history
+
+    def test_finds_good_region_in_2d(self):
+        """On the canonical 2-D space pruning should be competitive."""
+        space = ConfigSpace(112)
+        f = bowl(space)
+        best = min(f(c) for c in space)
+        res = PruningSearch().run(f, space, budget=space.paper_budget(), seed=0)
+        assert f(res.best_config) < best * 1.5
+
+    def test_handles_tiny_budget(self):
+        space = ConfigSpace(32)
+        res = PruningSearch().run(bowl(space), space, budget=2, seed=0)
+        assert res.num_evaluations == 2
+
+    def test_budget_larger_than_space(self):
+        space = ConfigSpace(8)
+        res = PruningSearch().run(bowl(space), space, budget=1000, seed=0)
+        assert res.num_evaluations <= len(space)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            PruningSearch(initial_fraction=0.0)
+        with pytest.raises(ValueError):
+            PruningSearch(keep_fraction=1.0)
+        with pytest.raises(ValueError):
+            PruningSearch().run(lambda c: 1.0, ConfigSpace(16), budget=0)
+
+
+class TestFull3DSpace:
+    def test_much_larger_than_canonical(self):
+        flat = ConfigSpace(112)
+        full = ConfigSpace.full3d(112)
+        assert len(full) > 10 * len(flat)
+
+    def test_configs_valid(self):
+        full = ConfigSpace.full3d(32)
+        for n, s, t in full.configs[::37]:
+            assert n * (s + t) <= 32
+            assert s >= 1 and t >= 1
+
+    def test_features_three_dims(self):
+        full = ConfigSpace.full3d(32)
+        feats = full.features()
+        assert feats.shape[1] == 3
+        assert feats.min() >= 0.0 and feats.max() <= 1.0
+
+    def test_features_distinct(self):
+        full = ConfigSpace.full3d(24)
+        feats = full.features()
+        assert len(np.unique(feats, axis=0)) == len(feats)
+
+    def test_neighbors_include_utilisation_moves(self):
+        full = ConfigSpace.full3d(32)
+        moves = full.neighbors((2, 4, 4))
+        assert (2, 4, 5) in moves or (2, 4, 3) in moves
+
+    def test_canonical_subset_of_full(self):
+        flat = ConfigSpace(32)
+        full = ConfigSpace.full3d(32)
+        for cfg in flat:
+            assert cfg in full

@@ -1,0 +1,81 @@
+"""Search baselines: exhaustive, random, and the shared result record."""
+
+import numpy as np
+import pytest
+
+from repro.tuning.search import ExhaustiveSearch, RandomSearch, SearchResult
+from repro.tuning.space import ConfigSpace
+
+
+def quadratic_objective(space):
+    """Deterministic bowl with minimum at a mid-space config."""
+    target = space.configs[len(space) // 2]
+
+    def f(cfg):
+        n, s, t = cfg
+        tn, ts, tt = target
+        return 1.0 + (n - tn) ** 2 + 0.1 * (s - ts) ** 2
+
+    return f, target
+
+
+class TestExhaustive:
+    def test_finds_global_optimum(self):
+        space = ConfigSpace(32)
+        f, target = quadratic_objective(space)
+        res = ExhaustiveSearch().run(f, space, budget=0)
+        assert f(res.best_config) == min(f(c) for c in space)
+
+    def test_evaluates_everything(self):
+        space = ConfigSpace(32)
+        f, _ = quadratic_objective(space)
+        res = ExhaustiveSearch().run(f, space)
+        assert res.num_evaluations == len(space)
+
+
+class TestRandom:
+    def test_budget_respected(self):
+        space = ConfigSpace(32)
+        f, _ = quadratic_objective(space)
+        res = RandomSearch().run(f, space, budget=10, seed=0)
+        assert res.num_evaluations == 10
+
+    def test_no_repeats(self):
+        space = ConfigSpace(32)
+        f, _ = quadratic_objective(space)
+        res = RandomSearch().run(f, space, budget=20, seed=0)
+        cfgs = [c for c, _ in res.history]
+        assert len(set(cfgs)) == len(cfgs)
+
+    def test_deterministic_in_seed(self):
+        space = ConfigSpace(32)
+        f, _ = quadratic_objective(space)
+        a = RandomSearch().run(f, space, budget=10, seed=5)
+        b = RandomSearch().run(f, space, budget=10, seed=5)
+        assert a.history == b.history
+
+    def test_rejects_zero_budget(self):
+        space = ConfigSpace(32)
+        with pytest.raises(ValueError):
+            RandomSearch().run(lambda c: 1.0, space, budget=0)
+
+    def test_budget_capped_at_space(self):
+        space = ConfigSpace(8)
+        res = RandomSearch().run(lambda c: 1.0, space, budget=10_000, seed=0)
+        assert res.num_evaluations == len(space)
+
+
+class TestSearchResult:
+    def test_best_so_far_monotone(self):
+        space = ConfigSpace(32)
+        f, _ = quadratic_objective(space)
+        res = RandomSearch().run(f, space, budget=15, seed=1)
+        curve = res.best_so_far()
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == res.best_observed
+
+    def test_best_matches_history(self):
+        space = ConfigSpace(32)
+        f, _ = quadratic_objective(space)
+        res = RandomSearch().run(f, space, budget=15, seed=1)
+        assert res.best_observed == min(res.observations)

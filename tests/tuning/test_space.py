@@ -1,0 +1,115 @@
+"""ConfigSpace: enumeration, features, neighbourhood moves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platform.spec import ICE_LAKE_8380H, SAPPHIRE_RAPIDS_6430L
+from repro.tuning.space import ConfigSpace
+
+
+class TestEnumeration:
+    def test_every_config_valid(self):
+        space = ConfigSpace(112)
+        for n, s, t in space:
+            assert n >= 1 and s >= 1 and t >= 1
+            assert n * (s + t) <= 112
+            assert s + t == 112 // n
+
+    def test_known_sizes(self):
+        """Our natural grid: 295 on 112 cores, 164 on 64 (the paper's own
+        enumeration rule — 726/408 — is unpublished; see EXPERIMENTS.md)."""
+        assert len(ConfigSpace(112)) == 295
+        assert len(ConfigSpace(64)) == 164
+
+    def test_for_platform(self):
+        assert len(ConfigSpace.for_platform(ICE_LAKE_8380H)) == 295
+        assert len(ConfigSpace.for_platform(SAPPHIRE_RAPIDS_6430L)) == 164
+
+    def test_contains_and_index(self):
+        space = ConfigSpace(16)
+        cfg = space.configs[5]
+        assert cfg in space
+        assert space.index(cfg) == 5
+        assert (99, 1, 1) not in space
+
+    def test_custom_process_counts(self):
+        space = ConfigSpace(16, process_counts=[2, 4])
+        assert {n for n, _, _ in space} == {2, 4}
+
+    def test_rejects_tiny_machine(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(1)
+
+    def test_paper_budget_fraction(self):
+        space = ConfigSpace(112)
+        assert space.paper_budget(0.05) == round(0.05 * 295)
+        with pytest.raises(ValueError):
+            space.paper_budget(0.0)
+
+    def test_budget_floor(self):
+        assert ConfigSpace(4).paper_budget(0.05) >= 3
+
+
+class TestFeatures:
+    def test_unit_cube(self):
+        feats = ConfigSpace(64).features()
+        assert feats.shape == (164, 2)
+        assert feats.min() >= 0.0
+        assert feats.max() <= 1.0
+
+    def test_features_distinct(self):
+        feats = ConfigSpace(64).features()
+        assert len(np.unique(feats, axis=0)) == len(feats)
+
+    def test_feature_semantics(self):
+        space = ConfigSpace(64, process_counts=[1, 8])
+        i = space.index((1, 4, 60))
+        j = space.index((8, 4, 4))
+        feats = space.features()
+        assert feats[i, 0] == 0.0  # log2(1) = 0
+        assert feats[j, 0] == 1.0  # max process count
+        assert feats[i, 1] == pytest.approx(4 / 64)
+        assert feats[j, 1] == pytest.approx(4 / 8)
+
+
+class TestNeighbors:
+    def test_split_moves(self):
+        space = ConfigSpace(16)
+        moves = space.neighbors((2, 4, 4))
+        assert (2, 3, 5) in moves
+        assert (2, 5, 3) in moves
+
+    def test_process_moves_preserve_fraction(self):
+        space = ConfigSpace(64)
+        moves = space.neighbors((4, 8, 8))  # 50% sampling split
+        by_n = {n: (s, t) for n, s, t in moves}
+        assert 3 in by_n or 5 in by_n
+        for n, (s, t) in by_n.items():
+            assert abs(s / (s + t) - 0.5) < 0.2
+
+    def test_all_neighbors_in_space(self):
+        space = ConfigSpace(48)
+        for cfg in space.configs[::7]:
+            for move in space.neighbors(cfg):
+                assert move in space
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            ConfigSpace(16).neighbors((99, 1, 1))
+
+    @given(st.integers(min_value=8, max_value=128))
+    @settings(max_examples=20, deadline=None)
+    def test_property_space_is_connected_enough(self, cores):
+        """Every config has at least one neighbour (SA can always move)."""
+        space = ConfigSpace(cores)
+        for cfg in space.configs[:: max(1, len(space) // 20)]:
+            assert len(space.neighbors(cfg)) >= 1
+
+
+class TestRandomConfig:
+    def test_in_space(self):
+        space = ConfigSpace(32)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert space.random_config(rng) in space

@@ -1,0 +1,80 @@
+"""Determinism guarantees of the RNG utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import as_generator, derive_rng, spawn_seeds, RngMixin
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(42, "sampler", 3).integers(0, 1 << 30, 10)
+        b = derive_rng(42, "sampler", 3).integers(0, 1 << 30, 10)
+        assert np.array_equal(a, b)
+
+    def test_streams_differ_by_name(self):
+        a = derive_rng(42, "sampler").integers(0, 1 << 30, 10)
+        b = derive_rng(42, "shuffle").integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_streams_differ_by_rank(self):
+        a = derive_rng(42, "sample", 0).integers(0, 1 << 30, 10)
+        b = derive_rng(42, "sample", 1).integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_streams_differ_by_seed(self):
+        a = derive_rng(1, "x").integers(0, 1 << 30, 10)
+        b = derive_rng(2, "x").integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_any_seed_valid(self, seed):
+        rng = derive_rng(seed, "t", 7)
+        assert 0 <= rng.random() < 1
+
+    def test_string_and_int_parts_mix(self):
+        rng = derive_rng(0, "a", 1, "b", 2)
+        assert rng is not None
+
+
+class TestSpawnSeeds:
+    def test_count_and_range(self):
+        seeds = spawn_seeds(7, 5)
+        assert len(seeds) == 5
+        assert all(0 <= s < 2**63 for s in seeds)
+
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(7, 100)
+        assert len(set(seeds)) == 100
+
+
+class TestAsGenerator:
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_from_int(self):
+        a = as_generator(5).random(3)
+        b = as_generator(5).random(3)
+        assert np.array_equal(a, b)
+
+    def test_from_none(self):
+        assert as_generator(None) is not None
+
+
+class TestRngMixin:
+    def test_lazy_and_reseed(self):
+        class Thing(RngMixin):
+            def __init__(self, seed):
+                self._seed = seed
+
+        t = Thing(3)
+        first = t.rng.random(4)
+        t.reseed(3)
+        assert np.array_equal(t.rng.random(4), first)
+        t.reseed(4)
+        assert not np.array_equal(t.rng.random(4), first)

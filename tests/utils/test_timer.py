@@ -1,0 +1,56 @@
+"""Clock and timer behaviour."""
+
+import pytest
+
+from repro.utils.timer import Timer, VirtualClock, WallClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance(self):
+        c = VirtualClock(10.0)
+        c.advance(2.5)
+        assert c.now() == 12.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestWallClock:
+    def test_monotone(self):
+        c = WallClock()
+        a = c.now()
+        b = c.now()
+        assert b >= a
+
+
+class TestTimer:
+    def test_accumulates_virtual_time(self):
+        clock = VirtualClock()
+        timer = Timer(clock=clock)
+        with timer:
+            clock.advance(1.0)
+        with timer:
+            clock.advance(2.0)
+        assert timer.total == pytest.approx(3.0)
+        assert timer.count == 2
+        assert timer.mean == pytest.approx(1.5)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        timer = Timer(clock=clock)
+        with timer:
+            clock.advance(1.0)
+        timer.reset()
+        assert timer.total == 0.0
+        assert timer.count == 0
+        assert timer.mean == 0.0
+
+    def test_wall_timer_positive(self):
+        timer = Timer()
+        with timer:
+            sum(range(1000))
+        assert timer.total >= 0.0

@@ -1,0 +1,67 @@
+"""Argument validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in,
+    check_nonneg_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_integral_float(self):
+        assert check_positive_int(4.0, "x") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_positive_int("three", "x")
+
+
+class TestCheckNonnegInt:
+    def test_accepts_zero(self):
+        assert check_nonneg_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonneg_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_nonneg_int(True, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, p):
+        assert check_probability(p, "p") == p
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_rejects_outside(self, p):
+        with pytest.raises(ValueError):
+            check_probability(p, "p")
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("a", {"a", "b"}, "opt") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="opt"):
+            check_in("c", {"a", "b"}, "opt")

@@ -1,0 +1,91 @@
+"""WorkloadModel curves and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.shadow import ShadowSampler
+from repro.workload.model import ALPHA_CAP, WorkloadModel
+
+
+@pytest.fixture(scope="module")
+def neighbor_wm(request):
+    tiny = request.getfixturevalue("tiny_dataset")
+    return WorkloadModel(tiny, NeighborSampler([5, 5, 5]), num_batches=2, seed=0)
+
+
+class TestCurves:
+    def test_alpha_sublinear(self, neighbor_wm):
+        assert 0.0 < neighbor_wm.alpha <= ALPHA_CAP
+
+    def test_monotone_in_batch(self, neighbor_wm):
+        vals = [neighbor_wm.edges_per_iter(b) for b in (1, 8, 64, 512)]
+        assert vals == sorted(vals)
+
+    def test_anchored_at_measurement(self, neighbor_wm):
+        """The power-law prediction must match the largest measured point."""
+        anchor = neighbor_wm.samples[-1]
+        pred = neighbor_wm.edges_per_iter(anchor.batch_size)
+        assert pred == pytest.approx(anchor.edges_per_iter, rel=1e-6)
+
+    def test_interp_mode_hits_all_measurements(self, tiny_dataset):
+        wm = WorkloadModel(
+            tiny_dataset, NeighborSampler([5, 5]), mode="interp", num_batches=2, seed=0
+        )
+        for s in wm.samples:
+            assert wm.edges_per_iter(s.batch_size) == pytest.approx(
+                max(s.edges_per_iter, 1.0), rel=1e-6
+            )
+
+    def test_shadow_alpha_capped(self, tiny_dataset):
+        """Small dense graphs measure superlinear ShaDow growth; the model
+        must cap the exponent (superlinear per-iteration workload is a
+        small-graph artefact, impossible at paper scale)."""
+        wm = WorkloadModel(tiny_dataset, ShadowSampler(num_layers=3), num_batches=2, seed=0)
+        assert wm.alpha <= ALPHA_CAP
+
+    def test_rejects_bad_mode(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            WorkloadModel(tiny_dataset, NeighborSampler([5]), mode="spline")
+
+
+class TestEpochAccounting:
+    def test_epoch_edges_grow_with_processes(self, neighbor_wm):
+        """Fig. 6 workload curve."""
+        vals = [neighbor_wm.epoch_edges(n, 1024, 50_000) for n in (1, 2, 4, 8, 16)]
+        assert vals == sorted(vals)
+
+    def test_epoch_edges_single_process_baseline(self, neighbor_wm):
+        iters = int(np.ceil(50_000 / 1024))
+        expected = iters * neighbor_wm.edges_per_iter(1024)
+        assert neighbor_wm.epoch_edges(1, 1024, 50_000) == pytest.approx(expected)
+
+    def test_rejects_zero_processes(self, neighbor_wm):
+        with pytest.raises(ValueError):
+            neighbor_wm.epoch_edges(0, 1024, 1000)
+
+
+class TestConversion:
+    def test_flops_positive_and_monotone(self, neighbor_wm, request):
+        tiny = request.getfixturevalue("tiny_dataset")
+        dims = tiny.layer_dims(3)
+        f64 = neighbor_wm.flops_per_iter(64, dims, "sage")
+        f512 = neighbor_wm.flops_per_iter(512, dims, "sage")
+        assert 0 < f64 < f512
+
+    def test_sage_concat_doubles_gemm(self, neighbor_wm, request):
+        tiny = request.getfixturevalue("tiny_dataset")
+        dims = tiny.layer_dims(3)
+        sage = neighbor_wm.flops_per_iter(64, dims, "sage")
+        gcn = neighbor_wm.flops_per_iter(64, dims, "gcn")
+        assert sage > 1.5 * gcn
+
+    def test_bytes_positive(self, neighbor_wm, request):
+        tiny = request.getfixturevalue("tiny_dataset")
+        assert neighbor_wm.bytes_per_iter(64, tiny.layer_dims(3)) > 0
+
+    def test_dims_validated(self, neighbor_wm):
+        with pytest.raises(ValueError):
+            neighbor_wm.flops_per_iter(64, [4, 2], "sage")
+        with pytest.raises(ValueError):
+            neighbor_wm.bytes_per_iter(64, [4, 2])

@@ -1,0 +1,72 @@
+"""Workload measurement: the Fig. 5/6 mechanisms on real samplers."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.neighbor import NeighborSampler
+from repro.sampling.shadow import ShadowSampler
+from repro.workload.stats import duplicate_aggregation_count, measure_workload
+
+
+class TestMeasureWorkload:
+    def test_basic_fields(self, tiny_dataset):
+        ws = measure_workload(tiny_dataset, NeighborSampler([5, 5]), 16, seed=0)
+        assert ws.batch_size == 16
+        assert ws.edges_per_iter > 0
+        assert ws.input_nodes_per_iter >= 16
+        assert ws.num_layers == 2
+        assert len(ws.layer_rows) == 2
+
+    def test_deterministic(self, tiny_dataset):
+        a = measure_workload(tiny_dataset, NeighborSampler([5, 5]), 16, seed=3)
+        b = measure_workload(tiny_dataset, NeighborSampler([5, 5]), 16, seed=3)
+        assert a == b
+
+    def test_edges_grow_with_batch(self, tiny_dataset):
+        s = NeighborSampler([5, 5])
+        e8 = measure_workload(tiny_dataset, s, 8, seed=0).edges_per_iter
+        e64 = measure_workload(tiny_dataset, s, 64, seed=0).edges_per_iter
+        assert e64 > e8
+
+    def test_sublinear_growth(self, tiny_dataset):
+        """Shared neighbours make edges-per-seed fall as batches grow."""
+        s = NeighborSampler([10, 10])
+        e8 = measure_workload(tiny_dataset, s, 8, seed=0).edges_per_iter
+        e128 = measure_workload(tiny_dataset, s, 128, seed=0).edges_per_iter
+        assert e128 / 128 < e8 / 8
+
+    def test_neighbor_structure_equals_total(self, tiny_dataset):
+        """Every neighbour-sampling block is a distinct structure."""
+        ws = measure_workload(tiny_dataset, NeighborSampler([5, 5]), 16, seed=0)
+        assert ws.structure_edges_per_iter == pytest.approx(ws.edges_per_iter)
+
+    def test_shadow_structure_cheaper_than_total(self, tiny_dataset):
+        """ShaDow reuses one subgraph across L layers: the sampler pays
+        for far fewer edges than aggregation touches."""
+        ws = measure_workload(tiny_dataset, ShadowSampler(num_layers=3), 16, seed=0)
+        assert ws.structure_edges_per_iter < 0.8 * ws.edges_per_iter
+
+    def test_rejects_bad_args(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            measure_workload(tiny_dataset, NeighborSampler([5]), 0)
+        with pytest.raises(ValueError):
+            measure_workload(tiny_dataset, NeighborSampler([5]), 8, num_batches=0)
+
+
+class TestFig5Effect:
+    def test_splitting_increases_workload(self, tiny_dataset):
+        """Paper Fig. 5: splitting a batch loses shared neighbours, so the
+        summed workload of the splits exceeds the whole batch's."""
+        sampler = NeighborSampler([10, 10])
+        whole, split = duplicate_aggregation_count(tiny_dataset, sampler, 64, 8, seed=0)
+        assert split > whole
+
+    def test_single_split_is_identity_scale(self, tiny_dataset):
+        sampler = NeighborSampler([5, 5])
+        whole, split = duplicate_aggregation_count(tiny_dataset, sampler, 32, 1, seed=0)
+        # same seeds, sampling randomness only
+        assert split == pytest.approx(whole, rel=0.2)
+
+    def test_rejects_bad_splits(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            duplicate_aggregation_count(tiny_dataset, NeighborSampler([5]), 8, 0)

@@ -4,12 +4,22 @@ Paper shape (four panels: DGL/PyG x Ice Lake/Sapphire Rapids, on
 ogbn-products): the baseline lines flatten at 16 cores while the ARGO
 lines keep rising, flattening only near the machine's socket-bandwidth
 limit (past 64 cores on Ice Lake).
+
+``bench_fig8_autotune_backends`` additionally runs the online autotuner
+over a :class:`BackendSpace` against the *real* engine, demonstrating
+that the execution backend is a searchable axis of the design space.
 """
 
 import pytest
 
+from repro.core.autotuner import OnlineAutoTuner
+from repro.core.config import RuntimeConfig
+from repro.core.train_loop import make_train_fn
 from repro.experiments.figures import fig8_argo_scalability
-from repro.experiments.reporting import render_series
+from repro.experiments.reporting import render_series, render_table
+from repro.gnn.models import make_task
+from repro.graph.datasets import load_dataset
+from repro.tuning.space import BackendSpace, ConfigSpace
 
 
 @pytest.mark.parametrize("platform", ["icelake", "sapphire"])
@@ -39,3 +49,37 @@ def bench_fig8(benchmark, save_result, platform):
         assert argo[-1] > 1.1 * argo[idx16], key
     pyg_n = data["series"]["ARGO-PYG-neighbor-sage"]
     assert pyg_n[-1] >= 0.95 * pyg_n[idx16]
+
+
+def bench_fig8_autotune_backends(benchmark, save_result):
+    """Autotuner searching (n, s, t, backend) against real epoch times."""
+
+    def run():
+        ds = load_dataset("ogbn-products", seed=0, scale_override=9)
+        sampler, model = make_task(
+            "neighbor-sage", ds.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+        space = BackendSpace(
+            ConfigSpace(2, max_processes=2), backends=("inline", "thread", "process")
+        )
+        train = make_train_fn(ds, sampler, model, global_batch_size=64, seed=0)
+        tuner = OnlineAutoTuner(space, num_searches=len(space), seed=0)
+        result = tuner.tune(
+            lambda cfg: sum(train(config=RuntimeConfig.from_tuple(cfg), epochs=1))
+        )
+        return space, result
+
+    space, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [str(RuntimeConfig.from_tuple(cfg)), f"{t:.3f}"] for cfg, t in result.history
+    ]
+    text = render_table(
+        ["config", "epoch time s"],
+        rows,
+        title=f"Fig 8 (measured) — autotuner over backends (best={result.best_config})",
+    )
+    save_result("fig08_autotune_backends", text)
+
+    tried = {cfg[3] for cfg, _ in result.history}
+    assert tried == {"inline", "thread", "process"}
+    assert result.best_config in space

@@ -39,7 +39,9 @@ from repro.platform import (
     CoreBinder,
 )
 from repro.workload import WorkloadModel, measure_workload
+from repro.exec import ExecutionBackend, available_backends, get_backend
 from repro.tuning import (
+    BackendSpace,
     ConfigSpace,
     ExhaustiveSearch,
     RandomSearch,
@@ -85,6 +87,10 @@ __all__ = [
     "CoreBinder",
     "WorkloadModel",
     "measure_workload",
+    "ExecutionBackend",
+    "available_backends",
+    "get_backend",
+    "BackendSpace",
     "ConfigSpace",
     "ExhaustiveSearch",
     "RandomSearch",

@@ -7,7 +7,7 @@ import numpy as np
 
 from repro.autograd.module import Parameter
 
-__all__ = ["Optimizer", "SGD", "Adam"]
+__all__ = ["Optimizer", "SGD", "Adam", "make_optimizer"]
 
 
 class Optimizer:
@@ -24,6 +24,20 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # state round-tripping: the process execution backend rebuilds each
+    # rank's optimizer inside the worker and ships the evolved state back,
+    # so momentum/moment buffers must survive a (de)serialisation cycle.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the optimizer's internal buffers."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore buffers from :meth:`state_dict` output."""
+        if state:
+            raise ValueError(f"unexpected optimizer state keys: {sorted(state)}")
 
 
 class SGD(Optimizer):
@@ -52,6 +66,17 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data = p.data - self.lr * g
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = state["velocity"]
+        if len(velocity) != len(self.params):
+            raise ValueError(
+                f"velocity count {len(velocity)} != parameter count {len(self.params)}"
+            )
+        self._velocity = [np.array(v, dtype=p.data.dtype) for v, p in zip(velocity, self.params)]
 
 
 class Adam(Optimizer):
@@ -96,3 +121,27 @@ class Adam(Optimizer):
             m_hat = m / b1t
             v_hat = v / b2t
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self.params) or len(state["v"]) != len(self.params):
+            raise ValueError("moment buffer count != parameter count")
+        self._m = [np.array(m, dtype=p.data.dtype) for m, p in zip(state["m"], self.params)]
+        self._v = [np.array(v, dtype=p.data.dtype) for v, p in zip(state["v"], self.params)]
+        self._t = int(state["t"])
+
+
+def make_optimizer(name: str, params, lr: float) -> Optimizer:
+    """Instantiate an optimizer by name (``adam`` or ``sgd``)."""
+    key = name.lower()
+    if key == "adam":
+        return Adam(params, lr=lr)
+    if key == "sgd":
+        return SGD(params, lr=lr)
+    raise ValueError(f"unknown optimizer {name!r}; options: adam, sgd")

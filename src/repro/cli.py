@@ -6,10 +6,13 @@ Usage::
     python -m repro.cli fig1 [--dataset ogbn-products] [--platform icelake]
     python -m repro.cli fig6 | fig7 | fig8 | table4 | table5 | table6
     python -m repro.cli landscape --task shadow-gcn --dataset reddit
+    python -m repro.cli train --backend process --processes 2 --epochs 2
 
 Each command prints the reproduced artefact to stdout (the benchmark
 suite additionally asserts the paper's shapes; the CLI is for quick
-interactive inspection).
+interactive inspection).  ``train`` runs the *real* Multi-Process Engine
+on a local synthetic instance under any execution backend — it is also
+the CI smoke test for the fork-sensitive ``process`` backend.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.experiments.figures import (
 from repro.experiments.reporting import render_heatmap, render_series, render_table
 from repro.experiments.setups import DATASET_NAMES, ExperimentSetup
 from repro.experiments.tables import table4_5_row, table6_search_budgets
+from repro.exec import available_backends
 
 __all__ = ["main"]
 
@@ -111,6 +115,45 @@ def cmd_table6(args) -> str:
     )
 
 
+def cmd_train(args) -> str:
+    """Train the real engine under any execution backend and report."""
+    from repro.core.engine import MultiProcessEngine
+    from repro.gnn.models import make_task
+    from repro.graph.datasets import load_dataset
+
+    ds = load_dataset(args.dataset, seed=args.seed, scale_override=args.scale)
+    sampler, model = make_task(args.task, ds.layer_dims(args.layers), seed=args.seed)
+    backend_options = {"timeout": args.timeout} if args.backend == "process" else None
+    engine = MultiProcessEngine(
+        ds,
+        sampler,
+        model,
+        num_processes=args.processes,
+        global_batch_size=args.batch,
+        backend=args.backend,
+        backend_options=backend_options,
+        seed=args.seed,
+    )
+    try:
+        engine.train(args.epochs)
+        acc = engine.evaluate()
+    finally:
+        engine.shutdown()
+    rows = [
+        [e.epoch, f"{e.mean_loss:.4f}", f"{e.epoch_time:.3f}", e.sampled_edges]
+        for e in engine.history.epochs
+    ]
+    table = render_table(
+        ["epoch", "mean loss", "time s", "edges"],
+        rows,
+        title=(
+            f"train — {args.task} on {args.dataset} (scale 2^{args.scale}), "
+            f"backend={args.backend}, n={args.processes}"
+        ),
+    )
+    return f"{table}\nfinal validation accuracy: {acc:.3f}"
+
+
 COMMANDS = {
     "fig1": cmd_fig1,
     "fig6": cmd_fig6,
@@ -119,6 +162,7 @@ COMMANDS = {
     "table4": cmd_table4,
     "table5": cmd_table5,
     "table6": cmd_table6,
+    "train": cmd_train,
 }
 
 
@@ -129,6 +173,18 @@ def main(argv=None) -> int:
     for name in COMMANDS:
         p = sub.add_parser(name)
         _add_common(p)
+        if name == "train":
+            p.add_argument("--backend", default="inline", choices=available_backends())
+            p.add_argument("--processes", type=int, default=2)
+            p.add_argument("--epochs", type=int, default=1)
+            p.add_argument("--batch", type=int, default=128)
+            p.add_argument("--scale", type=int, default=10)
+            p.add_argument("--layers", type=int, default=2)
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument(
+                "--timeout", type=float, default=120.0,
+                help="per-epoch worker deadline for the process backend (s)",
+            )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         print("available commands:", ", ".join(["list", *COMMANDS]))

@@ -21,16 +21,33 @@ class RuntimeConfig:
         CPU cores bound to mini-batch sampling, per process.
     training_cores:
         CPU cores bound to model propagation, per process.
+    backend:
+        Execution backend the engine should run the ranks on
+        (``inline``/``thread``/``process``); searchable by the autotuner
+        via :class:`repro.tuning.space.BackendSpace`.
     """
 
     num_processes: int
     sampling_cores: int
     training_cores: int
+    backend: str = "inline"
 
     def __post_init__(self):
         check_positive_int(self.num_processes, "num_processes")
         check_positive_int(self.sampling_cores, "sampling_cores")
         check_positive_int(self.training_cores, "training_cores")
+        # normalize like get_backend so the same string is accepted by
+        # both the engine and the config path
+        object.__setattr__(self, "backend", str(self.backend).lower())
+        # validate lazily against the live registry (avoids import cycles
+        # and keeps third-party registered backends selectable)
+        from repro.exec import available_backends
+
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {sorted(available_backends())}, "
+                f"got {self.backend!r}"
+            )
 
     @property
     def cores_per_process(self) -> int:
@@ -41,15 +58,28 @@ class RuntimeConfig:
         return self.num_processes * self.cores_per_process
 
     def as_tuple(self) -> tuple[int, int, int]:
+        """The numeric ``(n, s, t)`` triple (backend carried separately)."""
         return (self.num_processes, self.sampling_cores, self.training_cores)
 
     @classmethod
     def from_tuple(cls, cfg) -> "RuntimeConfig":
+        """Build from ``(n, s, t)`` or ``(n, s, t, backend)``."""
+        if len(cfg) == 4:
+            n, s, t, backend = cfg
+            return cls(
+                num_processes=int(n),
+                sampling_cores=int(s),
+                training_cores=int(t),
+                backend=str(backend),
+            )
         n, s, t = cfg
         return cls(num_processes=int(n), sampling_cores=int(s), training_cores=int(t))
 
     def __str__(self) -> str:
-        return (
+        base = (
             f"(n={self.num_processes}, samp={self.sampling_cores}, "
-            f"train={self.training_cores})"
+            f"train={self.training_cores}"
         )
+        if self.backend != "inline":
+            return f"{base}, backend={self.backend})"
+        return f"{base})"

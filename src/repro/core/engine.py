@@ -8,8 +8,11 @@ Paper Sec. IV-B2: with ``n`` processes the engine
 3. averages gradients across ranks (synchronous SGD via DDP) and applies
    the identical optimizer step on every replica.
 
-Backends
---------
+Execution backends
+------------------
+*How* the ranks run is delegated to a pluggable
+:class:`repro.exec.ExecutionBackend` selected by name:
+
 ``inline``
     Ranks execute sequentially inside the calling thread.  Bit-for-bit
     deterministic; the union of rank chunks equals the single-process
@@ -18,29 +21,41 @@ Backends
 ``thread``
     One OS thread per rank with barrier-based all-reduce
     (:class:`repro.distributed.comm.ThreadWorld`).  numpy kernels release
-    the GIL, giving real overlap — the closest offline analogue of the
-    paper's process-level parallelism.
+    the GIL, giving real overlap inside kernels.
+``process``
+    One OS *process* per rank — the paper's actual mechanism.  The CSR
+    graph, features and labels live in shared memory
+    (:class:`repro.graph.shm.SharedGraphStore`), gradients all-reduce
+    through :class:`repro.distributed.comm.ProcessWorld`, and workers
+    pin themselves to their :class:`ProcessBinding` cores.  Pass
+    ``bindings`` (from :class:`repro.platform.corebind.CoreBinder`) to
+    enable real core binding.
+
+All backends implement the same algorithm; loss trajectories agree to
+float tolerance (exactly, for ``inline`` re-runs).  Engines using the
+``process`` backend hold shared-memory segments across epochs — call
+:meth:`MultiProcessEngine.shutdown` (or use the engine as a context
+manager) to release them.
 """
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.autograd.functional import accuracy, cross_entropy
+from repro.autograd.functional import accuracy
 from repro.autograd.module import Module
 from repro.autograd.ops import gather_rows
-from repro.autograd.optim import Adam, SGD
+from repro.autograd.optim import make_optimizer
 from repro.autograd.tensor import Tensor, no_grad
-from repro.distributed.comm import ThreadWorld
-from repro.distributed.ddp import DistributedDataParallel, average_gradients, replicate_module
+from repro.distributed.ddp import replicate_module
+from repro.exec import get_backend
 from repro.graph.datasets import GNNDataset
 from repro.sampling.base import Sampler
 from repro.utils.rng import derive_rng
-from repro.utils.validation import check_in, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["MultiProcessEngine", "EpochStats", "TrainHistory"]
 
@@ -78,15 +93,6 @@ class TrainHistory:
         return [e.mean_loss for e in self.epochs]
 
 
-def _make_optimizer(name: str, params, lr: float):
-    name = name.lower()
-    if name == "adam":
-        return Adam(params, lr=lr)
-    if name == "sgd":
-        return SGD(params, lr=lr)
-    raise ValueError(f"unknown optimizer {name!r}; options: adam, sgd")
-
-
 class MultiProcessEngine:
     """Data-parallel trainer over a fixed number of ranks.
 
@@ -103,7 +109,16 @@ class MultiProcessEngine:
     lr, optimizer:
         Optimiser settings (paper examples use Adam).
     backend:
-        ``"inline"`` (deterministic, default) or ``"thread"``.
+        Execution backend name — ``"inline"`` (deterministic, default),
+        ``"thread"`` or ``"process"`` (see :mod:`repro.exec`).
+    backend_options:
+        Extra keyword arguments for the backend constructor (e.g.
+        ``{"start_method": "spawn"}`` for the process backend).
+    bindings:
+        Optional per-rank core assignments
+        (:class:`repro.platform.corebind.ProcessBinding` list, one per
+        rank); the process backend applies them with
+        ``os.sched_setaffinity`` inside each worker.
     eval_nodes:
         Optional cap on validation nodes scored per accuracy checkpoint.
     seed:
@@ -121,6 +136,8 @@ class MultiProcessEngine:
         lr: float = 3e-3,
         optimizer: str = "adam",
         backend: str = "inline",
+        backend_options: dict | None = None,
+        bindings: list | None = None,
         eval_nodes: int = 512,
         seed: int = 0,
     ):
@@ -132,12 +149,21 @@ class MultiProcessEngine:
             raise ValueError(
                 f"global batch ({self.global_batch}) must be >= num_processes ({self.n})"
             )
-        self.backend = check_in(backend, ("inline", "thread"), "backend")
+        self._backend = get_backend(backend, **(backend_options or {}))
+        self.backend = self._backend.name
+        if bindings is not None and len(bindings) < self.n:
+            raise ValueError(
+                f"got {len(bindings)} core bindings for {self.n} ranks"
+            )
+        self.bindings = bindings
         self.lr = float(lr)
+        self.optimizer_name = str(optimizer).lower()
         self.seed = int(seed)
         self.eval_nodes = int(eval_nodes)
         self.replicas = replicate_module(model, self.n)
-        self.optimizers = [_make_optimizer(optimizer, m.parameters(), lr) for m in self.replicas]
+        self.optimizers = [
+            make_optimizer(self.optimizer_name, m.parameters(), lr) for m in self.replicas
+        ]
         self.features = Tensor(dataset.features)
         self.history = TrainHistory()
         self._epoch = 0
@@ -163,105 +189,25 @@ class MultiProcessEngine:
             for i in range(n_steps)
         ]
 
-    def _rank_chunks(self, global_batch: np.ndarray) -> list[np.ndarray]:
-        """Split one global batch into ``n`` near-equal rank chunks."""
-        return list(np.array_split(global_batch, self.n))
-
-    def _forward_loss(self, rank: int, model: Module, seeds: np.ndarray, rng):
-        batch = self.sampler.sample(self.dataset.graph, seeds, rng=rng)
-        x = gather_rows(self.features, batch.input_ids)
-        out = model(batch.blocks, x)
-        loss = cross_entropy(out, self.dataset.labels[batch.seeds])
-        return loss, batch.total_edges
-
     # ------------------------------------------------------------------
     def train_epoch(self) -> EpochStats:
         """Run one epoch; returns its stats and appends to history."""
         epoch = self._epoch
         start = time.perf_counter()
         plan = self._epoch_plan(epoch)
-        if self.backend == "inline":
-            stats = self._train_epoch_inline(epoch, plan)
-        else:
-            stats = self._train_epoch_threads(epoch, plan)
-        stats.epoch_time = time.perf_counter() - start
+        result = self._backend.run_epoch(self, epoch, plan)
+        stats = EpochStats(
+            epoch=epoch,
+            mean_loss=float(np.mean(result.losses)) if result.losses else 0.0,
+            epoch_time=time.perf_counter() - start,
+            num_global_steps=len(plan),
+            num_minibatches=len(plan) * self.n,
+            sampled_edges=int(result.sampled_edges),
+        )
+        self._minibatches_done += len(plan) * self.n
         self.history.epochs.append(stats)
         self._epoch += 1
         return stats
-
-    def _train_epoch_inline(self, epoch: int, plan) -> EpochStats:
-        losses, edges = [], 0
-        for step, global_batch in enumerate(plan):
-            chunks = self._rank_chunks(global_batch)
-            for rank, (model, seeds) in enumerate(zip(self.replicas, chunks)):
-                if len(seeds) == 0:
-                    model.zero_grad()
-                    continue
-                rng = derive_rng(self.seed, "sample", epoch, step, rank)
-                model.zero_grad()
-                loss, e = self._forward_loss(rank, model, seeds, rng)
-                loss.backward()
-                losses.append(loss.item())
-                edges += e
-            average_gradients(self.replicas)
-            for opt in self.optimizers:
-                opt.step()
-            self._minibatches_done += self.n
-        return EpochStats(
-            epoch=epoch,
-            mean_loss=float(np.mean(losses)) if losses else 0.0,
-            epoch_time=0.0,
-            num_global_steps=len(plan),
-            num_minibatches=len(plan) * self.n,
-            sampled_edges=edges,
-        )
-
-    def _train_epoch_threads(self, epoch: int, plan) -> EpochStats:
-        world = ThreadWorld(self.n)
-        losses_per_rank: list[list[float]] = [[] for _ in range(self.n)]
-        edges_per_rank = [0] * self.n
-        errors: list[BaseException] = []
-
-        def worker(rank: int):
-            try:
-                # DDP construction is itself a collective (weight
-                # broadcast), so it must happen inside the rank thread.
-                model = DistributedDataParallel(
-                    self.replicas[rank], world.communicator(rank)
-                )
-                for step, global_batch in enumerate(plan):
-                    seeds = self._rank_chunks(global_batch)[rank]
-                    model.zero_grad()
-                    if len(seeds) > 0:
-                        rng = derive_rng(self.seed, "sample", epoch, step, rank)
-                        loss, e = self._forward_loss(rank, model.module, seeds, rng)
-                        loss.backward()
-                        losses_per_rank[rank].append(loss.item())
-                        edges_per_rank[rank] += e
-                    model.sync_gradients()
-                    self.optimizers[rank].step()
-            except BaseException as exc:  # surface thread failures
-                errors.append(exc)
-                world.abort()  # unblock peers waiting on collectives
-                raise
-
-        threads = [threading.Thread(target=worker, args=(r,)) for r in range(self.n)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if errors:
-            raise RuntimeError(f"rank thread failed: {errors[0]!r}") from errors[0]
-        self._minibatches_done += len(plan) * self.n
-        all_losses = [v for per in losses_per_rank for v in per]
-        return EpochStats(
-            epoch=epoch,
-            mean_loss=float(np.mean(all_losses)) if all_losses else 0.0,
-            epoch_time=0.0,
-            num_global_steps=len(plan),
-            num_minibatches=len(plan) * self.n,
-            sampled_edges=int(sum(edges_per_rank)),
-        )
 
     # ------------------------------------------------------------------
     def evaluate(self, nodes: np.ndarray | None = None) -> float:
@@ -297,3 +243,24 @@ class MultiProcessEngine:
             if eval_every and self._epoch % eval_every == 0:
                 self.record_accuracy()
         return self.history
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release backend resources (e.g. shared-memory segments).
+
+        Idempotent; the engine remains usable — the backend re-creates
+        what it needs on the next epoch.
+        """
+        self._backend.shutdown()
+
+    def __enter__(self) -> "MultiProcessEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass

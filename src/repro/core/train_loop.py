@@ -22,6 +22,8 @@ from repro.autograd.tensor import Tensor, no_grad
 from repro.core.config import RuntimeConfig
 from repro.core.engine import MultiProcessEngine
 from repro.graph.datasets import GNNDataset
+from repro.platform.corebind import CoreBinder
+from repro.platform.spec import PlatformSpec
 from repro.sampling.base import Sampler
 from repro.utils.rng import derive_rng
 
@@ -62,7 +64,9 @@ def make_train_fn(
     global_batch_size: int = 1024,
     lr: float = 3e-3,
     optimizer: str = "adam",
-    backend: str = "inline",
+    backend: str | None = None,
+    backend_options: dict | None = None,
+    platform: PlatformSpec | None = None,
     seed: int = 0,
 ) -> Callable:
     """Build the ``train(config=..., epochs=...)`` callable for ARGO.
@@ -72,10 +76,29 @@ def make_train_fn(
     measured epoch times.  A fresh engine is constructed per call (the
     process count may change between calls), seeded by a monotone counter
     so every epoch uses a distinct shuffle.
+
+    ``backend`` fixes the execution backend for every call; the default
+    ``None`` defers to each config's own :attr:`RuntimeConfig.backend`,
+    which lets the autotuner search over backends
+    (:class:`repro.tuning.space.BackendSpace`).  ``backend_options``
+    (e.g. ``{"timeout": 600}`` for slow hosts) is forwarded to every
+    engine's backend constructor — leave it ``None`` when configs mix
+    backends with incompatible options.  When a ``platform`` is given
+    and the resolved backend is ``process``, the config's ``(n, s, t)``
+    is turned into real core bindings via
+    :class:`repro.platform.corebind.CoreBinder` — worker processes then
+    pin themselves with ``sched_setaffinity``.
     """
     state = {"epoch_offset": 0}
 
     def train(*, config: RuntimeConfig, epochs: int) -> list[float]:
+        resolved = backend if backend is not None else config.backend
+        bindings = None
+        if platform is not None and resolved == "process":
+            binder = CoreBinder(platform)
+            bindings = binder.bind(
+                config.num_processes, config.sampling_cores, config.training_cores
+            )
         engine = MultiProcessEngine(
             dataset,
             sampler,
@@ -84,18 +107,25 @@ def make_train_fn(
             global_batch_size=global_batch_size,
             lr=lr,
             optimizer=optimizer,
-            backend=backend,
+            backend=resolved,
+            backend_options=backend_options,
+            bindings=bindings,
             seed=seed,
         )
         # continue the epoch-shuffle sequence across re-launches
         engine._epoch = state["epoch_offset"]
-        times = []
-        for _ in range(epochs):
-            stats = engine.train_epoch()
-            times.append(stats.epoch_time)
-        state["epoch_offset"] = engine._epoch
-        # propagate the trained weights back into the shared model object
-        model.load_state_dict(engine.model.state_dict())
+        try:
+            times = []
+            for _ in range(epochs):
+                stats = engine.train_epoch()
+                times.append(stats.epoch_time)
+            state["epoch_offset"] = engine._epoch
+            # propagate the trained weights back into the shared model object
+            model.load_state_dict(engine.model.state_dict())
+        finally:
+            # the engine is discarded after this call; free any backend
+            # resources (shared-memory segments) it acquired
+            engine.shutdown()
         return times
 
     return train

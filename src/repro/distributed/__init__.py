@@ -7,8 +7,10 @@ Provides process-group style collectives over two backends:
   deterministic; used for the correctness/convergence experiments.
 * ``thread`` — one OS thread per rank with barrier-based collectives.
   numpy releases the GIL inside large kernels, so threads genuinely
-  overlap — the closest offline equivalent of the paper's per-process
-  parallelism.
+  overlap.
+* ``process`` — one OS process per rank: collectives fold contributions
+  into a shared-memory float64 region sequenced by a cross-process
+  barrier (:class:`ProcessWorld`) — the paper's actual deployment shape.
 
 :class:`DistributedDataParallel` implements the paper's semantics rule
 (Sec. IV-B2): with ``n`` ranks at per-rank batch ``b/n`` and synchronous
@@ -21,6 +23,8 @@ from repro.distributed.comm import (
     SingleProcessComm,
     ThreadWorld,
     ThreadCommunicator,
+    ProcessWorld,
+    ProcessCommunicator,
 )
 from repro.distributed.ddp import (
     DistributedDataParallel,
@@ -33,6 +37,8 @@ __all__ = [
     "SingleProcessComm",
     "ThreadWorld",
     "ThreadCommunicator",
+    "ProcessWorld",
+    "ProcessCommunicator",
     "DistributedDataParallel",
     "replicate_module",
     "average_gradients",

@@ -3,16 +3,39 @@
 The interface mirrors the subset of ``torch.distributed`` ARGO needs:
 ``allreduce_mean`` (gradient synchronisation — the synchronous SGD of
 paper Sec. IV-A step 2) and ``broadcast`` (initial weight replication).
+
+Three worlds implement it:
+
+* :class:`SingleProcessComm` — world size 1, identity collectives;
+* :class:`ThreadWorld` — thread ranks, lock + barrier rendezvous;
+* :class:`ProcessWorld` — OS-process ranks over one shared-memory
+  segment (the paper's actual deployment shape): contributions are
+  folded into a shared float64 region guarded by a cross-process lock,
+  and a reusable cross-process barrier sequences the contribute / read /
+  reset phases.  ``gather`` moves small pickled payloads through
+  fixed-size per-rank slots in the same segment.
 """
 
 from __future__ import annotations
 
+import pickle
+import struct
 import threading
+from multiprocessing import shared_memory
 from typing import Sequence
+
+import multiprocessing as mp
 
 import numpy as np
 
-__all__ = ["Communicator", "SingleProcessComm", "ThreadWorld", "ThreadCommunicator"]
+__all__ = [
+    "Communicator",
+    "SingleProcessComm",
+    "ThreadWorld",
+    "ThreadCommunicator",
+    "ProcessWorld",
+    "ProcessCommunicator",
+]
 
 
 class Communicator:
@@ -155,4 +178,252 @@ class ThreadCommunicator(Communicator):
         w._exit_barrier.wait()
         if self.rank == root:
             w._gather.clear()
+        return out
+
+
+# ----------------------------------------------------------------------
+# process backend: collectives over one shared-memory segment
+# ----------------------------------------------------------------------
+
+_HEADER_BYTES = 64  # int64 contribution counter, padded to a cache line
+
+
+class ProcessWorld:
+    """Shared rendezvous state for a group of OS-process ranks.
+
+    Parameters
+    ----------
+    world_size:
+        Number of participating processes (the parent is *not* a rank).
+    capacity:
+        Maximum total float64 elements one ``allreduce_mean``/``broadcast``
+        may carry (for gradient sync: the model's parameter count).
+    slot_bytes:
+        Per-rank pickled-payload budget for ``gather``.
+    ctx:
+        ``multiprocessing`` context supplying the lock/barrier (defaults
+        to the platform default; ``fork`` and ``spawn`` both work — the
+        world re-attaches its segment by name when pickled to a spawned
+        worker).
+    timeout:
+        Seconds any rank waits at a collective before declaring the world
+        broken (a crashed peer breaks the barrier for everyone).
+
+    The collective protocol is SPMD: every rank must issue the same
+    sequence of collectives.  ``allreduce_mean`` is three-phase —
+    contribute under the lock, barrier, read, barrier, one rank resets
+    the accumulator, barrier — so consecutive collectives can reuse the
+    same region without tearing.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        capacity: int,
+        *,
+        slot_bytes: int = 1 << 20,
+        ctx=None,
+        timeout: float = 120.0,
+    ):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        ctx = ctx if ctx is not None else mp.get_context()
+        self.world_size = int(world_size)
+        self.capacity = int(capacity)
+        self.slot_bytes = int(slot_bytes)
+        self.timeout = float(timeout)
+        size = _HEADER_BYTES + 8 * self.capacity + self.world_size * self.slot_bytes
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._owner = True
+        self._closed = False
+        self._lock = ctx.Lock()
+        self._barrier = ctx.Barrier(self.world_size)
+        self._counter()[0] = 0
+
+    # -- shared views (recomputed per process; views don't survive pickling)
+    def _counter(self) -> np.ndarray:
+        return np.ndarray((1,), dtype=np.int64, buffer=self._shm.buf, offset=0)
+
+    def _region(self) -> np.ndarray:
+        return np.ndarray(
+            (self.capacity,), dtype=np.float64, buffer=self._shm.buf, offset=_HEADER_BYTES
+        )
+
+    def _slot(self, rank: int) -> memoryview:
+        start = _HEADER_BYTES + 8 * self.capacity + rank * self.slot_bytes
+        return self._shm.buf[start : start + self.slot_bytes]
+
+    # -- spawn support: re-attach the segment by name in the child
+    def __getstate__(self):
+        return {
+            "world_size": self.world_size,
+            "capacity": self.capacity,
+            "slot_bytes": self.slot_bytes,
+            "timeout": self.timeout,
+            "shm_name": self._shm.name,
+            "lock": self._lock,
+            "barrier": self._barrier,
+        }
+
+    def __setstate__(self, state):
+        self.world_size = state["world_size"]
+        self.capacity = state["capacity"]
+        self.slot_bytes = state["slot_bytes"]
+        self.timeout = state["timeout"]
+        self._lock = state["lock"]
+        self._barrier = state["barrier"]
+        # same no-unregister attach semantics as the graph store
+        from repro.graph.shm import _attach_segment
+
+        self._shm = _attach_segment(state["shm_name"])
+        self._owner = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _wait(self) -> int:
+        """Barrier wait with timeout; returns the rank's arrival index."""
+        try:
+            return self._barrier.wait(self.timeout)
+        except threading.BrokenBarrierError:
+            raise RuntimeError(
+                "process collective broken (peer crashed or timed out)"
+            ) from None
+
+    def abort(self) -> None:
+        """Break the barrier so peers blocked in collectives fail fast."""
+        self._barrier.abort()
+
+    def communicator(self, rank: int) -> "ProcessCommunicator":
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
+        return ProcessCommunicator(self, rank)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the segment system-wide (creator only); implies close."""
+        if not self._owner:
+            raise RuntimeError("only the creating process may unlink the world")
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reaped
+            pass
+
+    def __enter__(self) -> "ProcessWorld":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            if self._owner and not self._closed:
+                self.unlink()
+        except Exception:
+            pass
+
+
+class ProcessCommunicator(Communicator):
+    """Per-rank handle onto a :class:`ProcessWorld` (used inside workers)."""
+
+    def __init__(self, world: ProcessWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.world_size = world.world_size
+
+    def _layout(self, arrays: Sequence[np.ndarray]) -> tuple[list[np.ndarray], int]:
+        arrays = [np.asarray(a) for a in arrays]
+        total = sum(a.size for a in arrays)
+        if total > self.world.capacity:
+            raise ValueError(
+                f"collective payload ({total} elements) exceeds world capacity "
+                f"({self.world.capacity})"
+            )
+        return arrays, total
+
+    def allreduce_mean(self, arrays):
+        arrays, total = self._layout(arrays)
+        w = self.world
+        region = w._region()
+        counter = w._counter()
+        with w._lock:
+            first = counter[0] == 0
+            off = 0
+            for a in arrays:
+                flat = np.asarray(a, dtype=np.float64).ravel()
+                if first:
+                    region[off : off + flat.size] = flat
+                else:
+                    region[off : off + flat.size] += flat
+                off += flat.size
+            counter[0] += 1
+        w._wait()  # all contributions folded
+        out = []
+        off = 0
+        for a in arrays:
+            mean = region[off : off + a.size] / w.world_size
+            out.append(mean.reshape(a.shape).astype(a.dtype, copy=True))
+            off += a.size
+        idx = w._wait()  # all reads done
+        if idx == 0:
+            counter[0] = 0
+        w._wait()  # reset visible before the next collective contributes
+        return out
+
+    def broadcast(self, arrays, root: int = 0):
+        arrays, total = self._layout(arrays)
+        w = self.world
+        region = w._region()
+        if self.rank == root:
+            off = 0
+            for a in arrays:
+                flat = np.asarray(a, dtype=np.float64).ravel()
+                region[off : off + flat.size] = flat
+                off += flat.size
+        w._wait()  # root's payload visible
+        out = []
+        off = 0
+        for a in arrays:
+            out.append(
+                region[off : off + a.size].reshape(a.shape).astype(a.dtype, copy=True)
+            )
+            off += a.size
+        w._wait()  # all reads done before anyone reuses the region
+        return out
+
+    def barrier(self) -> None:
+        self.world._wait()
+
+    def gather(self, value, root: int = 0):
+        w = self.world
+        payload = pickle.dumps(value)
+        if len(payload) + 8 > w.slot_bytes:
+            raise ValueError(
+                f"gather payload ({len(payload)} bytes) exceeds slot size "
+                f"({w.slot_bytes - 8})"
+            )
+        slot = w._slot(self.rank)
+        slot[:8] = struct.pack("<q", len(payload))
+        slot[8 : 8 + len(payload)] = payload
+        w._wait()  # all payloads written
+        out = None
+        if self.rank == root:
+            out = []
+            for r in range(w.world_size):
+                s = w._slot(r)
+                (n,) = struct.unpack("<q", s[:8])
+                out.append(pickle.loads(bytes(s[8 : 8 + n])))
+        w._wait()  # root done reading; slots may be reused
         return out

@@ -1,0 +1,41 @@
+"""Pluggable execution backends for the Multi-Process Engine.
+
+``inline``
+    Ranks execute sequentially in the caller's thread — bit-for-bit
+    deterministic reference semantics.
+``thread``
+    One OS thread per rank; numpy releases the GIL inside kernels.
+``process``
+    One OS process per rank — the paper's real mechanism: shared-memory
+    graph/feature store, cross-process collectives, core binding via
+    ``sched_setaffinity``.
+
+Select with :func:`get_backend`; importing this package registers all
+built-in backends.
+"""
+
+from repro.exec.base import (
+    EpochResult,
+    ExecutionBackend,
+    available_backends,
+    forward_loss,
+    get_backend,
+    rank_chunk,
+    register_backend,
+)
+from repro.exec.inline import InlineBackend
+from repro.exec.process import ProcessBackend
+from repro.exec.thread import ThreadBackend
+
+__all__ = [
+    "EpochResult",
+    "ExecutionBackend",
+    "available_backends",
+    "forward_loss",
+    "get_backend",
+    "rank_chunk",
+    "register_backend",
+    "InlineBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+]

@@ -1,0 +1,131 @@
+"""Execution-backend abstraction for the Multi-Process Engine.
+
+The engine owns *what* one epoch of semantics-preserving data-parallel
+training means (paper Sec. IV-B2: split each global batch into ``n``
+rank chunks, sample + propagate independently, average gradients, step
+every replica identically); an :class:`ExecutionBackend` owns *how* the
+``n`` ranks execute — sequentially, as threads, or as real OS processes
+over shared memory.  Backends register themselves by name so the engine,
+CLI and autotuner can select them with a string
+(``get_backend("process")``).
+
+The helpers :func:`rank_chunk` and :func:`forward_loss` are the single
+source of truth for batch splitting and the per-rank training step; the
+inline/thread backends and the process backend's workers all call them,
+which is what makes loss trajectories comparable across backends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict
+
+import numpy as np
+
+from repro.autograd.functional import cross_entropy
+from repro.autograd.module import Module
+from repro.autograd.ops import gather_rows
+from repro.autograd.tensor import Tensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import MultiProcessEngine
+
+__all__ = [
+    "EpochResult",
+    "ExecutionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "rank_chunk",
+    "forward_loss",
+]
+
+
+@dataclass
+class EpochResult:
+    """What a backend hands back from one epoch: losses and sampled work."""
+
+    losses: list[float]
+    sampled_edges: int
+
+
+def rank_chunk(global_batch: np.ndarray, world_size: int, rank: int) -> np.ndarray:
+    """Rank ``rank``'s near-equal chunk of one global batch.
+
+    Every backend (and every worker process) must split identically for
+    the union-of-chunks semantics contract to hold; this function is the
+    one place the split is defined.
+    """
+    return np.array_split(global_batch, world_size)[rank]
+
+
+def forward_loss(sampler, graph, features: Tensor, labels: np.ndarray, model: Module, seeds, rng):
+    """One rank's sample + forward + loss; returns ``(loss, sampled_edges)``."""
+    batch = sampler.sample(graph, seeds, rng=rng)
+    x = gather_rows(features, batch.input_ids)
+    out = model(batch.blocks, x)
+    loss = cross_entropy(out, labels[batch.seeds])
+    return loss, batch.total_edges
+
+
+class ExecutionBackend(ABC):
+    """Strategy object executing the engine's ``n`` ranks for one epoch.
+
+    Contract
+    --------
+    * ``run_epoch`` trains every rank through every step of ``plan`` and
+      leaves all of ``engine.replicas`` holding identical post-epoch
+      weights (and ``engine.optimizers`` identical states) — exactly as
+      if the inline backend had run.
+    * ``shutdown`` releases any cross-epoch resources (worker pools,
+      shared-memory segments); it must be idempotent and safe to call on
+      a backend that never ran.
+    """
+
+    #: registry key; set by subclasses
+    name: str = ""
+
+    @abstractmethod
+    def run_epoch(
+        self, engine: "MultiProcessEngine", epoch: int, plan: list[np.ndarray]
+    ) -> EpochResult:
+        """Execute one epoch's plan across all ranks."""
+
+    def shutdown(self) -> None:
+        """Release backend-held resources (default: nothing to release)."""
+
+
+_REGISTRY: Dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator adding an execution backend to the registry."""
+
+    def deco(cls):
+        if not issubclass(cls, ExecutionBackend):
+            raise TypeError(f"{cls!r} is not an ExecutionBackend")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate a registered backend by name.
+
+    ``options`` are forwarded to the backend constructor (e.g.
+    ``get_backend("process", start_method="spawn")``).
+    """
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"backend must be one of {sorted(_REGISTRY)}, got {name!r}"
+        )
+    return _REGISTRY[key](**options)

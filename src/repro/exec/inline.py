@@ -1,0 +1,49 @@
+"""Inline backend: ranks execute sequentially in the calling thread.
+
+Bit-for-bit deterministic — the reference semantics every other backend
+is measured against.  Gradient averaging happens directly over the
+replicas (:func:`repro.distributed.ddp.average_gradients`); no
+communicator is needed because nothing runs concurrently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.ddp import average_gradients
+from repro.exec.base import EpochResult, ExecutionBackend, forward_loss, rank_chunk, register_backend
+from repro.utils.rng import derive_rng
+
+__all__ = ["InlineBackend"]
+
+
+@register_backend("inline")
+class InlineBackend(ExecutionBackend):
+    """Sequential rank execution (deterministic reference backend)."""
+
+    def run_epoch(self, engine, epoch: int, plan: list[np.ndarray]) -> EpochResult:
+        losses: list[float] = []
+        edges = 0
+        for step, global_batch in enumerate(plan):
+            for rank, model in enumerate(engine.replicas):
+                seeds = rank_chunk(global_batch, engine.n, rank)
+                model.zero_grad()
+                if len(seeds) == 0:
+                    continue
+                rng = derive_rng(engine.seed, "sample", epoch, step, rank)
+                loss, e = forward_loss(
+                    engine.sampler,
+                    engine.dataset.graph,
+                    engine.features,
+                    engine.dataset.labels,
+                    model,
+                    seeds,
+                    rng,
+                )
+                loss.backward()
+                losses.append(loss.item())
+                edges += e
+            average_gradients(engine.replicas)
+            for opt in engine.optimizers:
+                opt.step()
+        return EpochResult(losses=losses, sampled_edges=edges)

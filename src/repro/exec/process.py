@@ -1,0 +1,269 @@
+"""Process backend: one OS process per rank over shared memory.
+
+This is the paper's actual mechanism (Sec. IV-B): ``n`` training
+processes escape the GIL entirely, the graph and feature matrices live
+in shared memory (:class:`repro.graph.shm.SharedGraphStore` — created
+once per engine and mapped zero-copy by every worker), gradients are
+synchronised through :class:`repro.distributed.comm.ProcessWorld`
+collectives over a shared float64 region, and each worker pins itself to
+its :class:`repro.platform.corebind.ProcessBinding` cores with
+``os.sched_setaffinity`` before touching any data.
+
+Semantics are identical to the inline backend: the same per-rank RNG
+streams (``derive_rng(seed, "sample", epoch, step, rank)``), the same
+batch split (:func:`repro.exec.base.rank_chunk`) and synchronous
+gradient averaging.  Because all ranks finish an epoch with identical
+weights and optimizer state, only rank 0 ships its model/optimizer state
+back; the parent loads it into every replica.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.optim import make_optimizer
+from repro.autograd.tensor import Tensor
+from repro.distributed.comm import ProcessWorld
+from repro.distributed.ddp import DistributedDataParallel
+from repro.exec.base import EpochResult, ExecutionBackend, forward_loss, rank_chunk, register_backend
+from repro.graph.shm import SharedGraphStore
+from repro.platform.corebind import apply_binding
+from repro.utils.rng import derive_rng
+
+__all__ = ["ProcessBackend"]
+
+
+@dataclass
+class _WorkerPayload:
+    """Everything one rank worker needs (picklable; arrays travel by shm)."""
+
+    rank: int
+    world_size: int
+    store_spec: dict
+    sampler: object
+    model: object  # the rank's replica (weights only; data stays in shm)
+    optimizer: str
+    optimizer_state: dict
+    lr: float
+    seed: int
+    epoch: int
+    plan: list
+    binding: object  # ProcessBinding | tuple[int, ...] | None
+
+
+def _worker_main(payload: _WorkerPayload, world: ProcessWorld, result_q) -> None:
+    """Entry point of one rank process."""
+    try:
+        applied_cores = apply_binding(payload.binding)
+        store = SharedGraphStore.attach(payload.store_spec)
+        try:
+            graph = store.graph  # zero-copy CSR over the shared segments
+            features = Tensor(store.features)
+            labels = store.labels
+            comm = world.communicator(payload.rank)
+            model = DistributedDataParallel(payload.model, comm)
+            optimizer = make_optimizer(payload.optimizer, model.parameters(), payload.lr)
+            optimizer.load_state_dict(payload.optimizer_state)
+            losses: list[float] = []
+            edges = 0
+            for step, global_batch in enumerate(payload.plan):
+                seeds = rank_chunk(global_batch, payload.world_size, payload.rank)
+                model.zero_grad()
+                if len(seeds) > 0:
+                    rng = derive_rng(payload.seed, "sample", payload.epoch, step, payload.rank)
+                    loss, e = forward_loss(
+                        payload.sampler, graph, features, labels, model.module, seeds, rng
+                    )
+                    loss.backward()
+                    losses.append(loss.item())
+                    edges += e
+                model.sync_gradients()
+                optimizer.step()
+            result = {
+                "rank": payload.rank,
+                "status": "ok",
+                "losses": losses,
+                "edges": edges,
+                "applied_cores": applied_cores,
+                # mutable non-parameter model state (dropout-stream
+                # counters, ...): the parent must advance its replicas
+                # identically or the next epoch diverges from inline
+                "extra_state": payload.model.extra_state_dict(),
+            }
+            if payload.rank == 0:
+                result["model_state"] = model.module.state_dict()
+                result["optimizer_state"] = optimizer.state_dict()
+            result_q.put(result)
+        finally:
+            store.close()
+    except BaseException as exc:
+        world.abort()  # unblock peers stuck in collectives
+        result_q.put(
+            {
+                "rank": payload.rank,
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        )
+        sys.exit(1)  # quiet exit: the parent reports the queued error
+
+
+@register_backend("process")
+class ProcessBackend(ExecutionBackend):
+    """True multi-process execution with shared-memory data plane.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method (``None`` → platform default;
+        ``fork`` on Linux).  ``spawn`` also works — all worker state is
+        picklable and the shared segments re-attach by name.
+    timeout:
+        Seconds any single collective may block before the world is
+        declared broken; the whole-epoch budget scales with the step
+        count on top of this.
+
+    The shared-memory store persists across epochs (workers re-attach
+    each epoch; the data never moves); call :meth:`shutdown` — or use the
+    owning engine as a context manager — to unlink the segments.
+
+    Workers themselves are re-launched per epoch.  This mirrors ARGO's
+    own behaviour — the online tuner re-launches training every search
+    epoch to reallocate processes (paper Listing 3) — at the cost of
+    fork + weight-pickling overhead in each measured epoch time; a
+    persistent worker pool that ships plans over a queue would amortise
+    it and is the natural next optimisation.
+    """
+
+    def __init__(self, *, start_method: str | None = None, timeout: float = 120.0):
+        self._ctx = mp.get_context(start_method)
+        self.timeout = float(timeout)
+        self._store: SharedGraphStore | None = None
+        self._store_dataset_id: int | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_store(self, dataset) -> SharedGraphStore:
+        if self._store is not None and not self._store.closed:
+            if self._store_dataset_id == id(dataset):
+                return self._store
+            self._store.unlink()
+        self._store = SharedGraphStore.from_dataset(dataset)
+        self._store_dataset_id = id(dataset)
+        return self._store
+
+    def shutdown(self) -> None:
+        if self._store is not None and not self._store.closed:
+            self._store.unlink()
+        self._store = None
+        self._store_dataset_id = None
+
+    # ------------------------------------------------------------------
+    def run_epoch(self, engine, epoch: int, plan: list[np.ndarray]) -> EpochResult:
+        n = engine.n
+        store = self._ensure_store(engine.dataset)
+        capacity = max(1, sum(p.size for p in engine.replicas[0].parameters()))
+        world = ProcessWorld(n, capacity, ctx=self._ctx, timeout=self.timeout)
+        result_q = self._ctx.Queue()
+        procs: list = []
+        try:
+            bindings = engine.bindings
+            for rank in range(n):
+                payload = _WorkerPayload(
+                    rank=rank,
+                    world_size=n,
+                    store_spec=store.spec,
+                    sampler=engine.sampler,
+                    model=engine.replicas[rank],
+                    optimizer=engine.optimizer_name,
+                    optimizer_state=engine.optimizers[rank].state_dict(),
+                    lr=engine.lr,
+                    seed=engine.seed,
+                    epoch=epoch,
+                    plan=plan,
+                    binding=bindings[rank] if bindings is not None else None,
+                )
+                p = self._ctx.Process(
+                    target=_worker_main, args=(payload, world, result_q), daemon=True
+                )
+                p.start()
+                procs.append(p)
+            results = self._collect(procs, result_q, world, n, len(plan))
+            for p in procs:
+                p.join(self.timeout)
+        finally:
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - error path
+                    p.terminate()
+                    p.join(5.0)
+            world.unlink()
+
+        # fold worker outcomes back into the engine's replicas
+        rank0 = results[0]
+        for replica in engine.replicas:
+            replica.load_state_dict(rank0["model_state"])
+        for opt in engine.optimizers:
+            opt.load_state_dict(rank0["optimizer_state"])
+        for rank, replica in enumerate(engine.replicas):
+            replica.load_extra_state_dict(results[rank]["extra_state"])
+        losses = [v for rank in range(n) for v in results[rank]["losses"]]
+        edges = int(sum(results[rank]["edges"] for rank in range(n)))
+        return EpochResult(losses=losses, sampled_edges=edges)
+
+    # ------------------------------------------------------------------
+    def _collect(self, procs, result_q, world: ProcessWorld, n: int, num_steps: int) -> dict:
+        """Drain one result per rank, failing fast on worker death.
+
+        ``self.timeout`` bounds a single collective (a deadlocked barrier
+        breaks within it inside the workers); the whole-epoch budget here
+        scales with the number of steps so long, healthy epochs are never
+        killed by the per-collective deadline.
+        """
+        results: dict[int, dict] = {}
+        deadline = time.monotonic() + self.timeout * (1 + num_steps)
+        while len(results) < n:
+            try:
+                item = result_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
+                if dead:
+                    world.abort()
+                    raise RuntimeError(
+                        f"rank process died with exit code {dead[0].exitcode}"
+                    ) from None
+                if time.monotonic() > deadline:
+                    world.abort()
+                    raise TimeoutError(
+                        f"process backend epoch exceeded its "
+                        f"{self.timeout * (1 + num_steps):.0f}s budget "
+                        f"({len(results)}/{n} ranks reported)"
+                    )
+                continue
+            if item["status"] != "ok":
+                world.abort()
+                # a failing rank breaks its peers' collectives; drain briefly
+                # so the *root* error is reported, not a secondary break
+                errors = [item]
+                deadline_drain = time.monotonic() + 1.0
+                while time.monotonic() < deadline_drain:
+                    try:
+                        extra = result_q.get(timeout=0.1)
+                    except queue_mod.Empty:
+                        continue
+                    if extra["status"] != "ok":
+                        errors.append(extra)
+                root = next(
+                    (e for e in errors if "collective broken" not in e["error"]), errors[0]
+                )
+                raise RuntimeError(
+                    f"rank {root['rank']} failed: {root['error']}\n{root.get('traceback', '')}"
+                )
+            results[item["rank"]] = item
+        return results

@@ -1,0 +1,74 @@
+"""Thread backend: one OS thread per rank, barrier-based collectives.
+
+numpy kernels release the GIL, so ranks genuinely overlap inside the
+dense/segment operations — the closest single-process analogue of the
+paper's process-level parallelism.  Collectives run over
+:class:`repro.distributed.comm.ThreadWorld`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.distributed.comm import ThreadWorld
+from repro.distributed.ddp import DistributedDataParallel
+from repro.exec.base import EpochResult, ExecutionBackend, forward_loss, rank_chunk, register_backend
+from repro.utils.rng import derive_rng
+
+__all__ = ["ThreadBackend"]
+
+
+@register_backend("thread")
+class ThreadBackend(ExecutionBackend):
+    """One thread per rank with lock/barrier gradient synchronisation."""
+
+    def run_epoch(self, engine, epoch: int, plan: list[np.ndarray]) -> EpochResult:
+        world = ThreadWorld(engine.n)
+        losses_per_rank: list[list[float]] = [[] for _ in range(engine.n)]
+        edges_per_rank = [0] * engine.n
+        errors: list[BaseException] = []
+
+        def worker(rank: int):
+            try:
+                # DDP construction is itself a collective (weight
+                # broadcast), so it must happen inside the rank thread.
+                model = DistributedDataParallel(
+                    engine.replicas[rank], world.communicator(rank)
+                )
+                for step, global_batch in enumerate(plan):
+                    seeds = rank_chunk(global_batch, engine.n, rank)
+                    model.zero_grad()
+                    if len(seeds) > 0:
+                        rng = derive_rng(engine.seed, "sample", epoch, step, rank)
+                        loss, e = forward_loss(
+                            engine.sampler,
+                            engine.dataset.graph,
+                            engine.features,
+                            engine.dataset.labels,
+                            model.module,
+                            seeds,
+                            rng,
+                        )
+                        loss.backward()
+                        losses_per_rank[rank].append(loss.item())
+                        edges_per_rank[rank] += e
+                    model.sync_gradients()
+                    engine.optimizers[rank].step()
+            except BaseException as exc:  # surface thread failures
+                errors.append(exc)
+                world.abort()  # unblock peers waiting on collectives
+                raise
+
+        threads = [threading.Thread(target=worker, args=(r,)) for r in range(engine.n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise RuntimeError(f"rank thread failed: {errors[0]!r}") from errors[0]
+        return EpochResult(
+            losses=[v for per in losses_per_rank for v in per],
+            sampled_edges=int(sum(edges_per_rank)),
+        )

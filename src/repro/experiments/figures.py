@@ -15,6 +15,7 @@ from repro.tuning.space import ConfigSpace
 
 __all__ = [
     "fig1_baseline_scalability",
+    "fig1_engine_backend_sweep",
     "fig2_time_traces",
     "fig6_workload_bandwidth",
     "fig7_landscape",
@@ -45,6 +46,47 @@ def fig1_baseline_scalability(
         times = [rt.baseline_epoch_time(c) for c in cores]
         series[lib.upper()] = [times[0] / t for t in times]
     return {"cores": cores, "speedup": series}
+
+
+def fig1_engine_backend_sweep(
+    dataset: str = "ogbn-products",
+    *,
+    backends: tuple[str, ...] = ("inline", "thread", "process"),
+    num_processes: int = 2,
+    epochs: int = 1,
+    scale_override: int = 10,
+    global_batch: int = 128,
+    task: str = "neighbor-sage",
+    seed: int = 0,
+) -> dict:
+    """Measured wall-clock epoch times of the *real* engine per backend.
+
+    The simulated Fig. 1 models the paper's 112-core testbeds; this sweep
+    runs the actual Multi-Process Engine on a local synthetic instance
+    under every requested execution backend.  Same seed everywhere, so
+    the per-backend loss trajectories double as a semantics check (they
+    agree to float tolerance).
+    """
+    ds = load_dataset(dataset, seed=seed, scale_override=scale_override)
+    out: dict = {"backends": list(backends), "epoch_time": {}, "losses": {}}
+    for backend in backends:
+        sampler, model = make_task(task, ds.layer_dims(2), seed=7)
+        engine = MultiProcessEngine(
+            ds,
+            sampler,
+            model,
+            num_processes=num_processes,
+            global_batch_size=global_batch,
+            backend=backend,
+            seed=seed,
+        )
+        try:
+            hist = engine.train(epochs)
+            out["epoch_time"][backend] = [e.epoch_time for e in hist.epochs]
+            out["losses"][backend] = list(hist.losses)
+        finally:
+            engine.shutdown()
+    return out
 
 
 def fig2_time_traces(

@@ -17,12 +17,19 @@ from repro.autograd.ops import gather_rows, scatter_add_rows, mul
 __all__ = ["aggregate_sum", "aggregate_mean", "gcn_norm_coefficients"]
 
 
-def _check_edges(src_idx, dst_idx, num_src, num_dst):
+def _check_edges(src_idx, dst_idx, num_src, num_dst, validate: bool = True):
+    """Coerce edge index arrays, optionally verifying their ranges.
+
+    ``validate=False`` skips the per-edge ``min()``/``max()`` scans — a
+    hot-path saving for trusted callers whose edges were already range-
+    checked at construction (``Block.__post_init__`` validates every
+    sampler-produced block, so the GNN layers pass ``validate=False``).
+    """
     src_idx = np.asarray(src_idx, dtype=np.int64)
     dst_idx = np.asarray(dst_idx, dtype=np.int64)
     if src_idx.shape != dst_idx.shape or src_idx.ndim != 1:
         raise ValueError("src_idx/dst_idx must be 1-D arrays of equal length")
-    if len(src_idx):
+    if validate and len(src_idx):
         if src_idx.min() < 0 or src_idx.max() >= num_src:
             raise ValueError("src_idx out of range")
         if dst_idx.min() < 0 or dst_idx.max() >= num_dst:
@@ -36,13 +43,16 @@ def aggregate_sum(
     dst_idx: np.ndarray,
     num_dst: int,
     edge_weight: np.ndarray | None = None,
+    *,
+    validate: bool = True,
 ) -> Tensor:
     """Weighted segment sum: ``out[v] = sum_e w_e * h_src[src_idx[e]]``.
 
     ``edge_weight`` (shape ``(E,)``) is a constant — gradients do not flow
     into it (GCN normalisation coefficients are data, not parameters).
+    ``validate=False`` skips edge-range checks for pre-validated blocks.
     """
-    src_idx, dst_idx = _check_edges(src_idx, dst_idx, len(h_src.data), num_dst)
+    src_idx, dst_idx = _check_edges(src_idx, dst_idx, len(h_src.data), num_dst, validate)
     messages = gather_rows(h_src, src_idx)
     if edge_weight is not None:
         edge_weight = np.asarray(edge_weight, dtype=h_src.data.dtype)
@@ -59,9 +69,14 @@ def aggregate_mean(
     src_idx: np.ndarray,
     dst_idx: np.ndarray,
     num_dst: int,
+    *,
+    validate: bool = True,
 ) -> Tensor:
-    """Segment mean over in-neighbours; zero rows for isolated destinations."""
-    src_idx, dst_idx = _check_edges(src_idx, dst_idx, len(h_src.data), num_dst)
+    """Segment mean over in-neighbours; zero rows for isolated destinations.
+
+    ``validate=False`` skips edge-range checks for pre-validated blocks.
+    """
+    src_idx, dst_idx = _check_edges(src_idx, dst_idx, len(h_src.data), num_dst, validate)
     summed = scatter_add_rows(gather_rows(h_src, src_idx), dst_idx, num_dst)
     counts = np.bincount(dst_idx, minlength=num_dst).astype(h_src.data.dtype)
     inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1.0), 0.0)

@@ -73,18 +73,20 @@ class GATConv(Module):
 class GAT(Module):
     """Multi-layer single-head GAT with ELU-free ReLU nonlinearity."""
 
+    #: the dropout-stream counter must follow the weights across
+    #: execution backends (see Module.extra_state_dict)
+    EXTRA_STATE_ATTRS = ("_dropout_calls",)
+
     def __init__(self, dims: list[int], *, dropout: float = 0.5, seed: int = 0):
         super().__init__()
-        if len(dims) < 2:
-            raise ValueError(f"dims must list input and output sizes, got {dims}")
+        from repro.gnn.models import build_layer_stack  # local import: cycle
+
         self.dims = list(dims)
         self.dropout = float(dropout)
         self.seed = seed
-        self._layers: list[GATConv] = []
-        for i in range(len(dims) - 1):
-            layer = GATConv(dims[i], dims[i + 1], rng=derive_rng(seed, "gat", i))
-            setattr(self, f"conv{i}", layer)
-            self._layers.append(layer)
+        self._layers: list[GATConv] = build_layer_stack(
+            self, dims, GATConv, stream="gat", seed=seed
+        )
         self._dropout_calls = 0
 
     def __setattr__(self, name, value):

@@ -33,7 +33,10 @@ class GCNConv(Module):
         coeff = gcn_norm_coefficients(
             block.edge_src, block.edge_dst, block.num_src, block.num_dst
         )
-        agg = aggregate_sum(h_src, block.edge_src, block.edge_dst, block.num_dst, coeff)
+        # blocks are range-checked at construction (Block.__post_init__)
+        agg = aggregate_sum(
+            h_src, block.edge_src, block.edge_dst, block.num_dst, coeff, validate=False
+        )
         return self.linear(agg)
 
 
@@ -44,18 +47,20 @@ class GCN(Module):
     paper's Table III layer dimensions.
     """
 
+    #: the dropout-stream counter must follow the weights across
+    #: execution backends (see Module.extra_state_dict)
+    EXTRA_STATE_ATTRS = ("_dropout_calls",)
+
     def __init__(self, dims: list[int], *, dropout: float = 0.5, seed: int = 0):
         super().__init__()
-        if len(dims) < 2:
-            raise ValueError(f"dims must list input and output sizes, got {dims}")
+        from repro.gnn.models import build_layer_stack  # local import: cycle
+
         self.dims = list(dims)
         self.dropout = float(dropout)
         self.seed = seed
-        self._layers: list[GCNConv] = []
-        for i in range(len(dims) - 1):
-            layer = GCNConv(dims[i], dims[i + 1], rng=derive_rng(seed, "gcn", i))
-            setattr(self, f"conv{i}", layer)
-            self._layers.append(layer)
+        self._layers: list[GCNConv] = build_layer_stack(
+            self, dims, GCNConv, stream="gcn", seed=seed
+        )
         self._dropout_calls = 0
 
     def __setattr__(self, name, value):

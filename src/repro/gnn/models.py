@@ -1,9 +1,14 @@
-"""Model factory and the paper's sampler-model pairings.
+"""Model factory, shared stack builder and the paper's sampler-model pairings.
 
 The paper evaluates two combinations: ``Neighbor-SAGE`` (NeighborSampler +
 GraphSAGE) and ``ShaDow-GCN`` (ShadowSampler + GCN).  ``build_model``
 creates either model from the dataset's layer dims; ``make_task`` builds
 the full (sampler, model) pair by the paper's names.
+
+:func:`build_layer_stack` is the one place the multi-layer models (GCN,
+GraphSAGE, GAT) chain their conv layers over ``dims`` — each layer gets
+an independent derived RNG stream and is registered as ``conv{i}`` so
+``state_dict`` names stay stable.
 """
 
 from __future__ import annotations
@@ -15,8 +20,34 @@ from repro.gnn.gcn import GCN
 from repro.gnn.gat import GAT
 from repro.gnn.sage import GraphSAGE
 from repro.sampling.base import Sampler, make_sampler
+from repro.utils.rng import derive_rng
 
-__all__ = ["MODEL_REGISTRY", "build_model", "TASKS", "make_task"]
+__all__ = ["MODEL_REGISTRY", "build_model", "build_layer_stack", "TASKS", "make_task"]
+
+
+def build_layer_stack(
+    owner: Module,
+    dims: list[int],
+    layer_factory: Callable[..., Module],
+    *,
+    stream: str,
+    seed: int,
+) -> list[Module]:
+    """Instantiate and register the conv layers of a stacked GNN.
+
+    ``dims`` is ``[f0, f1, ..., f_out]`` (paper Table III); layer ``i``
+    maps ``dims[i] -> dims[i+1]`` and is initialised from the derived
+    stream ``(seed, stream, i)``.  Layers are set on ``owner`` as
+    ``conv{i}`` (registering their parameters) and returned in order.
+    """
+    if len(dims) < 2:
+        raise ValueError(f"dims must list input and output sizes, got {dims}")
+    layers: list[Module] = []
+    for i in range(len(dims) - 1):
+        layer = layer_factory(dims[i], dims[i + 1], rng=derive_rng(seed, stream, i))
+        setattr(owner, f"conv{i}", layer)
+        layers.append(layer)
+    return layers
 
 MODEL_REGISTRY: Dict[str, Callable[..., Module]] = {
     "gcn": GCN,

@@ -36,25 +36,30 @@ class SAGEConv(Module):
                 f"feature rows ({len(h_src.data)}) != block src nodes ({block.num_src})"
             )
         h_self = gather_rows(h_src, np.arange(block.num_dst, dtype=np.int64))
-        h_neigh = aggregate_mean(h_src, block.edge_src, block.edge_dst, block.num_dst)
+        # blocks are range-checked at construction (Block.__post_init__)
+        h_neigh = aggregate_mean(
+            h_src, block.edge_src, block.edge_dst, block.num_dst, validate=False
+        )
         return self.linear(concat([h_self, h_neigh], axis=-1))
 
 
 class GraphSAGE(Module):
     """Multi-layer GraphSAGE with ReLU + dropout between layers."""
 
+    #: the dropout-stream counter must follow the weights across
+    #: execution backends (see Module.extra_state_dict)
+    EXTRA_STATE_ATTRS = ("_dropout_calls",)
+
     def __init__(self, dims: list[int], *, dropout: float = 0.5, seed: int = 0):
         super().__init__()
-        if len(dims) < 2:
-            raise ValueError(f"dims must list input and output sizes, got {dims}")
+        from repro.gnn.models import build_layer_stack  # local import: cycle
+
         self.dims = list(dims)
         self.dropout = float(dropout)
         self.seed = seed
-        self._layers: list[SAGEConv] = []
-        for i in range(len(dims) - 1):
-            layer = SAGEConv(dims[i], dims[i + 1], rng=derive_rng(seed, "sage", i))
-            setattr(self, f"conv{i}", layer)
-            self._layers.append(layer)
+        self._layers: list[SAGEConv] = build_layer_stack(
+            self, dims, SAGEConv, stream="sage", seed=seed
+        )
         self._dropout_calls = 0
 
     def __setattr__(self, name, value):

@@ -21,6 +21,7 @@ from repro.graph.datasets import (
     load_dataset,
     list_datasets,
 )
+from repro.graph.shm import SharedArraySpec, SharedGraphStore
 from repro.graph.partition import (
     random_node_partition,
     contiguous_node_partition,
@@ -43,6 +44,8 @@ __all__ = [
     "DATASET_REGISTRY",
     "load_dataset",
     "list_datasets",
+    "SharedArraySpec",
+    "SharedGraphStore",
     "random_node_partition",
     "contiguous_node_partition",
     "greedy_bfs_partition",

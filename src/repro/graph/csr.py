@@ -70,6 +70,23 @@ class CSRGraph:
         self.indices = indices
         self.num_nodes = n
 
+    @classmethod
+    def from_trusted_parts(cls, indptr: np.ndarray, indices: np.ndarray) -> "CSRGraph":
+        """Wrap already-validated CSR arrays without copying or re-scanning.
+
+        Used by the shared-memory store (:mod:`repro.graph.shm`) when a
+        worker process attaches to segments the creating process already
+        validated: the O(N + E) invariant scans of ``__init__`` would run
+        once per worker per epoch otherwise.  The arrays are used as-is —
+        callers must guarantee dtype ``int64``, contiguity and the CSR
+        invariants, and should pass read-only views.
+        """
+        g = cls.__new__(cls)
+        g.indptr = indptr
+        g.indices = indices
+        g.num_nodes = len(indptr) - 1
+        return g
+
     # ------------------------------------------------------------------
     # basic properties
     # ------------------------------------------------------------------

@@ -1,23 +1,27 @@
 """Core binding: assign core ids to each GNN training process.
 
 ARGO's Core-Binder (paper Sec. IV-B3) binds each process's sampling cores
-and training cores via DGL's affinity API or ``taskset``.  Here the
-binding is an explicit data structure consumed by the cost model; the
-packing policy is socket-compact: processes are laid out left-to-right
-over the socket-major core numbering, so few-process configurations stay
+and training cores via DGL's affinity API or ``taskset``.  The binding is
+an explicit data structure consumed by the cost model, and — through
+:func:`apply_binding` — an *actual* ``os.sched_setaffinity`` call issued
+by the ``process`` execution backend's workers.  The packing policy is
+socket-compact: processes are laid out left-to-right over the
+socket-major core numbering, so few-process configurations stay
 NUMA-local and many-core configurations progressively span sockets —
 reproducing the remote-access (UPI) behaviour the paper profiles.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.platform.spec import PlatformSpec
 from repro.platform.topology import CoreSet
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ProcessBinding", "CoreBinder"]
+__all__ = ["ProcessBinding", "CoreBinder", "apply_binding", "current_affinity"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +43,34 @@ class ProcessBinding:
         """The equivalent ``taskset`` invocation (what ARGO runs for PyG)."""
         ids = ",".join(str(c) for c in self.all_cores.cores)
         return f"taskset -c {ids}"
+
+
+def current_affinity() -> tuple[int, ...] | None:
+    """Core ids the calling process may run on; ``None`` if unsupported."""
+    if not hasattr(os, "sched_getaffinity"):  # pragma: no cover - non-Linux
+        return None
+    return tuple(sorted(os.sched_getaffinity(0)))
+
+
+def apply_binding(binding: "ProcessBinding | Iterable[int] | None") -> tuple[int, ...] | None:
+    """Pin the calling process to a binding's cores (best effort).
+
+    The paper's bindings target 112/64-core testbeds; on a smaller host
+    the requested ids are intersected with the cores actually available
+    to this process.  Returns the core set applied, or ``None`` when the
+    binding was empty after intersection or the platform offers no
+    ``sched_setaffinity`` (macOS/Windows) — in both cases training simply
+    proceeds unpinned, as core binding changes speed, never semantics.
+    """
+    if binding is None or not hasattr(os, "sched_setaffinity"):
+        return None
+    cores = binding.all_cores.cores if isinstance(binding, ProcessBinding) else tuple(binding)
+    allowed = os.sched_getaffinity(0)
+    applicable = tuple(sorted(set(cores) & allowed))
+    if not applicable:
+        return None
+    os.sched_setaffinity(0, applicable)
+    return applicable
 
 
 class CoreBinder:

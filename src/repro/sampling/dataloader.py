@@ -46,6 +46,13 @@ class NodeDataLoader:
         the performance model, does not change results.
     seed:
         Base seed; epoch ``e`` uses an independent derived stream.
+    rank, world_size:
+        DDP-style sharding: the loader iterates only rank ``rank``'s
+        strided share of the (epoch-shuffled) node order.  The shuffle
+        uses a *world-shared* stream and the per-batch sampling RNG is
+        derived purely from ``(seed, epoch, rank)`` — never from thread
+        or process identity — so every execution backend (inline, thread,
+        process) sees bit-identical per-rank sample streams.
     """
 
     def __init__(
@@ -60,6 +67,8 @@ class NodeDataLoader:
         drop_last: bool = False,
         num_workers: int = 1,
         seed: int | None = 0,
+        rank: int = 0,
+        world_size: int = 1,
     ):
         self.graph = graph
         self.nodes = np.asarray(nodes, dtype=np.int64)
@@ -72,24 +81,53 @@ class NodeDataLoader:
         self.drop_last = bool(drop_last)
         self.num_workers = check_positive_int(num_workers, "num_workers")
         self.seed = seed
+        self.world_size = check_positive_int(world_size, "world_size")
+        if not 0 <= int(rank) < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world size {world_size}")
+        self.rank = int(rank)
+        if self.world_size > 1 and len(self.nodes) < self.world_size:
+            raise ValueError(
+                f"cannot shard {len(self.nodes)} nodes over {world_size} ranks"
+            )
+        if self.world_size > 1 and seed is None:
+            # without a seed every rank would draw its own entropy for the
+            # "world-shared" shuffle, so the strided shards would overlap
+            # and skip nodes instead of partitioning them
+            raise ValueError("sharded loading (world_size > 1) requires a seed")
         self._epoch = 0
 
     def set_epoch(self, epoch: int) -> None:
         """Choose the shuffle/sampling stream (DDP-style epoch seeding)."""
         self._epoch = int(epoch)
 
+    def _shard_size(self) -> int:
+        """Nodes this rank iterates (strided split of the global order)."""
+        n, w, r = len(self.nodes), self.world_size, self.rank
+        return n // w + (1 if r < n % w else 0)
+
     def __len__(self) -> int:
-        n = len(self.nodes)
+        n = self._shard_size()
         if self.drop_last:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator[MiniBatch]:
-        rng = as_generator(None if self.seed is None else (self.seed, self._epoch))
-        order = rng.permutation(self.nodes) if self.shuffle else self.nodes
+        # world-shared shuffle stream: every rank derives the identical
+        # global order, then takes its strided slice
+        shuffle_rng = as_generator(None if self.seed is None else (self.seed, self._epoch))
+        order = shuffle_rng.permutation(self.nodes) if self.shuffle else self.nodes
+        if self.world_size > 1:
+            order = order[self.rank :: self.world_size]
+            # per-rank sampling stream, a pure function of (seed, epoch,
+            # rank) — identical no matter which backend runs this rank
+            sample_rng = as_generator(
+                None if self.seed is None else (self.seed, self._epoch, self.rank)
+            )
+        else:
+            sample_rng = shuffle_rng  # preserve the historical stream
         n_batches = len(self)
         for i in range(n_batches):
             seeds = order[i * self.batch_size : (i + 1) * self.batch_size]
-            batch = self.sampler.sample(self.graph, seeds, rng=rng)
+            batch = self.sampler.sample(self.graph, seeds, rng=sample_rng)
             batch.labels = self.labels[batch.seeds]
             yield batch

@@ -9,13 +9,14 @@ algorithms ARGO's auto-tuner is compared against (paper Sec. VI-D).
 * :func:`default_config` — the library CPU-guideline static setup.
 """
 
-from repro.tuning.space import ConfigSpace
+from repro.tuning.space import BackendSpace, ConfigSpace
 from repro.tuning.search import Searcher, SearchResult, ExhaustiveSearch, RandomSearch
 from repro.tuning.anneal import SimulatedAnnealing
 from repro.tuning.pruning import PruningSearch
 from repro.tuning.defaults import default_config
 
 __all__ = [
+    "BackendSpace",
     "ConfigSpace",
     "Searcher",
     "SearchResult",

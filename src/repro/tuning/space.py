@@ -31,9 +31,18 @@ import numpy as np
 from repro.platform.spec import PlatformSpec
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ConfigSpace"]
+__all__ = ["ConfigSpace", "BackendSpace"]
 
 Config = tuple[int, int, int]
+#: a config extended with an execution-backend name (BackendSpace points)
+BackendConfig = tuple[int, int, int, str]
+
+
+def _paper_budget(space_size: int, fraction: float) -> int:
+    """Search budget covering ``fraction`` of a space (paper: 5-6%)."""
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    return max(3, int(round(fraction * space_size)))
 
 
 class ConfigSpace:
@@ -126,9 +135,7 @@ class ConfigSpace:
 
     def paper_budget(self, fraction: float = 0.05) -> int:
         """Search budget covering ``fraction`` of the space (paper: 5-6%)."""
-        if not 0 < fraction <= 1:
-            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
-        return max(3, int(round(fraction * len(self))))
+        return _paper_budget(len(self), fraction)
 
     # ------------------------------------------------------------------
     def features(self) -> np.ndarray:
@@ -182,4 +189,83 @@ class ConfigSpace:
         return out
 
     def random_config(self, rng: np.random.Generator) -> Config:
+        return self.configs[int(rng.integers(len(self.configs)))]
+
+
+class BackendSpace:
+    """A :class:`ConfigSpace` crossed with a set of execution backends.
+
+    Points are ``(n, s, t, backend)`` — the original design space plus a
+    categorical axis over :mod:`repro.exec` backend names, so the online
+    autotuner can discover e.g. that ``process`` beats ``thread`` once
+    the rank count saturates the GIL.  The class is duck-compatible with
+    :class:`ConfigSpace` everywhere the tuners need it (``configs``,
+    ``features``, ``index``, ``neighbors``, ``paper_budget``,
+    ``random_config``); :meth:`repro.core.config.RuntimeConfig.from_tuple`
+    accepts its 4-tuples directly.
+    """
+
+    def __init__(self, base: ConfigSpace, backends=("inline", "thread", "process")):
+        from repro.exec import available_backends  # lazy: avoid import cycle
+
+        # normalize like get_backend; dedupe, keep order
+        backends = tuple(dict.fromkeys(str(b).lower() for b in backends))
+        if not backends:
+            raise ValueError("BackendSpace needs at least one backend")
+        unknown = set(backends) - set(available_backends())
+        if unknown:
+            raise ValueError(
+                f"unknown backends {sorted(unknown)}; registered: "
+                f"{sorted(available_backends())}"
+            )
+        self.base = base
+        self.backends = backends
+        self.total_cores = base.total_cores
+        self.configs: list[BackendConfig] = [
+            (n, s, t, b) for b in backends for (n, s, t) in base.configs
+        ]
+        self._index = {cfg: i for i, cfg in enumerate(self.configs)}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+    def __contains__(self, cfg) -> bool:
+        return tuple(cfg) in self._index
+
+    def index(self, cfg: BackendConfig) -> int:
+        return self._index[tuple(cfg)]
+
+    def paper_budget(self, fraction: float = 0.05) -> int:
+        return _paper_budget(len(self), fraction)
+
+    def features(self) -> np.ndarray:
+        """Base features plus one normalised categorical backend column."""
+        base_feats = self.base.features()
+        k = len(self.backends)
+        rows = np.zeros((len(self.configs), base_feats.shape[1] + 1), dtype=np.float64)
+        n_base = len(self.base.configs)
+        for bi in range(k):
+            lo, hi = bi * n_base, (bi + 1) * n_base
+            rows[lo:hi, :-1] = base_feats
+            rows[lo:hi, -1] = bi / max(1, k - 1)
+        return rows
+
+    def neighbors(self, cfg: BackendConfig) -> list[BackendConfig]:
+        """Base-space moves at the same backend, plus backend flips."""
+        n, s, t, b = cfg
+        if cfg not in self:
+            raise KeyError(f"{cfg} not in space")
+        out = [(n2, s2, t2, b) for (n2, s2, t2) in self.base.neighbors((n, s, t))]
+        bi = self.backends.index(b)
+        for db in (-1, 1):
+            j = bi + db
+            if 0 <= j < len(self.backends):
+                out.append((n, s, t, self.backends[j]))
+        return out
+
+    def random_config(self, rng: np.random.Generator) -> BackendConfig:
         return self.configs[int(rng.integers(len(self.configs)))]

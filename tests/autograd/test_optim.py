@@ -102,3 +102,57 @@ class TestAdam:
             return p.data.copy()
 
         np.testing.assert_array_equal(run(), run())
+
+
+class TestStateRoundTrip:
+    """Optimizer state must survive (de)serialisation — the process
+    execution backend rebuilds optimizers inside worker processes."""
+
+    def _run_steps(self, opt, p, k):
+        for _ in range(k):
+            p.grad = grad_of(p)
+            opt.step()
+
+    @pytest.mark.parametrize("cls, kwargs", [(SGD, {"momentum": 0.9}), (Adam, {})])
+    def test_roundtrip_continues_identically(self, cls, kwargs):
+        p1 = quadratic_params()
+        opt1 = cls([p1], lr=0.05, **kwargs)
+        self._run_steps(opt1, p1, 3)
+
+        # transplant state into a fresh optimizer over a fresh copy
+        p2 = Parameter(p1.data.copy())
+        opt2 = cls([p2], lr=0.05, **kwargs)
+        opt2.load_state_dict(opt1.state_dict())
+
+        self._run_steps(opt1, p1, 3)
+        self._run_steps(opt2, p2, 3)
+        np.testing.assert_allclose(p2.data, p1.data, rtol=1e-7)
+
+    def test_adam_state_includes_step_count(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.05)
+        self._run_steps(opt, p, 2)
+        assert opt.state_dict()["t"] == 2
+
+    def test_state_dict_is_a_copy(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.05)
+        self._run_steps(opt, p, 1)
+        snap = opt.state_dict()
+        self._run_steps(opt, p, 1)
+        assert not np.array_equal(snap["m"][0], opt.state_dict()["m"][0])
+
+    def test_mismatched_state_rejected(self):
+        p = quadratic_params()
+        opt = Adam([p], lr=0.05)
+        with pytest.raises(ValueError):
+            opt.load_state_dict({"m": [], "v": [], "t": 0})
+
+    def test_make_optimizer_factory(self):
+        from repro.autograd.optim import make_optimizer
+
+        p = quadratic_params()
+        assert isinstance(make_optimizer("adam", [p], 0.01), Adam)
+        assert isinstance(make_optimizer("SGD", [p], 0.01), SGD)
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            make_optimizer("rmsprop", [p], 0.01)

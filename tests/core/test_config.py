@@ -27,3 +27,28 @@ class TestRuntimeConfig:
 
     def test_str(self):
         assert str(RuntimeConfig(2, 3, 5)) == "(n=2, samp=3, train=5)"
+
+
+class TestBackendField:
+    def test_defaults_to_inline(self):
+        assert RuntimeConfig(1, 1, 1).backend == "inline"
+
+    def test_accepts_registered_backends(self):
+        for b in ("inline", "thread", "process"):
+            assert RuntimeConfig(2, 1, 1, backend=b).backend == b
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            RuntimeConfig(1, 1, 1, backend="mpi")
+
+    def test_from_tuple_four_wide(self):
+        cfg = RuntimeConfig.from_tuple((2, 3, 5, "process"))
+        assert cfg.backend == "process"
+        assert cfg.as_tuple() == (2, 3, 5)  # numeric triple unchanged
+
+    def test_str_shows_non_default_backend(self):
+        assert "backend=process" in str(RuntimeConfig(2, 3, 5, backend="process"))
+        assert "backend" not in str(RuntimeConfig(2, 3, 5))
+
+    def test_backend_name_normalised_like_get_backend(self):
+        assert RuntimeConfig(1, 1, 1, backend="Process").backend == "process"

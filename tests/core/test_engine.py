@@ -1,13 +1,17 @@
 """Multi-Process Engine: semantics preservation and backends."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.engine import MultiProcessEngine
 from repro.gnn.models import make_task
 
+ALL_BACKENDS = ("inline", "thread", "process")
 
-def build_engine(ds, n=2, backend="inline", batch=64, seed=0, task="neighbor-sage"):
+
+def build_engine(ds, n=2, backend="inline", batch=64, seed=0, task="neighbor-sage", **kw):
     sampler, model = make_task(task, ds.layer_dims(2), seed=seed, fanouts=[5, 5] if task == "neighbor-sage" else None)
     return MultiProcessEngine(
         ds,
@@ -17,6 +21,7 @@ def build_engine(ds, n=2, backend="inline", batch=64, seed=0, task="neighbor-sag
         global_batch_size=batch,
         backend=backend,
         seed=seed,
+        **kw,
     )
 
 
@@ -128,8 +133,122 @@ class TestThreadBackend:
         np.testing.assert_allclose(la, lb, rtol=1e-3)
 
 
+class TestProcessBackend:
+    def test_process_epoch_runs(self, tiny_dataset):
+        with build_engine(tiny_dataset, n=2, backend="process") as eng:
+            stats = eng.train_epoch()
+        assert stats.num_global_steps >= 1
+        assert stats.mean_loss > 0
+        assert stats.sampled_edges > 0
+
+    def test_process_replicas_synchronised(self, tiny_dataset):
+        with build_engine(tiny_dataset, n=2, backend="process") as eng:
+            eng.train(2)
+            ref = eng.replicas[0].state_dict()
+            for rep in eng.replicas[1:]:
+                for k, v in rep.state_dict().items():
+                    np.testing.assert_allclose(v, ref[k], rtol=1e-5, atol=1e-6)
+
+    def test_shutdown_unlinks_all_segments(self, tiny_dataset):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm to inspect")
+        eng = build_engine(tiny_dataset, n=2, backend="process")
+        eng.train_epoch()
+        store = eng._backend._store
+        names = [spec.shm_name for spec in store.spec.values()]
+        assert all(os.path.exists(f"/dev/shm/{n}") for n in names)
+        eng.shutdown()
+        assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+
+    def test_shutdown_is_idempotent_and_engine_reusable(self, tiny_dataset):
+        eng = build_engine(tiny_dataset, n=2, backend="process")
+        eng.train_epoch()
+        eng.shutdown()
+        eng.shutdown()
+        eng.train_epoch()  # backend re-creates the store on demand
+        eng.shutdown()
+        assert len(eng.history.epochs) == 2
+
+    def test_worker_failure_propagates(self, tiny_dataset):
+        from repro.sampling.base import Sampler
+
+        class Exploding(Sampler):
+            num_layers = 2
+
+            def sample(self, graph, seeds, *, rng=None):
+                raise RuntimeError("boom")
+
+        _, model = make_task("neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5])
+        eng = MultiProcessEngine(
+            tiny_dataset, Exploding(), model, num_processes=2, global_batch_size=64,
+            backend="process", backend_options={"timeout": 30.0},
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            eng.train_epoch()
+        eng.shutdown()
+
+
+class TestBackendParity:
+    """Same seed => same trajectory on every backend (acceptance criterion)."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_loss_trajectory_matches_inline(self, tiny_dataset, backend):
+        a = build_engine(tiny_dataset, n=2, backend="inline", seed=3)
+        b = build_engine(tiny_dataset, n=2, backend=backend, seed=3)
+        try:
+            la = a.train(3).losses
+            lb = b.train(3).losses
+        finally:
+            b.shutdown()
+        # acceptance: per-epoch loss within 1e-6 of the inline reference
+        np.testing.assert_allclose(lb, la, atol=1e-6, rtol=0)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_final_weights_match_inline(self, tiny_dataset, backend):
+        a = build_engine(tiny_dataset, n=2, backend="inline", seed=3)
+        b = build_engine(tiny_dataset, n=2, backend=backend, seed=3)
+        try:
+            a.train(2)
+            b.train(2)
+        finally:
+            b.shutdown()
+        for k, v in a.model.state_dict().items():
+            np.testing.assert_allclose(b.model.state_dict()[k], v, rtol=1e-5, atol=1e-6)
+
+    def test_inline_reruns_are_bit_identical(self, tiny_dataset):
+        a = build_engine(tiny_dataset, n=2, seed=9)
+        b = build_engine(tiny_dataset, n=2, seed=9)
+        a.train(2)
+        b.train(2)
+        assert a.history.losses == b.history.losses
+        for k, v in a.model.state_dict().items():
+            np.testing.assert_array_equal(v, b.model.state_dict()[k])
+
+    def test_process_multi_epoch_optimizer_state_carries(self, tiny_dataset):
+        """Adam moments must round-trip through the workers: a diverging
+        second epoch would reveal lost optimizer state."""
+        a = build_engine(tiny_dataset, n=2, backend="inline", seed=5)
+        b = build_engine(tiny_dataset, n=2, backend="process", seed=5)
+        try:
+            la = a.train(4).losses
+            lb = b.train(4).losses
+        finally:
+            b.shutdown()
+        np.testing.assert_allclose(lb, la, atol=1e-6, rtol=0)
+
+
 class TestShadowTask:
     def test_shadow_engine_trains(self, tiny_dataset):
         eng = build_engine(tiny_dataset, n=2, task="shadow-gcn")
         hist = eng.train(3)
         assert hist.losses[-1] < hist.losses[0] * 1.5
+
+    def test_shadow_process_backend_parity(self, tiny_dataset):
+        a = build_engine(tiny_dataset, n=2, task="shadow-gcn", backend="inline", seed=1)
+        b = build_engine(tiny_dataset, n=2, task="shadow-gcn", backend="process", seed=1)
+        try:
+            la = a.train(2).losses
+            lb = b.train(2).losses
+        finally:
+            b.shutdown()
+        np.testing.assert_allclose(lb, la, atol=1e-6, rtol=0)

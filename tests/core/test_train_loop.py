@@ -43,6 +43,33 @@ class TestMakeTrainFn:
         acc1 = evaluate_accuracy(tiny_dataset, sampler, model, seed=0)
         assert acc1 > acc0
 
+    def test_backend_taken_from_config(self, tiny_dataset, task):
+        """backend=None defers to each config's own backend field."""
+        sampler, model = task
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=64)
+        times = train(config=RuntimeConfig(2, 1, 1, backend="process"), epochs=1)
+        assert len(times) == 1 and times[0] > 0
+
+    def test_explicit_backend_overrides_config(self, tiny_dataset, task):
+        sampler, model = task
+        train = make_train_fn(
+            tiny_dataset, sampler, model, global_batch_size=64, backend="inline"
+        )
+        # config asks for process, the fixed backend wins — still trains
+        times = train(config=RuntimeConfig(2, 1, 1, backend="process"), epochs=1)
+        assert len(times) == 1
+
+    def test_platform_builds_process_bindings(self, tiny_dataset, task):
+        from repro.platform.spec import ICE_LAKE_8380H
+
+        sampler, model = task
+        train = make_train_fn(
+            tiny_dataset, sampler, model, global_batch_size=64,
+            backend="process", platform=ICE_LAKE_8380H,
+        )
+        times = train(config=RuntimeConfig(2, 1, 1), epochs=1)
+        assert len(times) == 1 and times[0] > 0
+
 
 class TestEvaluateAccuracy:
     def test_unit_interval(self, tiny_dataset, task):

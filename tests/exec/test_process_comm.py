@@ -1,0 +1,137 @@
+"""ProcessWorld / ProcessCommunicator collectives across real processes."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.distributed.comm import ProcessWorld
+
+
+def _run_ranks(world, target, world_size, extra=()):
+    """Spawn one process per rank running ``target(comm, rank, q, *extra)``."""
+    ctx = mp.get_context()
+    q = ctx.SimpleQueue()
+    procs = [
+        ctx.Process(target=target, args=(world, r, q) + tuple(extra))
+        for r in range(world_size)
+    ]
+    for p in procs:
+        p.start()
+    results = [q.get() for _ in range(world_size)]
+    for p in procs:
+        p.join()
+    assert all(p.exitcode == 0 for p in procs)
+    return dict(results)
+
+
+def _allreduce_worker(world, rank, q):
+    comm = world.communicator(rank)
+    a = np.full((3,), float(rank + 1), dtype=np.float32)
+    b = np.full((2, 2), float(10 * (rank + 1)), dtype=np.float64)
+    out = comm.allreduce_mean([a, b])
+    # run a second round to prove the accumulator resets cleanly
+    out2 = comm.allreduce_mean([np.full((3,), float(rank), dtype=np.float32)])
+    q.put((rank, (out[0].tolist(), out[1].tolist(), out2[0].tolist(),
+                  str(out[0].dtype), tuple(out[1].shape))))
+
+
+def _broadcast_worker(world, rank, q):
+    comm = world.communicator(rank)
+    payload = (
+        [np.arange(4, dtype=np.float32), np.eye(2, dtype=np.float64)]
+        if rank == 1
+        else [np.zeros(4, dtype=np.float32), np.zeros((2, 2), dtype=np.float64)]
+    )
+    out = comm.broadcast(payload, root=1)
+    q.put((rank, (out[0].tolist(), out[1].tolist())))
+
+
+def _gather_worker(world, rank, q):
+    comm = world.communicator(rank)
+    out = comm.gather({"rank": rank, "losses": [0.1 * rank]}, root=0)
+    comm.barrier()
+    q.put((rank, None if out is None else [d["rank"] for d in out]))
+
+
+class TestAllreduce:
+    def test_mean_across_process_ranks(self):
+        n = 3
+        with ProcessWorld(n, capacity=16) as world:
+            res = _run_ranks(world, _allreduce_worker, n)
+        for rank in range(n):
+            vec, mat, vec2, dtype, shape = res[rank]
+            np.testing.assert_allclose(vec, [2.0] * 3)  # mean(1, 2, 3)
+            np.testing.assert_allclose(mat, [[20.0, 20.0], [20.0, 20.0]])
+            np.testing.assert_allclose(vec2, [1.0] * 3)  # mean(0, 1, 2)
+            assert dtype == "float32" and shape == (2, 2)
+
+    def test_capacity_enforced(self):
+        with ProcessWorld(1, capacity=4) as world:
+            comm = world.communicator(0)
+            with pytest.raises(ValueError, match="capacity"):
+                comm.allreduce_mean([np.zeros(5)])
+
+    def test_world_size_one_is_identity(self):
+        with ProcessWorld(1, capacity=8) as world:
+            comm = world.communicator(0)
+            out = comm.allreduce_mean([np.array([1.5, -2.0], dtype=np.float32)])
+            np.testing.assert_allclose(out[0], [1.5, -2.0])
+
+
+class TestBroadcast:
+    def test_all_ranks_receive_root_payload(self):
+        n = 2
+        with ProcessWorld(n, capacity=16) as world:
+            res = _run_ranks(world, _broadcast_worker, n)
+        for rank in range(n):
+            vec, mat = res[rank]
+            np.testing.assert_allclose(vec, [0.0, 1.0, 2.0, 3.0])
+            np.testing.assert_allclose(mat, [[1.0, 0.0], [0.0, 1.0]])
+
+
+class TestGatherAndBarrier:
+    def test_root_collects_in_rank_order(self):
+        n = 3
+        with ProcessWorld(n, capacity=4) as world:
+            res = _run_ranks(world, _gather_worker, n)
+        assert res[0] == [0, 1, 2]
+        assert res[1] is None and res[2] is None
+
+    def test_gather_payload_size_enforced(self):
+        with ProcessWorld(1, capacity=4, slot_bytes=64) as world:
+            comm = world.communicator(0)
+            with pytest.raises(ValueError, match="slot"):
+                comm.gather(b"x" * 1024)
+
+
+class TestWorldLifecycle:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProcessWorld(0, capacity=4)
+        with pytest.raises(ValueError):
+            ProcessWorld(1, capacity=0)
+
+    def test_rank_range_checked(self):
+        with ProcessWorld(2, capacity=4) as world:
+            with pytest.raises(ValueError, match="rank"):
+                world.communicator(2)
+
+    def test_unlink_frees_segment(self):
+        import os
+
+        world = ProcessWorld(1, capacity=4)
+        name = world._shm.name
+        world.unlink()
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_broken_barrier_raises_runtime_error(self):
+        world = ProcessWorld(2, capacity=4, timeout=0.2)
+        try:
+            comm = world.communicator(0)
+            # no peer ever arrives: the wait must time out, not hang
+            with pytest.raises(RuntimeError, match="collective broken"):
+                comm.barrier()
+        finally:
+            world.unlink()

@@ -1,0 +1,161 @@
+"""Shared-memory graph store: lifecycle, zero-copy semantics, no leaks."""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.shm import SharedArraySpec, SharedGraphStore
+
+
+def _segment_names(store):
+    return [spec.shm_name for spec in store.spec.values()]
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+has_dev_shm = os.path.isdir("/dev/shm")
+needs_dev_shm = pytest.mark.skipif(not has_dev_shm, reason="no /dev/shm to inspect")
+
+
+class TestLifecycle:
+    def test_create_and_unlink(self, tiny_dataset):
+        store = SharedGraphStore.from_dataset(tiny_dataset)
+        names = _segment_names(store)
+        assert set(store.spec) == set(SharedGraphStore.KEYS)
+        store.unlink()
+        assert store.closed
+        if has_dev_shm:
+            assert not any(_segment_exists(n) for n in names)
+
+    @needs_dev_shm
+    def test_segments_exist_while_open(self, tiny_dataset):
+        with SharedGraphStore.from_dataset(tiny_dataset) as store:
+            assert all(_segment_exists(n) for n in _segment_names(store))
+        assert store.closed
+
+    def test_context_manager_unlinks(self, tiny_dataset):
+        with SharedGraphStore.from_dataset(tiny_dataset) as store:
+            names = _segment_names(store)
+        if has_dev_shm:
+            assert not any(_segment_exists(n) for n in names)
+
+    def test_attach_cannot_unlink(self, tiny_dataset):
+        store = SharedGraphStore.from_dataset(tiny_dataset)
+        try:
+            attached = SharedGraphStore.attach(store.spec)
+            with pytest.raises(RuntimeError, match="creating store"):
+                attached.unlink()
+            attached.close()
+        finally:
+            store.unlink()
+
+    def test_close_is_idempotent(self, tiny_dataset):
+        store = SharedGraphStore.from_dataset(tiny_dataset)
+        store.unlink()
+        store.close()
+        store.close()
+
+    def test_access_after_close_raises(self, tiny_dataset):
+        store = SharedGraphStore.from_dataset(tiny_dataset)
+        store.unlink()
+        with pytest.raises(ValueError, match="closed"):
+            store.features
+
+
+class TestContent:
+    def test_roundtrip_equality(self, tiny_dataset):
+        with SharedGraphStore.from_dataset(tiny_dataset) as store:
+            assert store.graph == tiny_dataset.graph
+            np.testing.assert_array_equal(store.features, tiny_dataset.features)
+            np.testing.assert_array_equal(store.labels, tiny_dataset.labels)
+
+    def test_views_are_read_only(self, tiny_dataset):
+        with SharedGraphStore.from_dataset(tiny_dataset) as store:
+            for key in SharedGraphStore.KEYS:
+                assert not store.array(key).flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                store.features[0, 0] = 1.0
+
+    def test_attached_store_sees_same_data(self, tiny_dataset):
+        with SharedGraphStore.from_dataset(tiny_dataset) as store:
+            attached = SharedGraphStore.attach(store.spec)
+            try:
+                assert attached.graph == tiny_dataset.graph
+                np.testing.assert_array_equal(attached.features, tiny_dataset.features)
+            finally:
+                attached.close()
+
+    def test_spec_is_picklable_descriptor(self, tiny_dataset):
+        import pickle
+
+        with SharedGraphStore.from_dataset(tiny_dataset) as store:
+            spec = pickle.loads(pickle.dumps(store.spec))
+            assert spec == store.spec
+            assert all(isinstance(v, SharedArraySpec) for v in spec.values())
+
+    def test_total_bytes_accounts_all_arrays(self, tiny_dataset):
+        with SharedGraphStore.from_dataset(tiny_dataset) as store:
+            expected = (
+                tiny_dataset.graph.indptr.nbytes
+                + tiny_dataset.graph.indices.nbytes
+                + tiny_dataset.features.nbytes
+                + tiny_dataset.labels.nbytes
+            )
+            assert store.total_bytes == expected
+
+
+def _child_reads(spec, expected_sum, q):
+    store = SharedGraphStore.attach(spec)
+    try:
+        q.put(float(store.features.sum()) == expected_sum and store.graph.num_edges >= 0)
+    finally:
+        store.close()
+
+
+class TestCrossProcess:
+    def test_worker_process_attaches_zero_copy(self, tiny_dataset):
+        ctx = mp.get_context()
+        with SharedGraphStore.from_dataset(tiny_dataset) as store:
+            q = ctx.SimpleQueue()
+            p = ctx.Process(
+                target=_child_reads,
+                args=(store.spec, float(tiny_dataset.features.sum()), q),
+            )
+            p.start()
+            ok = q.get()
+            p.join()
+            assert ok and p.exitcode == 0
+
+    @needs_dev_shm
+    def test_worker_exit_does_not_reap_segments(self, tiny_dataset):
+        ctx = mp.get_context()
+        store = SharedGraphStore.from_dataset(tiny_dataset)
+        try:
+            q = ctx.SimpleQueue()
+            p = ctx.Process(
+                target=_child_reads,
+                args=(store.spec, float(tiny_dataset.features.sum()), q),
+            )
+            p.start()
+            q.get()
+            p.join()
+            # parent's segments must survive the worker's exit
+            assert all(_segment_exists(n) for n in _segment_names(store))
+            np.testing.assert_array_equal(store.labels, tiny_dataset.labels)
+        finally:
+            store.unlink()
+
+
+class TestTrustedCSR:
+    def test_from_trusted_parts_is_zero_copy(self, tiny_dataset):
+        g = tiny_dataset.graph
+        g2 = CSRGraph.from_trusted_parts(g.indptr, g.indices)
+        assert g2.indptr is g.indptr
+        assert g2.indices is g.indices
+        assert g2.num_nodes == g.num_nodes
+        assert g2 == g

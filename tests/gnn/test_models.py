@@ -137,3 +137,38 @@ class TestFactories:
     def test_make_task_fanout_mismatch(self):
         with pytest.raises(ValueError):
             make_task("neighbor-sage", [4, 8, 2], fanouts=[5, 5, 5])
+
+
+class TestBuildLayerStack:
+    def test_registers_conv_attributes(self, tiny_dataset):
+        from repro.autograd.module import Linear, Module
+        from repro.gnn.models import build_layer_stack
+
+        class Host(Module):
+            pass
+
+        host = Host()
+        layers = build_layer_stack(host, [8, 4, 2], Linear, stream="x", seed=0)
+        assert len(layers) == 2
+        assert host.conv0 is layers[0] and host.conv1 is layers[1]
+        assert len(host.parameters()) == 4  # 2 layers x (weight, bias)
+
+    def test_rejects_short_dims(self):
+        from repro.autograd.module import Linear, Module
+        from repro.gnn.models import build_layer_stack
+
+        with pytest.raises(ValueError, match="dims"):
+            build_layer_stack(Module(), [8], Linear, stream="x", seed=0)
+
+    def test_models_share_stack_builder_determinism(self, tiny_dataset):
+        """Same seed => same init through the shared helper (state_dict
+        names and values unchanged by the refactor)."""
+        dims = tiny_dataset.layer_dims(2)
+        for name in ("gcn", "sage", "gat"):
+            m1 = build_model(name, dims, seed=4)
+            m2 = build_model(name, dims, seed=4)
+            sd1, sd2 = m1.state_dict(), m2.state_dict()
+            assert list(sd1) == list(sd2)
+            assert all(k.startswith("conv") for k in sd1)
+            for k in sd1:
+                np.testing.assert_array_equal(sd1[k], sd2[k])

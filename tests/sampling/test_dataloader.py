@@ -71,3 +71,75 @@ class TestShuffling:
     def test_num_workers_metadata(self, loader_args):
         loader = NodeDataLoader(**loader_args, batch_size=16, num_workers=4)
         assert loader.num_workers == 4
+
+
+class TestRankSharding:
+    """DDP-style rank/world_size sharding with backend-independent streams."""
+
+    def test_default_is_unsharded(self, loader_args):
+        loader = NodeDataLoader(**loader_args, batch_size=16, seed=0)
+        assert loader.rank == 0 and loader.world_size == 1
+
+    def test_world_size_one_stream_unchanged(self, loader_args):
+        """Explicit (rank=0, world=1) must reproduce the historical stream."""
+        a = NodeDataLoader(**loader_args, batch_size=16, seed=3)
+        b = NodeDataLoader(**loader_args, batch_size=16, seed=3, rank=0, world_size=1)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.seeds, y.seeds)
+            np.testing.assert_array_equal(x.input_ids, y.input_ids)
+
+    def test_shards_partition_the_node_set(self, loader_args):
+        world = 3
+        seen = []
+        for rank in range(world):
+            loader = NodeDataLoader(
+                **loader_args, batch_size=16, seed=0, rank=rank, world_size=world
+            )
+            for batch in loader:
+                seen.extend(batch.seeds.tolist())
+        assert sorted(seen) == sorted(loader_args["nodes"].tolist())
+
+    def test_shard_lengths_near_equal(self, loader_args):
+        world = 4
+        sizes = [
+            NodeDataLoader(
+                **loader_args, batch_size=1, seed=0, rank=r, world_size=world
+            )._shard_size()
+            for r in range(world)
+        ]
+        assert sum(sizes) == len(loader_args["nodes"])
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rank_stream_is_deterministic(self, loader_args):
+        """The per-rank sampling stream depends only on (seed, epoch, rank)."""
+        a = NodeDataLoader(**loader_args, batch_size=16, seed=5, rank=1, world_size=2)
+        b = NodeDataLoader(**loader_args, batch_size=16, seed=5, rank=1, world_size=2)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.seeds, y.seeds)
+            np.testing.assert_array_equal(x.input_ids, y.input_ids)
+
+    def test_ranks_use_independent_streams(self, loader_args):
+        a = NodeDataLoader(**loader_args, batch_size=16, seed=5, rank=0, world_size=2)
+        b = NodeDataLoader(**loader_args, batch_size=16, seed=5, rank=1, world_size=2)
+        assert not np.array_equal(next(iter(a)).seeds, next(iter(b)).seeds)
+
+    def test_len_reflects_shard(self, loader_args):
+        full = NodeDataLoader(**loader_args, batch_size=16, seed=0)
+        shard = NodeDataLoader(**loader_args, batch_size=16, seed=0, rank=0, world_size=4)
+        assert len(shard) < len(full)
+        assert len(shard) == len(list(shard))
+
+    def test_invalid_rank_rejected(self, loader_args):
+        with pytest.raises(ValueError, match="rank"):
+            NodeDataLoader(**loader_args, batch_size=16, rank=2, world_size=2)
+
+    def test_oversharding_rejected(self, loader_args):
+        tiny = dict(loader_args, nodes=loader_args["nodes"][:2])
+        with pytest.raises(ValueError, match="shard"):
+            NodeDataLoader(**tiny, batch_size=1, world_size=4)
+
+    def test_sharding_requires_seed(self, loader_args):
+        # seed=None would give each rank its own shuffle entropy and break
+        # the partition guarantee
+        with pytest.raises(ValueError, match="requires a seed"):
+            NodeDataLoader(**loader_args, batch_size=16, seed=None, world_size=2)

@@ -113,3 +113,77 @@ class TestRandomConfig:
         rng = np.random.default_rng(0)
         for _ in range(20):
             assert space.random_config(rng) in space
+
+
+class TestBackendSpace:
+    def _space(self, backends=("inline", "thread", "process")):
+        from repro.tuning.space import BackendSpace
+
+        return BackendSpace(ConfigSpace(16), backends=backends)
+
+    def test_cross_product_size(self):
+        base = ConfigSpace(16)
+        space = self._space()
+        assert len(space) == 3 * len(base)
+
+    def test_configs_are_four_tuples(self):
+        space = self._space()
+        for cfg in space.configs[:: max(1, len(space) // 10)]:
+            n, s, t, b = cfg
+            assert (n, s, t) in space.base
+            assert b in space.backends
+
+    def test_index_roundtrip(self):
+        space = self._space()
+        for i in (0, len(space) // 2, len(space) - 1):
+            assert space.index(space.configs[i]) == i
+
+    def test_features_add_backend_column(self):
+        space = self._space()
+        feats = space.features()
+        base_feats = space.base.features()
+        assert feats.shape == (len(space), base_feats.shape[1] + 1)
+        # backend column is the normalised categorical index
+        assert set(np.unique(feats[:, -1])) == {0.0, 0.5, 1.0}
+
+    def test_neighbors_include_backend_flips(self):
+        space = self._space()
+        cfg = space.base.configs[0] + ("thread",)
+        moves = space.neighbors(cfg)
+        flips = {m[3] for m in moves if m[:3] == cfg[:3]}
+        assert flips == {"inline", "process"}
+        for m in moves:
+            assert m in space
+
+    def test_unknown_backend_rejected(self):
+        from repro.tuning.space import BackendSpace
+
+        with pytest.raises(ValueError, match="unknown backends"):
+            BackendSpace(ConfigSpace(16), backends=("inline", "mpi"))
+
+    def test_runtime_config_accepts_points(self):
+        from repro.core.config import RuntimeConfig
+
+        space = self._space()
+        cfg = RuntimeConfig.from_tuple(space.configs[-1])
+        assert cfg.backend == "process"
+
+    def test_autotuner_searches_backends(self):
+        """The tuner must be able to traverse the backend axis."""
+        from repro.core.autotuner import OnlineAutoTuner
+
+        space = self._space()
+        tuner = OnlineAutoTuner(space, num_searches=6, seed=0)
+        # fake objective: process is fastest, inline slowest
+        cost = {"inline": 3.0, "thread": 2.0, "process": 1.0}
+        result = tuner.tune(lambda cfg: cost[cfg[3]] + 0.01 * cfg[0])
+        assert len(result.history) == 6
+        tried = {cfg[3] for cfg, _ in result.history}
+        assert len(tried) >= 2  # the tuner explored the backend axis
+        assert result.best_config[3] == "process"  # ... and found the cheapest
+
+    def test_random_config_in_space(self):
+        space = self._space()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert space.random_config(rng) in space

@@ -10,10 +10,17 @@ every execution backend (inline / thread / process) on a local synthetic
 instance — the mechanism the simulated curves model.
 """
 
+import os
+
 import numpy as np
 
-from repro.experiments.figures import fig1_baseline_scalability, fig1_engine_backend_sweep
+from repro.experiments.figures import (
+    fig1_baseline_scalability,
+    fig1_engine_backend_sweep,
+    fig1_overlap_sweep,
+)
 from repro.experiments.reporting import render_series, render_table
+from repro.experiments.setups import ExperimentSetup, build_runtime
 
 
 def bench_fig1(benchmark, save_result):
@@ -61,3 +68,61 @@ def bench_fig1_backend_sweep(benchmark, save_result):
     for b in data["backends"]:
         assert data["epoch_time"][b][0] > 0, b
         np.testing.assert_allclose(data["losses"][b], ref, rtol=1e-5)
+
+
+def bench_fig1_overlap_sweep(benchmark, save_result):
+    """Pipelined sampling: wait hidden by overlap, sampler-core scaling.
+
+    Measured: the prefetching loader's sample wait (overlap regime) and
+    sampler-pipeline makespan (drain regime) vs sampler workers ``s`` on
+    a dense synthetic instance, against the synchronous baseline.
+    Modelled: the cost model's per-iteration sample-stage time vs ``s``
+    (Amdahl in the sampling cores) — strictly decreasing by construction,
+    the axis the pipeline makes real.
+    """
+    samplers = (1, 2, 4)
+    data = benchmark.pedantic(
+        lambda: fig1_overlap_sweep("reddit", samplers=samplers, scale_override=11),
+        rounds=1,
+        iterations=1,
+    )
+    rt, _ = build_runtime(
+        ExperimentSetup("neighbor-sage", "ogbn-products", "icelake", "dgl")
+    )
+    modelled = {s: rt.breakdown((2, s, 8)).t_sample for s in (1, 2, 4, 8)}
+
+    rows = [["off (sync)", f"{data['wait_off']:.3f}", f"{data['drain_off']:.3f}", "-"]]
+    for s in samplers:
+        rows.append(
+            [
+                f"s={s}",
+                f"{data['wait'][s]:.3f}",
+                f"{data['drain'][s]:.3f}",
+                f"{modelled[s] * 1e3:.2f}",
+            ]
+        )
+    text = render_table(
+        ["samplers", "sample wait s", "drain makespan s", "modelled t_sample ms"],
+        rows,
+        title="Fig 1 (measured) — pipelined sampling overlap sweep (reddit 2^11)",
+    )
+    save_result("fig01_overlap_sweep", text)
+
+    # semantics preservation: prefetched loss streams are bit-identical
+    for s in samplers:
+        assert data["losses"][s] == data["losses_off"], s
+    # overlap hides sampling behind compute on any host
+    for s in samplers:
+        assert data["wait"][s] < data["wait_off"], s
+    # the modelled sample stage strictly decreases with s — the
+    # deterministic record of the strictly-decreasing claim
+    vals = [modelled[s] for s in sorted(modelled)]
+    assert all(a > b for a, b in zip(vals, vals[1:])), modelled
+    # measured drain makespan needs cores left over for the consumer —
+    # record-only on starved hosts; elsewhere assert the trend without
+    # hard-gating single-round wall clock on scheduler noise: endpoints
+    # must improve, intermediate steps may regress at most 10%
+    if len(os.sched_getaffinity(0)) > max(samplers):
+        drains = [data["drain"][s] for s in samplers]
+        assert drains[-1] < drains[0], drains
+        assert all(b < a * 1.10 for a, b in zip(drains, drains[1:])), drains

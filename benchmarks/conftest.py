@@ -2,12 +2,16 @@
 
 Every ``bench_*`` file regenerates one table or figure of the paper.
 Rendered outputs are written to ``benchmarks/results/`` and echoed to the
-terminal section pytest prints for each benchmark, so
+terminal section pytest prints for each benchmark.  The ``bench_``
+naming keeps these out of the tier-1 suite, so collection needs explicit
+overrides:
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ -o python_files='bench_*.py' -o python_functions='bench_*'
 
-both times the regeneration kernels and leaves the reproduced artefacts
-on disk.
+which both times the regeneration kernels and leaves the reproduced
+artefacts on disk (add ``--benchmark-disable`` to skip the timing
+machinery and just run the assertions, as CI does for the fig1/fig8
+files).
 """
 
 from __future__ import annotations

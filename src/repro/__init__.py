@@ -40,6 +40,7 @@ from repro.platform import (
 )
 from repro.workload import WorkloadModel, measure_workload
 from repro.exec import ExecutionBackend, available_backends, get_backend
+from repro.pipeline import OrderedPrefetcher, PrefetchingLoader
 from repro.tuning import (
     BackendSpace,
     ConfigSpace,
@@ -73,6 +74,8 @@ __all__ = [
     "NeighborSampler",
     "ShadowSampler",
     "NodeDataLoader",
+    "OrderedPrefetcher",
+    "PrefetchingLoader",
     "make_sampler",
     "PlatformSpec",
     "ICE_LAKE_8380H",

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli fig6 | fig7 | fig8 | table4 | table5 | table6
     python -m repro.cli landscape --task shadow-gcn --dataset reddit
     python -m repro.cli train --backend process --processes 2 --epochs 2
+    python -m repro.cli train --backend process --prefetch --samplers 2
 
 Each command prints the reproduced artefact to stdout (the benchmark
 suite additionally asserts the paper's shapes; the CLI is for quick
@@ -32,6 +33,34 @@ from repro.experiments.tables import table4_5_row, table6_search_budgets
 from repro.exec import available_backends
 
 __all__ = ["main"]
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for count arguments: fail in the parser, not the engine."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {n}")
+    return n
+
+
+def _backend_name(name: str) -> str:
+    """argparse type for ``--backend``: validate against the exec registry.
+
+    Failing up front (with the registered names listed) beats the engine
+    blowing up deep inside backend construction; accepting any registered
+    string — rather than a frozen ``choices`` tuple — keeps third-party
+    backends selectable.
+    """
+    key = str(name).lower()
+    if key not in available_backends():
+        raise argparse.ArgumentTypeError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(available_backends())}"
+        )
+    return key
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -133,6 +162,9 @@ def cmd_train(args) -> str:
         backend=args.backend,
         backend_options=backend_options,
         seed=args.seed,
+        prefetch=args.prefetch,
+        queue_depth=args.queue_depth,
+        sampler_workers=args.samplers,
     )
     try:
         engine.train(args.epochs)
@@ -140,15 +172,23 @@ def cmd_train(args) -> str:
     finally:
         engine.shutdown()
     rows = [
-        [e.epoch, f"{e.mean_loss:.4f}", f"{e.epoch_time:.3f}", e.sampled_edges]
+        [
+            e.epoch,
+            f"{e.mean_loss:.4f}",
+            f"{e.epoch_time:.3f}",
+            f"{e.sample_wait:.3f}",
+            f"{e.compute_time:.3f}",
+            e.sampled_edges,
+        ]
         for e in engine.history.epochs
     ]
+    overlap = f", prefetch(s={args.samplers}, q={args.queue_depth})" if args.prefetch else ""
     table = render_table(
-        ["epoch", "mean loss", "time s", "edges"],
+        ["epoch", "mean loss", "time s", "sample wait s", "compute s", "edges"],
         rows,
         title=(
             f"train — {args.task} on {args.dataset} (scale 2^{args.scale}), "
-            f"backend={args.backend}, n={args.processes}"
+            f"backend={args.backend}, n={args.processes}{overlap}"
         ),
     )
     return f"{table}\nfinal validation accuracy: {acc:.3f}"
@@ -174,16 +214,28 @@ def main(argv=None) -> int:
         p = sub.add_parser(name)
         _add_common(p)
         if name == "train":
-            p.add_argument("--backend", default="inline", choices=available_backends())
-            p.add_argument("--processes", type=int, default=2)
-            p.add_argument("--epochs", type=int, default=1)
-            p.add_argument("--batch", type=int, default=128)
-            p.add_argument("--scale", type=int, default=10)
-            p.add_argument("--layers", type=int, default=2)
+            p.add_argument("--backend", default="inline", type=_backend_name)
+            p.add_argument("--processes", type=_positive_int, default=2)
+            p.add_argument("--epochs", type=_positive_int, default=1)
+            p.add_argument("--batch", type=_positive_int, default=128)
+            p.add_argument("--scale", type=_positive_int, default=10)
+            p.add_argument("--layers", type=_positive_int, default=2)
             p.add_argument("--seed", type=int, default=0)
             p.add_argument(
                 "--timeout", type=float, default=120.0,
                 help="per-epoch worker deadline for the process backend (s)",
+            )
+            p.add_argument(
+                "--prefetch", action="store_true",
+                help="overlap sampling with compute (repro.pipeline)",
+            )
+            p.add_argument(
+                "--samplers", type=_positive_int, default=1,
+                help="sampler workers per rank when --prefetch is on",
+            )
+            p.add_argument(
+                "--queue-depth", type=_positive_int, default=2,
+                help="batches sampled ahead of compute per rank",
             )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -25,17 +25,30 @@ class RuntimeConfig:
         Execution backend the engine should run the ranks on
         (``inline``/``thread``/``process``); searchable by the autotuner
         via :class:`repro.tuning.space.BackendSpace`.
+    prefetch:
+        Run the sampling/compute overlap pipeline (:mod:`repro.pipeline`):
+        each rank gets ``sampling_cores`` sampler workers feeding a
+        bounded batch queue.  Off, ``sampling_cores`` only informs the
+        cost model and core binding; on, it also sets the worker count —
+        the ``s`` axis changes measured wall clock.
+    queue_depth:
+        Prefetch lookahead bound (batches sampled ahead of compute per
+        rank); ignored when ``prefetch`` is off.
     """
 
     num_processes: int
     sampling_cores: int
     training_cores: int
     backend: str = "inline"
+    prefetch: bool = False
+    queue_depth: int = 2
 
     def __post_init__(self):
         check_positive_int(self.num_processes, "num_processes")
         check_positive_int(self.sampling_cores, "sampling_cores")
         check_positive_int(self.training_cores, "training_cores")
+        check_positive_int(self.queue_depth, "queue_depth")
+        object.__setattr__(self, "prefetch", bool(self.prefetch))
         # normalize like get_backend so the same string is accepted by
         # both the engine and the config path
         object.__setattr__(self, "backend", str(self.backend).lower())
@@ -81,5 +94,7 @@ class RuntimeConfig:
             f"train={self.training_cores}"
         )
         if self.backend != "inline":
-            return f"{base}, backend={self.backend})"
+            base = f"{base}, backend={self.backend}"
+        if self.prefetch:
+            base = f"{base}, prefetch=q{self.queue_depth}"
         return f"{base})"

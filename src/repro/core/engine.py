@@ -62,7 +62,16 @@ __all__ = ["MultiProcessEngine", "EpochStats", "TrainHistory"]
 
 @dataclass
 class EpochStats:
-    """Per-epoch record."""
+    """Per-epoch record.
+
+    ``sample_wait`` / ``compute_time`` break the epoch into the paper's
+    two pipeline stages, summed over ranks: seconds the trainers spent
+    blocked acquiring batches (the full sampling cost when synchronous,
+    the residual queue wait when prefetching hides it) and seconds in
+    the train stage — forward/backward/optimizer work plus gradient
+    synchronisation (a rank's barrier wait on stragglers is booked
+    here, not as sample wait).
+    """
 
     epoch: int
     mean_loss: float
@@ -70,6 +79,8 @@ class EpochStats:
     num_global_steps: int
     num_minibatches: int  # n per global step
     sampled_edges: int
+    sample_wait: float = 0.0
+    compute_time: float = 0.0
 
 
 @dataclass
@@ -123,6 +134,16 @@ class MultiProcessEngine:
         Optional cap on validation nodes scored per accuracy checkpoint.
     seed:
         Controls the epoch shuffles and per-rank sampling streams.
+    prefetch, queue_depth, sampler_workers:
+        The sampling/compute overlap pipeline (paper Sec. IV-B1).  With
+        ``prefetch`` on, every rank runs ``sampler_workers`` sampler
+        workers feeding a bounded queue at most ``queue_depth`` batches
+        ahead of compute, with strict in-order delivery
+        (:mod:`repro.pipeline`).  Loss trajectories are bit-identical to
+        the synchronous path — every step's sampling RNG is a pure
+        function of ``(seed, epoch, step, rank)`` — so the knobs change
+        wall clock, never numerics.  ``sampler_workers`` is what the
+        auto-tuner's ``s`` (sampling cores) axis plugs into.
     """
 
     def __init__(
@@ -140,6 +161,9 @@ class MultiProcessEngine:
         bindings: list | None = None,
         eval_nodes: int = 512,
         seed: int = 0,
+        prefetch: bool = False,
+        queue_depth: int = 2,
+        sampler_workers: int = 1,
     ):
         self.dataset = dataset
         self.sampler = sampler
@@ -156,6 +180,9 @@ class MultiProcessEngine:
                 f"got {len(bindings)} core bindings for {self.n} ranks"
             )
         self.bindings = bindings
+        self.prefetch = bool(prefetch)
+        self.queue_depth = check_positive_int(queue_depth, "queue_depth")
+        self.sampler_workers = check_positive_int(sampler_workers, "sampler_workers")
         self.lr = float(lr)
         self.optimizer_name = str(optimizer).lower()
         self.seed = int(seed)
@@ -203,6 +230,8 @@ class MultiProcessEngine:
             num_global_steps=len(plan),
             num_minibatches=len(plan) * self.n,
             sampled_edges=int(result.sampled_edges),
+            sample_wait=float(result.sample_wait),
+            compute_time=float(result.compute_time),
         )
         self._minibatches_done += len(plan) * self.n
         self.history.epochs.append(stats)

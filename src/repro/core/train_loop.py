@@ -88,6 +88,12 @@ def make_train_fn(
     is turned into real core bindings via
     :class:`repro.platform.corebind.CoreBinder` — worker processes then
     pin themselves with ``sched_setaffinity``.
+
+    With ``config.prefetch`` on, each engine runs the sampling/compute
+    overlap pipeline with ``config.sampling_cores`` sampler workers per
+    rank and lookahead ``config.queue_depth`` — the tuner's ``s`` knob
+    then changes measured epoch time, not just the cost model, while the
+    loss trajectory stays bit-identical to the synchronous path.
     """
     state = {"epoch_offset": 0}
 
@@ -111,6 +117,9 @@ def make_train_fn(
             backend_options=backend_options,
             bindings=bindings,
             seed=seed,
+            prefetch=config.prefetch,
+            queue_depth=config.queue_depth,
+            sampler_workers=config.sampling_cores,
         )
         # continue the epoch-shuffle sequence across re-launches
         engine._epoch = state["epoch_offset"]

@@ -39,15 +39,29 @@ __all__ = [
     "available_backends",
     "rank_chunk",
     "forward_loss",
+    "sample_step",
+    "compute_loss",
+    "acquire_batch",
 ]
 
 
 @dataclass
 class EpochResult:
-    """What a backend hands back from one epoch: losses and sampled work."""
+    """What a backend hands back from one epoch: losses and sampled work.
+
+    ``sample_wait`` / ``compute_time`` are the per-stage breakdown summed
+    over ranks: seconds the trainer spent acquiring batches (blocked on
+    the sampler — the whole sampling cost when running synchronously, the
+    residual queue wait when prefetching) and seconds in the train stage
+    — forward/backward/optimizer work *plus* gradient synchronisation,
+    so a rank stalled in the all-reduce barrier books that straggler
+    wait as train-stage time, not sample wait.
+    """
 
     losses: list[float]
     sampled_edges: int
+    sample_wait: float = 0.0
+    compute_time: float = 0.0
 
 
 def rank_chunk(global_batch: np.ndarray, world_size: int, rank: int) -> np.ndarray:
@@ -60,13 +74,50 @@ def rank_chunk(global_batch: np.ndarray, world_size: int, rank: int) -> np.ndarr
     return np.array_split(global_batch, world_size)[rank]
 
 
-def forward_loss(sampler, graph, features: Tensor, labels: np.ndarray, model: Module, seeds, rng):
-    """One rank's sample + forward + loss; returns ``(loss, sampled_edges)``."""
-    batch = sampler.sample(graph, seeds, rng=rng)
+def sample_step(sampler, graph, seeds, rng):
+    """The sampling stage of one rank step (runs on sampler workers)."""
+    return sampler.sample(graph, seeds, rng=rng)
+
+
+def acquire_batch(
+    prefetcher, sampler, graph, global_batch, *, world_size, rank, seed, epoch, step
+):
+    """The batch-acquisition stage of one rank step, prefetched or not.
+
+    The single definition of the acquisition protocol all three backends
+    share: take the next in-order batch from ``prefetcher`` when the
+    pipeline is on, otherwise split + sample synchronously with the
+    identical per-step RNG (``derive_rng(seed, "sample", epoch, step,
+    rank)``).  Returns ``None`` for an empty rank chunk in both modes.
+    """
+    from repro.utils.rng import derive_rng
+
+    if prefetcher is not None:
+        return next(prefetcher)
+    seeds = rank_chunk(global_batch, world_size, rank)
+    if len(seeds) == 0:
+        return None
+    return sample_step(sampler, graph, seeds, derive_rng(seed, "sample", epoch, step, rank))
+
+
+def compute_loss(batch, features: Tensor, labels: np.ndarray, model: Module):
+    """The compute stage: gather + forward + loss on an already-sampled batch."""
     x = gather_rows(features, batch.input_ids)
     out = model(batch.blocks, x)
     loss = cross_entropy(out, labels[batch.seeds])
     return loss, batch.total_edges
+
+
+def forward_loss(sampler, graph, features: Tensor, labels: np.ndarray, model: Module, seeds, rng):
+    """One rank's sample + forward + loss; returns ``(loss, sampled_edges)``.
+
+    Composition of :func:`sample_step` and :func:`compute_loss` — the
+    synchronous path; the prefetching backends run the two stages on
+    different threads but with identical arguments, so the numerics
+    cannot differ.
+    """
+    batch = sample_step(sampler, graph, seeds, rng)
+    return compute_loss(batch, features, labels, model)
 
 
 class ExecutionBackend(ABC):

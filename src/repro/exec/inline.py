@@ -4,15 +4,31 @@ Bit-for-bit deterministic — the reference semantics every other backend
 is measured against.  Gradient averaging happens directly over the
 replicas (:func:`repro.distributed.ddp.average_gradients`); no
 communicator is needed because nothing runs concurrently.
+
+With ``engine.prefetch`` on, each rank's sample stream is produced ahead
+of time by a :func:`repro.pipeline.prefetch.rank_step_prefetcher` —
+compute still runs sequentially in this thread, but sampling for future
+steps overlaps it.  Because each step's RNG is derived from
+``(seed, epoch, step, rank)`` either way, the loss trajectory is
+bit-identical with prefetching on or off.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.distributed.ddp import average_gradients
-from repro.exec.base import EpochResult, ExecutionBackend, forward_loss, rank_chunk, register_backend
-from repro.utils.rng import derive_rng
+from repro.exec.base import (
+    EpochResult,
+    ExecutionBackend,
+    acquire_batch,
+    compute_loss,
+    register_backend,
+)
+from repro.pipeline.prefetch import rank_step_prefetcher
+from repro.platform.corebind import sampling_affinity
 
 __all__ = ["InlineBackend"]
 
@@ -24,26 +40,66 @@ class InlineBackend(ExecutionBackend):
     def run_epoch(self, engine, epoch: int, plan: list[np.ndarray]) -> EpochResult:
         losses: list[float] = []
         edges = 0
-        for step, global_batch in enumerate(plan):
-            for rank, model in enumerate(engine.replicas):
-                seeds = rank_chunk(global_batch, engine.n, rank)
-                model.zero_grad()
-                if len(seeds) == 0:
-                    continue
-                rng = derive_rng(engine.seed, "sample", epoch, step, rank)
-                loss, e = forward_loss(
+        sample_wait = 0.0
+        compute_time = 0.0
+        prefetchers = None
+        if engine.prefetch:
+            prefetchers = [
+                rank_step_prefetcher(
                     engine.sampler,
                     engine.dataset.graph,
-                    engine.features,
-                    engine.dataset.labels,
-                    model,
-                    seeds,
-                    rng,
+                    plan,
+                    world_size=engine.n,
+                    rank=rank,
+                    seed=engine.seed,
+                    epoch=epoch,
+                    num_workers=engine.sampler_workers,
+                    queue_depth=engine.queue_depth,
+                    sampling_cores=sampling_affinity(
+                        engine.bindings[rank] if engine.bindings else None
+                    ),
                 )
-                loss.backward()
-                losses.append(loss.item())
-                edges += e
-            average_gradients(engine.replicas)
-            for opt in engine.optimizers:
-                opt.step()
-        return EpochResult(losses=losses, sampled_edges=edges)
+                for rank in range(engine.n)
+            ]
+        try:
+            for step, global_batch in enumerate(plan):
+                for rank, model in enumerate(engine.replicas):
+                    model.zero_grad()
+                    start = time.perf_counter()
+                    batch = acquire_batch(
+                        prefetchers[rank] if prefetchers is not None else None,
+                        engine.sampler,
+                        engine.dataset.graph,
+                        global_batch,
+                        world_size=engine.n,
+                        rank=rank,
+                        seed=engine.seed,
+                        epoch=epoch,
+                        step=step,
+                    )
+                    sample_wait += time.perf_counter() - start
+                    if batch is None:
+                        continue
+                    start = time.perf_counter()
+                    loss, e = compute_loss(
+                        batch, engine.features, engine.dataset.labels, model
+                    )
+                    loss.backward()
+                    compute_time += time.perf_counter() - start
+                    losses.append(loss.item())
+                    edges += e
+                start = time.perf_counter()
+                average_gradients(engine.replicas)
+                for opt in engine.optimizers:
+                    opt.step()
+                compute_time += time.perf_counter() - start
+        finally:
+            if prefetchers is not None:
+                for p in prefetchers:
+                    p.close()
+        return EpochResult(
+            losses=losses,
+            sampled_edges=edges,
+            sample_wait=sample_wait,
+            compute_time=compute_time,
+        )

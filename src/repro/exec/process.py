@@ -9,6 +9,13 @@ collectives over a shared float64 region, and each worker pins itself to
 its :class:`repro.platform.corebind.ProcessBinding` cores with
 ``os.sched_setaffinity`` before touching any data.
 
+With prefetching on, each rank process additionally runs
+``sampler_workers`` sampler threads
+(:func:`repro.pipeline.prefetch.rank_step_prefetcher`) pinned to the
+binding's *sampling* cores, while the trainer thread re-pins to the
+*training* cores — the paper's sampler/trainer core split, inside every
+rank.
+
 Semantics are identical to the inline backend: the same per-rank RNG
 streams (``derive_rng(seed, "sample", epoch, step, rank)``), the same
 batch split (:func:`repro.exec.base.rank_chunk`) and synchronous
@@ -32,10 +39,17 @@ from repro.autograd.optim import make_optimizer
 from repro.autograd.tensor import Tensor
 from repro.distributed.comm import ProcessWorld
 from repro.distributed.ddp import DistributedDataParallel
-from repro.exec.base import EpochResult, ExecutionBackend, forward_loss, rank_chunk, register_backend
+from repro.exec.base import (
+    EpochResult,
+    ExecutionBackend,
+    acquire_batch,
+    compute_loss,
+    register_backend,
+)
 from repro.graph.shm import SharedGraphStore
-from repro.platform.corebind import apply_binding
-from repro.utils.rng import derive_rng
+from repro.pipeline.prefetch import rank_step_prefetcher
+from repro.platform.corebind import apply_binding, sampling_affinity, training_affinity
+from repro.utils.procs import reap_processes
 
 __all__ = ["ProcessBackend"]
 
@@ -56,6 +70,9 @@ class _WorkerPayload:
     epoch: int
     plan: list
     binding: object  # ProcessBinding | tuple[int, ...] | None
+    prefetch: bool = False
+    queue_depth: int = 2
+    sampler_workers: int = 1
 
 
 def _worker_main(payload: _WorkerPayload, world: ProcessWorld, result_q) -> None:
@@ -63,6 +80,7 @@ def _worker_main(payload: _WorkerPayload, world: ProcessWorld, result_q) -> None
     try:
         applied_cores = apply_binding(payload.binding)
         store = SharedGraphStore.attach(payload.store_spec)
+        prefetcher = None
         try:
             graph = store.graph  # zero-copy CSR over the shared segments
             features = Tensor(store.features)
@@ -71,26 +89,58 @@ def _worker_main(payload: _WorkerPayload, world: ProcessWorld, result_q) -> None
             model = DistributedDataParallel(payload.model, comm)
             optimizer = make_optimizer(payload.optimizer, model.parameters(), payload.lr)
             optimizer.load_state_dict(payload.optimizer_state)
+            if payload.prefetch:
+                # sampler threads pin to the sampling cores; the trainer
+                # thread (this one) re-pins to the training cores so the
+                # two stages own the binding's core split
+                prefetcher = rank_step_prefetcher(
+                    payload.sampler,
+                    graph,
+                    payload.plan,
+                    world_size=payload.world_size,
+                    rank=payload.rank,
+                    seed=payload.seed,
+                    epoch=payload.epoch,
+                    num_workers=payload.sampler_workers,
+                    queue_depth=payload.queue_depth,
+                    sampling_cores=sampling_affinity(payload.binding),
+                )
+                apply_binding(training_affinity(payload.binding))
             losses: list[float] = []
             edges = 0
+            sample_wait = 0.0
+            compute_time = 0.0
             for step, global_batch in enumerate(payload.plan):
-                seeds = rank_chunk(global_batch, payload.world_size, payload.rank)
                 model.zero_grad()
-                if len(seeds) > 0:
-                    rng = derive_rng(payload.seed, "sample", payload.epoch, step, payload.rank)
-                    loss, e = forward_loss(
-                        payload.sampler, graph, features, labels, model.module, seeds, rng
-                    )
+                start = time.perf_counter()
+                batch = acquire_batch(
+                    prefetcher,
+                    payload.sampler,
+                    graph,
+                    global_batch,
+                    world_size=payload.world_size,
+                    rank=payload.rank,
+                    seed=payload.seed,
+                    epoch=payload.epoch,
+                    step=step,
+                )
+                sample_wait += time.perf_counter() - start
+                start = time.perf_counter()
+                if batch is not None:
+                    loss, e = compute_loss(batch, features, labels, model.module)
                     loss.backward()
                     losses.append(loss.item())
                     edges += e
                 model.sync_gradients()
                 optimizer.step()
+                compute_time += time.perf_counter() - start
             result = {
                 "rank": payload.rank,
                 "status": "ok",
                 "losses": losses,
                 "edges": edges,
+                "sample_wait": sample_wait,
+                "compute_time": compute_time,
                 "applied_cores": applied_cores,
                 # mutable non-parameter model state (dropout-stream
                 # counters, ...): the parent must advance its replicas
@@ -102,6 +152,8 @@ def _worker_main(payload: _WorkerPayload, world: ProcessWorld, result_q) -> None
                 result["optimizer_state"] = optimizer.state_dict()
             result_q.put(result)
         finally:
+            if prefetcher is not None:
+                prefetcher.close()
             store.close()
     except BaseException as exc:
         world.abort()  # unblock peers stuck in collectives
@@ -133,7 +185,10 @@ class ProcessBackend(ExecutionBackend):
 
     The shared-memory store persists across epochs (workers re-attach
     each epoch; the data never moves); call :meth:`shutdown` — or use the
-    owning engine as a context manager — to unlink the segments.
+    owning engine as a context manager — to unlink the segments.  When an
+    epoch *fails* (a worker crash, a broken collective, a timeout), the
+    backend reaps every child and unlinks the store immediately: no
+    exception path may leak shared-memory segments or zombie processes.
 
     Workers themselves are re-launched per epoch.  This mirrors ARGO's
     own behaviour — the online tuner re-launches training every search
@@ -189,6 +244,9 @@ class ProcessBackend(ExecutionBackend):
                     epoch=epoch,
                     plan=plan,
                     binding=bindings[rank] if bindings is not None else None,
+                    prefetch=engine.prefetch,
+                    queue_depth=engine.queue_depth,
+                    sampler_workers=engine.sampler_workers,
                 )
                 p = self._ctx.Process(
                     target=_worker_main, args=(payload, world, result_q), daemon=True
@@ -198,11 +256,14 @@ class ProcessBackend(ExecutionBackend):
             results = self._collect(procs, result_q, world, n, len(plan))
             for p in procs:
                 p.join(self.timeout)
+        except BaseException:
+            # failed epoch: reap every child *and* release the graph
+            # store — no exception path may leak segments or children
+            reap_processes(procs)
+            self.shutdown()
+            raise
         finally:
-            for p in procs:
-                if p.is_alive():  # pragma: no cover - error path
-                    p.terminate()
-                    p.join(5.0)
+            reap_processes(procs)
             world.unlink()
 
         # fold worker outcomes back into the engine's replicas
@@ -215,7 +276,12 @@ class ProcessBackend(ExecutionBackend):
             replica.load_extra_state_dict(results[rank]["extra_state"])
         losses = [v for rank in range(n) for v in results[rank]["losses"]]
         edges = int(sum(results[rank]["edges"] for rank in range(n)))
-        return EpochResult(losses=losses, sampled_edges=edges)
+        return EpochResult(
+            losses=losses,
+            sampled_edges=edges,
+            sample_wait=float(sum(results[r]["sample_wait"] for r in range(n))),
+            compute_time=float(sum(results[r]["compute_time"] for r in range(n))),
+        )
 
     # ------------------------------------------------------------------
     def _collect(self, procs, result_q, world: ProcessWorld, n: int, num_steps: int) -> dict:

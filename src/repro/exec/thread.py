@@ -4,18 +4,32 @@ numpy kernels release the GIL, so ranks genuinely overlap inside the
 dense/segment operations — the closest single-process analogue of the
 paper's process-level parallelism.  Collectives run over
 :class:`repro.distributed.comm.ThreadWorld`.
+
+With ``engine.prefetch`` on, each rank thread owns a
+:func:`repro.pipeline.prefetch.rank_step_prefetcher` running
+``engine.sampler_workers`` sampler threads, so future steps' sampling
+overlaps both the rank's own compute and its peers' — the numerics stay
+bit-identical (per-step derived RNG, strict in-order delivery).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
 from repro.distributed.comm import ThreadWorld
 from repro.distributed.ddp import DistributedDataParallel
-from repro.exec.base import EpochResult, ExecutionBackend, forward_loss, rank_chunk, register_backend
-from repro.utils.rng import derive_rng
+from repro.exec.base import (
+    EpochResult,
+    ExecutionBackend,
+    acquire_batch,
+    compute_loss,
+    register_backend,
+)
+from repro.pipeline.prefetch import rank_step_prefetcher
+from repro.platform.corebind import sampling_affinity
 
 __all__ = ["ThreadBackend"]
 
@@ -28,38 +42,69 @@ class ThreadBackend(ExecutionBackend):
         world = ThreadWorld(engine.n)
         losses_per_rank: list[list[float]] = [[] for _ in range(engine.n)]
         edges_per_rank = [0] * engine.n
+        wait_per_rank = [0.0] * engine.n
+        compute_per_rank = [0.0] * engine.n
         errors: list[BaseException] = []
 
         def worker(rank: int):
+            prefetcher = None
             try:
+                # everything — prefetcher construction included — stays
+                # inside the try: any failure must abort the world or the
+                # sibling ranks deadlock in their barriers
+                if engine.prefetch:
+                    prefetcher = rank_step_prefetcher(
+                        engine.sampler,
+                        engine.dataset.graph,
+                        plan,
+                        world_size=engine.n,
+                        rank=rank,
+                        seed=engine.seed,
+                        epoch=epoch,
+                        num_workers=engine.sampler_workers,
+                        queue_depth=engine.queue_depth,
+                        sampling_cores=sampling_affinity(
+                            engine.bindings[rank] if engine.bindings else None
+                        ),
+                    )
                 # DDP construction is itself a collective (weight
                 # broadcast), so it must happen inside the rank thread.
                 model = DistributedDataParallel(
                     engine.replicas[rank], world.communicator(rank)
                 )
                 for step, global_batch in enumerate(plan):
-                    seeds = rank_chunk(global_batch, engine.n, rank)
                     model.zero_grad()
-                    if len(seeds) > 0:
-                        rng = derive_rng(engine.seed, "sample", epoch, step, rank)
-                        loss, e = forward_loss(
-                            engine.sampler,
-                            engine.dataset.graph,
-                            engine.features,
-                            engine.dataset.labels,
-                            model.module,
-                            seeds,
-                            rng,
+                    start = time.perf_counter()
+                    batch = acquire_batch(
+                        prefetcher,
+                        engine.sampler,
+                        engine.dataset.graph,
+                        global_batch,
+                        world_size=engine.n,
+                        rank=rank,
+                        seed=engine.seed,
+                        epoch=epoch,
+                        step=step,
+                    )
+                    wait_per_rank[rank] += time.perf_counter() - start
+                    start = time.perf_counter()
+                    if batch is not None:
+                        loss, e = compute_loss(
+                            batch, engine.features, engine.dataset.labels, model.module
                         )
                         loss.backward()
                         losses_per_rank[rank].append(loss.item())
                         edges_per_rank[rank] += e
                     model.sync_gradients()
                     engine.optimizers[rank].step()
+                    compute_per_rank[rank] += time.perf_counter() - start
             except BaseException as exc:  # surface thread failures
                 errors.append(exc)
                 world.abort()  # unblock peers waiting on collectives
                 raise
+            finally:
+                if prefetcher is not None:
+                    prefetcher.close()
 
         threads = [threading.Thread(target=worker, args=(r,)) for r in range(engine.n)]
         for t in threads:
@@ -71,4 +116,6 @@ class ThreadBackend(ExecutionBackend):
         return EpochResult(
             losses=[v for per in losses_per_rank for v in per],
             sampled_edges=int(sum(edges_per_rank)),
+            sample_wait=float(sum(wait_per_rank)),
+            compute_time=float(sum(compute_per_rank)),
         )

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 
-__all__ = ["confusion_matrix", "f1_scores", "micro_f1", "macro_f1"]
+__all__ = ["accuracy", "confusion_matrix", "f1_scores", "micro_f1", "macro_f1"]
 
 
 def _predictions(logits, targets) -> tuple[np.ndarray, np.ndarray]:
@@ -24,6 +24,19 @@ def _predictions(logits, targets) -> tuple[np.ndarray, np.ndarray]:
     if pred.shape != targets.shape:
         raise ValueError(f"prediction/target shape mismatch: {pred.shape} vs {targets.shape}")
     return pred.astype(np.int64), targets
+
+
+def accuracy(logits, targets) -> float:
+    """Fraction of rows whose argmax matches ``targets``.
+
+    An empty batch scores 0.0 — ``mean()`` over zero elements would
+    divide by zero and propagate NaN into accuracy curves (a sharded
+    loader can legitimately hand a rank an empty evaluation slice).
+    """
+    pred, targets = _predictions(logits, targets)
+    if len(targets) == 0:
+        return 0.0
+    return float((pred == targets).mean())
 
 
 def confusion_matrix(logits, targets, num_classes: int) -> np.ndarray:
@@ -56,5 +69,6 @@ def micro_f1(logits, targets, num_classes: int) -> float:
 
 
 def macro_f1(logits, targets, num_classes: int) -> float:
-    """Unweighted mean of per-class F1."""
-    return float(f1_scores(logits, targets, num_classes).mean())
+    """Unweighted mean of per-class F1 (0.0 when there are no classes)."""
+    f1 = f1_scores(logits, targets, num_classes)
+    return float(f1.mean()) if f1.size else 0.0

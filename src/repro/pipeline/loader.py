@@ -1,0 +1,334 @@
+"""Prefetching wrapper around :class:`~repro.sampling.dataloader.NodeDataLoader`.
+
+``PrefetchingLoader`` turns the loader's ``num_workers`` metadata into an
+actual sampler pipeline: ``num_workers`` workers sample future batches
+into a bounded queue while the consumer computes on the current one,
+with **strict in-order delivery** — the batch stream is bit-identical to
+iterating the wrapped loader directly, because every batch's RNG is a
+pure function of ``(seed, epoch, rank, step)``
+(:meth:`NodeDataLoader.sample_batch`).
+
+Two worker modes:
+
+``thread`` (default)
+    Sampler threads inside the consumer process, built on
+    :class:`repro.pipeline.prefetch.OrderedPrefetcher`.  Zero setup cost;
+    overlap comes from numpy releasing the GIL inside the vectorised
+    sampling kernels and during the consumer's compute.
+``process``
+    A persistent pool of OS sampler processes — the paper's dedicated
+    sampler cores.  The graph's CSR structure is shared zero-copy through
+    :class:`repro.graph.shm.SharedGraphStore` (structure only: features
+    and labels stay in the parent, which attaches labels on delivery), so
+    workers never copy the graph and escape the GIL entirely.
+
+``sampling_cores`` pins the workers (threads or processes) to the
+sampler core set, reproducing ARGO's core binding.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.graph.shm import SharedGraphStore
+from repro.pipeline.prefetch import OrderedPrefetcher, PrefetchStats
+from repro.platform.corebind import apply_binding
+from repro.sampling.block import MiniBatch
+from repro.sampling.dataloader import NodeDataLoader
+from repro.utils.procs import reap_processes
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PrefetchingLoader"]
+
+
+class _RemoteFailure:
+    """Picklable marker for a sampling error inside a worker process."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
+
+
+def _sampler_worker(
+    task_q,
+    result_q,
+    store_spec: dict,
+    sampler,
+    seed: int,
+    rank: int,
+    sampling_cores: tuple[int, ...] | None,
+) -> None:
+    """Sampler-process main loop: ``(epoch, step, seeds)`` → ``(step, batch, secs)``."""
+    apply_binding(sampling_cores)
+    store = SharedGraphStore.attach(store_spec)
+    try:
+        graph = store.graph  # zero-copy CSR over the shared structure
+        while True:
+            item = task_q.get()
+            if item is None:
+                return
+            epoch, step, seeds = item
+            start = time.perf_counter()
+            try:
+                rng = derive_rng(seed, "batch", epoch, rank, step)
+                batch = sampler.sample(graph, seeds, rng=rng)
+            except BaseException:
+                result_q.put(
+                    (step, _RemoteFailure(traceback.format_exc()), time.perf_counter() - start)
+                )
+                continue
+            result_q.put((step, batch, time.perf_counter() - start))
+    finally:
+        store.close()
+
+
+class PrefetchingLoader:
+    """Overlapped, in-order mini-batch delivery over a ``NodeDataLoader``.
+
+    Parameters
+    ----------
+    loader:
+        The wrapped loader.  Its ``num_workers`` is the default worker
+        count; its seed/epoch/rank state drives the (unchanged) batch
+        stream.
+    num_workers:
+        Sampler workers (default: ``loader.num_workers``).
+    queue_depth:
+        Lookahead bound — at most this many batches beyond the one the
+        consumer holds are sampled ahead.
+    mode:
+        ``"thread"`` or ``"process"`` (see module docstring).
+    sampling_cores:
+        Optional core ids to pin sampler workers to.
+    start_method, timeout:
+        Process-mode knobs: the ``multiprocessing`` start method and the
+        per-batch deadline (seconds) before a dead pool is reported.
+
+    The process pool and its shared-memory graph segments persist across
+    epochs; call :meth:`close` (or use the loader as a context manager)
+    to release them.  Thread mode holds no cross-epoch resources.
+    """
+
+    MODES = ("thread", "process")
+
+    def __init__(
+        self,
+        loader: NodeDataLoader,
+        *,
+        num_workers: int | None = None,
+        queue_depth: int = 2,
+        mode: str = "thread",
+        sampling_cores: Iterable[int] | None = None,
+        start_method: str | None = None,
+        timeout: float = 120.0,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.loader = loader
+        self.num_workers = check_positive_int(
+            loader.num_workers if num_workers is None else num_workers, "num_workers"
+        )
+        self.queue_depth = check_positive_int(queue_depth, "queue_depth")
+        self.mode = mode
+        self.sampling_cores = (
+            tuple(sampling_cores) if sampling_cores is not None else None
+        )
+        self.timeout = float(timeout)
+        if mode == "process" and loader.seed is None:
+            raise ValueError(
+                "process-mode prefetching requires a seeded loader (workers "
+                "re-derive each batch's RNG from (seed, epoch, rank, step))"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._store: SharedGraphStore | None = None
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._closed = False
+        #: lifetime queue-dynamics record, folded over every epoch
+        self.stats = PrefetchStats(
+            num_workers=self.num_workers, queue_depth=self.queue_depth
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.loader)
+
+    def set_epoch(self, epoch: int) -> None:
+        self.loader.set_epoch(epoch)
+
+    @property
+    def epoch(self) -> int:
+        return self.loader.epoch
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[MiniBatch]:
+        if self._closed:
+            raise ValueError("loader is closed")
+        if self.mode == "thread":
+            return self._iter_thread()
+        return self._iter_process()
+
+    def _iter_thread(self) -> Iterator[MiniBatch]:
+        loader = self.loader
+
+        def make_job(step: int, seeds: np.ndarray):
+            return lambda: loader.sample_batch(step, seeds)
+
+        cores = self.sampling_cores
+        prefetcher = OrderedPrefetcher(
+            [make_job(step, seeds) for step, seeds in enumerate(loader.batch_seeds())],
+            num_workers=self.num_workers,
+            queue_depth=self.queue_depth,
+            worker_init=(lambda: apply_binding(cores)) if cores else None,
+            name="loader-prefetch",
+        )
+        try:
+            yield from prefetcher
+        finally:
+            prefetcher.close()
+            self._fold_stats(prefetcher.stats)
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._procs and all(p.is_alive() for p in self._procs):
+            return
+        self._shutdown_pool()
+        loader = self.loader
+        self._store = SharedGraphStore.create(
+            {"indptr": loader.graph.indptr, "indices": loader.graph.indices}
+        )
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        self._procs = [
+            self._ctx.Process(
+                target=_sampler_worker,
+                args=(
+                    self._task_q,
+                    self._result_q,
+                    self._store.spec,
+                    loader.sampler,
+                    loader.seed,
+                    loader.rank,
+                    self.sampling_cores,
+                ),
+                daemon=True,
+            )
+            for _ in range(self.num_workers)
+        ]
+        for p in self._procs:
+            p.start()
+
+    def _iter_process(self) -> Iterator[MiniBatch]:
+        # this is OrderedPrefetcher's bounded in-order window (submit
+        # while submitted < delivered + queue_depth, reorder on arrival,
+        # fail at the failing step's turn) re-expressed over IPC queues:
+        # results from a process pool arrive on one demultiplexed queue,
+        # which thread-local job objects cannot model.  Keep the two
+        # protocols' invariants in sync.
+        self._ensure_pool()
+        loader = self.loader
+        epoch = loader.epoch
+        tasks = list(enumerate(loader.batch_seeds()))
+        pending: dict[int, MiniBatch | _RemoteFailure] = {}
+        submitted = 0
+        delivered = 0
+        wait = 0.0
+        busy = 0.0
+        try:
+            while delivered < len(tasks):
+                while submitted < len(tasks) and submitted < delivered + self.queue_depth:
+                    step, seeds = tasks[submitted]
+                    self._task_q.put((epoch, step, seeds))
+                    submitted += 1
+                start = time.perf_counter()
+                while delivered not in pending:
+                    try:
+                        step, value, secs = self._result_q.get(timeout=0.2)
+                    except queue_mod.Empty:
+                        dead = [p for p in self._procs if not p.is_alive()]
+                        if dead or time.perf_counter() - start > self.timeout:
+                            raise RuntimeError(
+                                "sampler pool died or timed out "
+                                f"({len(dead)}/{len(self._procs)} workers gone)"
+                            ) from None
+                        continue
+                    pending[step] = value
+                    busy += secs
+                wait += time.perf_counter() - start
+                value = pending.pop(delivered)
+                delivered += 1
+                if isinstance(value, _RemoteFailure):
+                    raise RuntimeError(f"sampler worker failed:\n{value.message}")
+                value.labels = loader.labels[value.seeds]
+                yield value
+        except BaseException:
+            # a broken epoch leaves tasks/results in flight; the pool is
+            # no longer in a known state — rebuild it on the next epoch
+            self.close_pool()
+            raise
+        finally:
+            self._fold_stats(
+                PrefetchStats(
+                    num_workers=self.num_workers,
+                    queue_depth=self.queue_depth,
+                    wait_time=wait,
+                    busy_time=busy,
+                    batches=delivered,
+                )
+            )
+
+    def _fold_stats(self, stats: PrefetchStats) -> None:
+        self.stats.wait_time += stats.wait_time
+        self.stats.busy_time += stats.busy_time
+        self.stats.batches += stats.batches
+
+    # ------------------------------------------------------------------
+    def _shutdown_pool(self) -> None:
+        for p in self._procs:
+            if p.is_alive():
+                try:
+                    self._task_q.put_nowait(None)
+                except Exception:
+                    pass
+        for p in self._procs:
+            p.join(5.0)  # graceful: workers exit on the sentinel
+        reap_processes(self._procs)
+        self._procs = []
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        self._task_q = self._result_q = None
+        if self._store is not None and not self._store.closed:
+            self._store.unlink()
+        self._store = None
+
+    def close_pool(self) -> None:
+        """Tear down the process pool (kept usable: next epoch rebuilds)."""
+        self._shutdown_pool()
+
+    def close(self) -> None:
+        """Release all worker resources; the loader cannot iterate again."""
+        self._shutdown_pool()
+        self._closed = True
+
+    def __enter__(self) -> "PrefetchingLoader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self._shutdown_pool()
+        except Exception:
+            pass

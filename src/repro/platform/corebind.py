@@ -21,7 +21,14 @@ from repro.platform.spec import PlatformSpec
 from repro.platform.topology import CoreSet
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ProcessBinding", "CoreBinder", "apply_binding", "current_affinity"]
+__all__ = [
+    "ProcessBinding",
+    "CoreBinder",
+    "apply_binding",
+    "current_affinity",
+    "sampling_affinity",
+    "training_affinity",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,37 @@ def current_affinity() -> tuple[int, ...] | None:
     if not hasattr(os, "sched_getaffinity"):  # pragma: no cover - non-Linux
         return None
     return tuple(sorted(os.sched_getaffinity(0)))
+
+
+def sampling_affinity(
+    binding: "ProcessBinding | Iterable[int] | None",
+) -> tuple[int, ...] | None:
+    """The sampler-worker core set of a binding.
+
+    ``ProcessBinding`` → its sampling cores; a bare core iterable is
+    passed through unchanged (no sampler/trainer split to honour);
+    ``None`` → ``None``.  Consumed by the prefetch pipeline to pin
+    sampler workers with :func:`apply_binding` — on Linux,
+    ``sched_setaffinity`` acts on the *calling thread*, so sampler
+    threads can pin themselves to the sampler cores while the trainer
+    thread keeps (or re-binds to) the training cores.
+    """
+    if binding is None:
+        return None
+    if isinstance(binding, ProcessBinding):
+        return binding.sampling_cores.cores
+    return tuple(binding)
+
+
+def training_affinity(
+    binding: "ProcessBinding | Iterable[int] | None",
+) -> tuple[int, ...] | None:
+    """The trainer core set of a binding (counterpart of :func:`sampling_affinity`)."""
+    if binding is None:
+        return None
+    if isinstance(binding, ProcessBinding):
+        return binding.training_cores.cores
+    return tuple(binding)
 
 
 def apply_binding(binding: "ProcessBinding | Iterable[int] | None") -> tuple[int, ...] | None:

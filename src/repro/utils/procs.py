@@ -1,0 +1,22 @@
+"""Child-process reaping shared by every multiprocessing owner."""
+
+from __future__ import annotations
+
+__all__ = ["reap_processes"]
+
+
+def reap_processes(procs, *, grace: float = 5.0) -> None:
+    """Terminate → join → kill every child still alive; idempotent.
+
+    Used on teardown and on every failure path: after this returns no
+    child in ``procs`` is running, whatever state it was stuck in
+    (``kill`` covers a child ignoring SIGTERM inside a syscall).
+    """
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        p.join(grace)
+        if p.is_alive():  # pragma: no cover - terminate() was ignored
+            p.kill()
+            p.join(grace)

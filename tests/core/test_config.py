@@ -52,3 +52,25 @@ class TestBackendField:
 
     def test_backend_name_normalised_like_get_backend(self):
         assert RuntimeConfig(1, 1, 1, backend="Process").backend == "process"
+
+
+class TestPrefetchFields:
+    def test_defaults_off(self):
+        cfg = RuntimeConfig(2, 2, 4)
+        assert cfg.prefetch is False
+        assert cfg.queue_depth == 2
+
+    def test_prefetch_coerced_to_bool(self):
+        assert RuntimeConfig(1, 1, 1, prefetch=1).prefetch is True
+
+    def test_queue_depth_validated(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(1, 1, 1, queue_depth=0)
+
+    def test_str_mentions_prefetch_only_when_on(self):
+        assert "prefetch" not in str(RuntimeConfig(2, 3, 5))
+        assert "prefetch=q4" in str(RuntimeConfig(2, 3, 5, prefetch=True, queue_depth=4))
+
+    def test_tuple_roundtrip_ignores_prefetch(self):
+        cfg = RuntimeConfig(2, 3, 5, prefetch=True)
+        assert cfg.as_tuple() == (2, 3, 5)

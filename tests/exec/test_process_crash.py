@@ -1,0 +1,114 @@
+"""Process backend under worker failure: no leaks, no zombies.
+
+Crash-injection tests for the shutdown contract: when a rank process
+raises mid-epoch, the backend must (1) surface the root error, (2) reap
+every child, and (3) unlink *all* shared-memory segments — the
+cross-epoch graph store included — so no exception path leaks kernel
+resources.
+"""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MultiProcessEngine
+from repro.gnn.models import make_task
+from repro.sampling.neighbor import NeighborSampler
+
+has_dev_shm = os.path.isdir("/dev/shm")
+needs_dev_shm = pytest.mark.skipif(not has_dev_shm, reason="no /dev/shm to inspect")
+
+
+def shm_segments() -> frozenset:
+    return frozenset(n for n in os.listdir("/dev/shm") if n.startswith("psm_"))
+
+
+class ExplodingSampler(NeighborSampler):
+    """Picklable sampler that detonates partway through the epoch."""
+
+    def __init__(self, fanouts, *, fail_at: int = 1):
+        super().__init__(fanouts)
+        self.fail_at = fail_at
+        self.calls = 0
+
+    def sample(self, graph, seeds, *, rng=None):
+        # each worker process holds its own copy, so `calls` counts that
+        # rank's steps — the crash happens mid-epoch, not at step 0
+        if self.calls >= self.fail_at:
+            raise RuntimeError("injected mid-epoch crash")
+        self.calls += 1
+        return super().sample(graph, seeds, rng=rng)
+
+
+def crashing_engine(ds, **kw):
+    _, model = make_task("neighbor-sage", ds.layer_dims(2), seed=7, fanouts=[5, 5])
+    return MultiProcessEngine(
+        ds,
+        ExplodingSampler([5, 5], fail_at=kw.pop("fail_at", 1)),
+        model,
+        num_processes=2,
+        # small global batch -> several steps per epoch, so fail_at=1
+        # really does detonate mid-epoch, after healthy collectives ran
+        global_batch_size=16,
+        backend="process",
+        backend_options={"timeout": 30.0},
+        seed=0,
+        **kw,
+    )
+
+
+class TestCrashInjection:
+    def test_worker_error_is_surfaced(self, tiny_dataset):
+        engine = crashing_engine(tiny_dataset)
+        with pytest.raises(RuntimeError, match="injected mid-epoch crash"):
+            engine.train_epoch()
+
+    @needs_dev_shm
+    def test_no_segment_leak_on_worker_crash(self, tiny_dataset):
+        before = shm_segments()
+        engine = crashing_engine(tiny_dataset)
+        with pytest.raises(RuntimeError):
+            engine.train_epoch()
+        # the failed epoch must have reaped children and unlinked every
+        # segment — graph store *and* collective world — without waiting
+        # for engine.shutdown()
+        assert shm_segments() == before
+        assert engine._backend._store is None
+
+    @needs_dev_shm
+    def test_no_segment_leak_with_prefetch(self, tiny_dataset):
+        before = shm_segments()
+        engine = crashing_engine(
+            tiny_dataset, prefetch=True, sampler_workers=2, queue_depth=2
+        )
+        with pytest.raises(RuntimeError):
+            engine.train_epoch()
+        assert shm_segments() == before
+
+    def test_children_reaped_after_crash(self, tiny_dataset):
+        engine = crashing_engine(tiny_dataset)
+        with pytest.raises(RuntimeError):
+            engine.train_epoch()
+        # join any transient mp helpers, then assert no rank worker lives
+        for p in mp.active_children():
+            p.join(5.0)
+        assert not [p for p in mp.active_children() if p.is_alive()]
+
+    def test_shutdown_idempotent_after_crash(self, tiny_dataset):
+        engine = crashing_engine(tiny_dataset)
+        with pytest.raises(RuntimeError):
+            engine.train_epoch()
+        engine.shutdown()
+        engine.shutdown()
+
+    def test_engine_recovers_with_fresh_sampler(self, tiny_dataset):
+        """After a failed epoch the engine still trains (store re-created)."""
+        engine = crashing_engine(tiny_dataset)
+        with pytest.raises(RuntimeError):
+            engine.train_epoch()
+        engine.sampler = NeighborSampler([5, 5])
+        stats = engine.train_epoch()
+        assert np.isfinite(stats.mean_loss)
+        engine.shutdown()

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd.tensor import Tensor
-from repro.gnn.metrics import confusion_matrix, f1_scores, macro_f1, micro_f1
+from repro.gnn.metrics import accuracy, confusion_matrix, f1_scores, macro_f1, micro_f1
 
 
 class TestConfusionMatrix:
@@ -59,3 +59,39 @@ class TestF1:
 
     def test_empty_inputs(self):
         assert micro_f1(np.array([], dtype=int), np.array([], dtype=int), 3) == 0.0
+
+
+class TestEmptyBatch:
+    """Regression: empty batches must score 0.0, never divide by zero."""
+
+    def empty(self):
+        return np.empty((0, 3)), np.array([], dtype=int)
+
+    def test_accuracy_empty_is_zero(self):
+        logits, targets = self.empty()
+        with np.errstate(all="raise"):
+            assert accuracy(logits, targets) == 0.0
+
+    def test_accuracy_nonempty_unchanged(self):
+        pred = np.array([1, 0, 2])
+        true = np.array([1, 0, 1])
+        assert accuracy(pred, true) == pytest.approx(2 / 3)
+
+    def test_micro_f1_empty_is_zero(self):
+        logits, targets = self.empty()
+        with np.errstate(all="raise"):
+            assert micro_f1(logits, targets, 3) == 0.0
+
+    def test_macro_f1_empty_is_zero(self):
+        logits, targets = self.empty()
+        with np.errstate(all="raise"):
+            assert macro_f1(logits, targets, 3) == 0.0
+
+    def test_macro_f1_zero_classes_is_zero(self):
+        logits, targets = self.empty()
+        with np.errstate(all="raise"):
+            assert macro_f1(logits, targets, 0) == 0.0
+
+    def test_accuracy_shape_mismatch_still_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            accuracy(np.array([1, 2]), np.array([1]))

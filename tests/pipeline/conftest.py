@@ -1,0 +1,19 @@
+"""Pipeline-test fixtures."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def shm_segments():
+    """Callable returning the current set of /dev/shm psm_* segment names."""
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm to inspect")
+
+    def _list() -> frozenset[str]:
+        return frozenset(n for n in os.listdir("/dev/shm") if n.startswith("psm_"))
+
+    return _list

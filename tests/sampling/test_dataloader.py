@@ -143,3 +143,116 @@ class TestRankSharding:
         # the partition guarantee
         with pytest.raises(ValueError, match="requires a seed"):
             NodeDataLoader(**loader_args, batch_size=16, seed=None, world_size=2)
+
+
+class TestEqualStepCounts:
+    """Uneven shards must not yield unequal per-rank batch counts.
+
+    A collective issued per batch deadlocks if any rank runs fewer steps;
+    the loader pads (drop_last=False) or trims (drop_last=True) every
+    rank to a common count.
+    """
+
+    def uneven_loaders(self, loader_args, *, drop_last):
+        # batch_size=1 over 4 ranks and 10 nodes: shards (3, 3, 2, 2),
+        # so raw per-rank step counts differ — the unequal-step trap
+        nodes = loader_args["nodes"][:10]
+        return [
+            NodeDataLoader(
+                **dict(loader_args, nodes=nodes),
+                batch_size=1,
+                seed=0,
+                rank=r,
+                world_size=4,
+                drop_last=drop_last,
+            )
+            for r in range(4)
+        ]
+
+    def test_pad_equalises_without_drop(self, loader_args):
+        loaders = self.uneven_loaders(loader_args, drop_last=False)
+        lens = {len(l) for l in loaders}
+        assert len(lens) == 1
+        for l in loaders:
+            assert len(list(l)) == len(l)
+
+    def test_trim_equalises_with_drop(self, loader_args):
+        loaders = self.uneven_loaders(loader_args, drop_last=True)
+        lens = {len(l) for l in loaders}
+        assert len(lens) == 1
+        for l in loaders:
+            assert len(list(l)) == len(l)
+
+    def test_padding_covers_every_node(self, loader_args):
+        loaders = self.uneven_loaders(loader_args, drop_last=False)
+        nodes = set(loader_args["nodes"][:10].tolist())
+        seen = set()
+        for l in loaders:
+            for b in l:
+                seen.update(b.seeds.tolist())
+        assert seen == nodes  # padding duplicates, never drops
+
+    def test_padded_batch_wraps_shard_start(self, loader_args):
+        # world=3 over 7 nodes with batch 3: shards (3, 2, 2) -> steps
+        # (1, 1, 1); world=3 over 8 nodes: shards (3, 3, 2), batch 3 ->
+        # raw steps (1, 1, 1); use batch 2: (2, 2, 1) -> pad rank 2
+        nodes = loader_args["nodes"][:8]
+        loaders = [
+            NodeDataLoader(
+                **dict(loader_args, nodes=nodes),
+                batch_size=2,
+                seed=0,
+                rank=r,
+                world_size=3,
+                shuffle=False,
+            )
+            for r in range(3)
+        ]
+        assert {len(l) for l in loaders} == {2}
+        short = [b.seeds for b in loaders[2]]
+        # rank 2's shard has 2 nodes: batch 0 holds both, batch 1 wraps
+        np.testing.assert_array_equal(short[1], short[0][: len(short[1])])
+
+    def test_equal_shards_unchanged(self, loader_args):
+        """When shards divide evenly no padding or trimming happens."""
+        nodes = loader_args["nodes"][:96]
+        loaders = [
+            NodeDataLoader(
+                **dict(loader_args, nodes=nodes),
+                batch_size=16,
+                seed=0,
+                rank=r,
+                world_size=2,
+            )
+            for r in range(2)
+        ]
+        for l in loaders:
+            assert len(l) == 3
+            batches = list(l)
+            assert all(len(b.seeds) == 16 for b in batches)
+
+
+class TestPerBatchStreams:
+    """Batch sampling is a pure function of (seed, epoch, rank, step)."""
+
+    def test_sample_batch_matches_iteration(self, loader_args):
+        loader = NodeDataLoader(**loader_args, batch_size=16, seed=4)
+        via_iter = [(b.seeds.copy(), b.input_ids.copy()) for b in loader]
+        seeds_per_step = loader.batch_seeds()
+        # sample out of order: results must not depend on call sequence
+        for step in reversed(range(len(loader))):
+            b = loader.sample_batch(step, seeds_per_step[step])
+            np.testing.assert_array_equal(b.seeds, via_iter[step][0])
+            np.testing.assert_array_equal(b.input_ids, via_iter[step][1])
+
+    def test_batch_seeds_is_stable(self, loader_args):
+        loader = NodeDataLoader(**loader_args, batch_size=16, seed=4)
+        a = loader.batch_seeds()
+        b = loader.batch_seeds()
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_labels_attached_by_sample_batch(self, loader_args, tiny_dataset):
+        loader = NodeDataLoader(**loader_args, batch_size=16, seed=4)
+        batch = loader.sample_batch(0, loader.batch_seeds()[0])
+        np.testing.assert_array_equal(batch.labels, tiny_dataset.labels[batch.seeds])

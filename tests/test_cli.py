@@ -34,3 +34,30 @@ class TestCli:
     def test_bad_command(self):
         with pytest.raises(SystemExit):
             main(["nonexistent"])
+
+
+class TestBackendValidation:
+    def test_unknown_backend_fails_fast(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--backend", "mpi"])
+        err = capsys.readouterr().err
+        assert "unknown backend 'mpi'" in err
+        assert "inline" in err and "process" in err and "thread" in err
+
+    def test_backend_case_insensitive(self, capsys):
+        assert main(
+            ["train", "--backend", "INLINE", "--processes", "1", "--epochs", "1",
+             "--scale", "9", "--batch", "64"]
+        ) == 0
+        assert "backend=inline" in capsys.readouterr().out
+
+
+class TestTrainPrefetch:
+    def test_prefetch_flag_smoke(self, capsys):
+        assert main(
+            ["train", "--processes", "2", "--epochs", "1", "--scale", "9",
+             "--batch", "64", "--prefetch", "--samplers", "2", "--queue-depth", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "prefetch(s=2, q=4)" in out
+        assert "sample wait s" in out

@@ -44,7 +44,12 @@ def bench_fig1(benchmark, save_result):
 
 
 def bench_fig1_backend_sweep(benchmark, save_result):
-    """Real-engine wall clock per execution backend, same seed everywhere."""
+    """Real-engine wall clock per execution backend, same seed everywhere.
+
+    ``launch s`` records each backend's worker-launch tax: zero for the
+    in-process backends, one pool fork for ``process`` (the persistent
+    runtime is the engine default — later epochs would launch for free).
+    """
     data = benchmark.pedantic(
         lambda: fig1_engine_backend_sweep(
             "ogbn-products", backends=("inline", "thread", "process"), epochs=1
@@ -53,11 +58,16 @@ def bench_fig1_backend_sweep(benchmark, save_result):
         iterations=1,
     )
     rows = [
-        [b, f"{data['epoch_time'][b][0]:.3f}", f"{data['losses'][b][0]:.5f}"]
+        [
+            b,
+            f"{data['epoch_time'][b][0]:.3f}",
+            f"{data['launch_time'][b][0]:.3f}",
+            f"{data['losses'][b][0]:.5f}",
+        ]
         for b in data["backends"]
     ]
     text = render_table(
-        ["backend", "epoch time s", "mean loss"],
+        ["backend", "epoch time s", "launch s", "mean loss"],
         rows,
         title="Fig 1 (measured) — engine wall clock per execution backend",
     )
@@ -68,6 +78,11 @@ def bench_fig1_backend_sweep(benchmark, save_result):
     for b in data["backends"]:
         assert data["epoch_time"][b][0] > 0, b
         np.testing.assert_allclose(data["losses"][b], ref, rtol=1e-5)
+    # only the process backend forks workers; the in-process backends
+    # have no launch stage at all
+    assert data["launch_time"]["inline"][0] == 0.0
+    assert data["launch_time"]["thread"][0] == 0.0
+    assert data["launch_time"]["process"][0] > 0.0
 
 
 def bench_fig1_overlap_sweep(benchmark, save_result):

@@ -37,7 +37,12 @@ def main():
     train = make_train_fn(dataset, sampler, model, global_batch_size=256, seed=0)
 
     runtime = ARGO(n_search=space.paper_budget(), epoch=30, space=space, seed=0)
-    result = runtime.run(train)
+    try:
+        result = runtime.run(train)
+    finally:
+        # stop any cached execution backends (persistent worker pools,
+        # shared-memory stores) the train fn kept warm between launches
+        train.close()
 
     print("\nsearch history (config -> epoch seconds):")
     for cfg, t in result.search_history:

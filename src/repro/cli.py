@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli landscape --task shadow-gcn --dataset reddit
     python -m repro.cli train --backend process --processes 2 --epochs 2
     python -m repro.cli train --backend process --prefetch --samplers 2
+    python -m repro.cli train --backend process --no-persistent  # respawn/epoch
 
 Each command prints the reproduced artefact to stdout (the benchmark
 suite additionally asserts the paper's shapes; the CLI is for quick
@@ -31,6 +32,7 @@ from repro.experiments.reporting import render_heatmap, render_series, render_ta
 from repro.experiments.setups import DATASET_NAMES, ExperimentSetup
 from repro.experiments.tables import table4_5_row, table6_search_budgets
 from repro.exec import available_backends
+from repro.tuning.defaults import DEFAULT_QUEUE_DEPTH
 
 __all__ = ["main"]
 
@@ -153,6 +155,7 @@ def cmd_train(args) -> str:
     ds = load_dataset(args.dataset, seed=args.seed, scale_override=args.scale)
     sampler, model = make_task(args.task, ds.layer_dims(args.layers), seed=args.seed)
     backend_options = {"timeout": args.timeout} if args.backend == "process" else None
+    persistent = True if args.persistent is None else args.persistent
     engine = MultiProcessEngine(
         ds,
         sampler,
@@ -165,6 +168,7 @@ def cmd_train(args) -> str:
         prefetch=args.prefetch,
         queue_depth=args.queue_depth,
         sampler_workers=args.samplers,
+        persistent=persistent,
     )
     try:
         engine.train(args.epochs)
@@ -176,6 +180,7 @@ def cmd_train(args) -> str:
             e.epoch,
             f"{e.mean_loss:.4f}",
             f"{e.epoch_time:.3f}",
+            f"{e.launch_time:.3f}",
             f"{e.sample_wait:.3f}",
             f"{e.compute_time:.3f}",
             e.sampled_edges,
@@ -183,12 +188,15 @@ def cmd_train(args) -> str:
         for e in engine.history.epochs
     ]
     overlap = f", prefetch(s={args.samplers}, q={args.queue_depth})" if args.prefetch else ""
+    mode = "" if args.backend != "process" else (
+        ", persistent" if persistent else ", respawn"
+    )
     table = render_table(
-        ["epoch", "mean loss", "time s", "sample wait s", "compute s", "edges"],
+        ["epoch", "mean loss", "time s", "launch s", "sample wait s", "compute s", "edges"],
         rows,
         title=(
             f"train — {args.task} on {args.dataset} (scale 2^{args.scale}), "
-            f"backend={args.backend}, n={args.processes}{overlap}"
+            f"backend={args.backend}{mode}, n={args.processes}{overlap}"
         ),
     )
     return f"{table}\nfinal validation accuracy: {acc:.3f}"
@@ -234,13 +242,26 @@ def main(argv=None) -> int:
                 help="sampler workers per rank when --prefetch is on",
             )
             p.add_argument(
-                "--queue-depth", type=_positive_int, default=2,
+                "--queue-depth", type=_positive_int, default=DEFAULT_QUEUE_DEPTH,
                 help="batches sampled ahead of compute per rank",
+            )
+            p.add_argument(
+                "--persistent", action=argparse.BooleanOptionalAction, default=None,
+                help="process backend: keep rank workers alive across epochs "
+                     "(default) or respawn them per epoch (--no-persistent)",
             )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         print("available commands:", ", ".join(["list", *COMMANDS]))
         return 0
+    # --persistent/--no-persistent only means something on the process
+    # backend; fail here, before the command builds its dataset, rather
+    # than silently ignoring the flag
+    if args.command == "train" and args.persistent is not None and args.backend != "process":
+        raise SystemExit(
+            f"error: --{'persistent' if args.persistent else 'no-persistent'} "
+            f"applies to the process backend only (got --backend {args.backend})"
+        )
     print(COMMANDS[args.command](args))
     return 0
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.tuning.defaults import DEFAULT_QUEUE_DEPTH
 from repro.utils.validation import check_positive_int
 
 __all__ = ["RuntimeConfig"]
@@ -33,7 +34,14 @@ class RuntimeConfig:
         the ``s`` axis changes measured wall clock.
     queue_depth:
         Prefetch lookahead bound (batches sampled ahead of compute per
-        rank); ignored when ``prefetch`` is off.
+        rank); ignored when ``prefetch`` is off.  Searchable by the
+        autotuner via ``BackendSpace(..., queue_depths=...)``.
+    persistent:
+        Process-backend execution mode: ``True`` (default) drives a pool
+        of long-lived rank workers over shared-memory plan/param
+        channels (launch tax paid once); ``False`` respawns workers
+        every epoch (the paper's re-launch behaviour).  Ignored by the
+        in-process backends.
     """
 
     num_processes: int
@@ -41,7 +49,8 @@ class RuntimeConfig:
     training_cores: int
     backend: str = "inline"
     prefetch: bool = False
-    queue_depth: int = 2
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    persistent: bool = True
 
     def __post_init__(self):
         check_positive_int(self.num_processes, "num_processes")
@@ -49,6 +58,7 @@ class RuntimeConfig:
         check_positive_int(self.training_cores, "training_cores")
         check_positive_int(self.queue_depth, "queue_depth")
         object.__setattr__(self, "prefetch", bool(self.prefetch))
+        object.__setattr__(self, "persistent", bool(self.persistent))
         # normalize like get_backend so the same string is accepted by
         # both the engine and the config path
         object.__setattr__(self, "backend", str(self.backend).lower())
@@ -76,7 +86,23 @@ class RuntimeConfig:
 
     @classmethod
     def from_tuple(cls, cfg) -> "RuntimeConfig":
-        """Build from ``(n, s, t)`` or ``(n, s, t, backend)``."""
+        """Build from ``(n, s, t)``, ``(n, s, t, backend)`` or
+        ``(n, s, t, backend, queue_depth)``.
+
+        The 5-tuple form is what ``BackendSpace(..., queue_depths=...)``
+        emits: a searched queue depth implies the overlap pipeline, so
+        ``prefetch`` switches on.
+        """
+        if len(cfg) == 5:
+            n, s, t, backend, q = cfg
+            return cls(
+                num_processes=int(n),
+                sampling_cores=int(s),
+                training_cores=int(t),
+                backend=str(backend),
+                prefetch=True,
+                queue_depth=int(q),
+            )
         if len(cfg) == 4:
             n, s, t, backend = cfg
             return cls(
@@ -97,4 +123,6 @@ class RuntimeConfig:
             base = f"{base}, backend={self.backend}"
         if self.prefetch:
             base = f"{base}, prefetch=q{self.queue_depth}"
+        if not self.persistent:
+            base = f"{base}, respawn"
         return f"{base})"

@@ -51,9 +51,10 @@ from repro.autograd.ops import gather_rows
 from repro.autograd.optim import make_optimizer
 from repro.autograd.tensor import Tensor, no_grad
 from repro.distributed.ddp import replicate_module
-from repro.exec import get_backend
+from repro.exec import ExecutionBackend, get_backend
 from repro.graph.datasets import GNNDataset
 from repro.sampling.base import Sampler
+from repro.tuning.defaults import DEFAULT_QUEUE_DEPTH
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
@@ -71,6 +72,13 @@ class EpochStats:
     the train stage — forward/backward/optimizer work plus gradient
     synchronisation (a rank's barrier wait on stragglers is booked
     here, not as sample wait).
+
+    ``launch_time`` is the epoch's worker-launch tax (forking rank
+    processes + shipping weights into them): zero for the in-process
+    backends, paid every epoch when the process backend respawns
+    workers, and ≈0 after the first epoch under the persistent pool —
+    the difference is exactly the relaunch overhead the online tuner
+    used to measure inside every trial.
     """
 
     epoch: int
@@ -81,6 +89,7 @@ class EpochStats:
     sampled_edges: int
     sample_wait: float = 0.0
     compute_time: float = 0.0
+    launch_time: float = 0.0
 
 
 @dataclass
@@ -121,10 +130,17 @@ class MultiProcessEngine:
         Optimiser settings (paper examples use Adam).
     backend:
         Execution backend name — ``"inline"`` (deterministic, default),
-        ``"thread"`` or ``"process"`` (see :mod:`repro.exec`).
+        ``"thread"`` or ``"process"`` (see :mod:`repro.exec`) — or an
+        already-constructed :class:`~repro.exec.ExecutionBackend`
+        instance.  Passing an instance lets callers share one backend —
+        and its persistent worker pool / shared-memory store — across
+        several engines (the tuner's re-launches); the engine then does
+        *not* own it: :meth:`shutdown` leaves shared backends running,
+        and whoever created the instance must shut it down.
     backend_options:
         Extra keyword arguments for the backend constructor (e.g.
-        ``{"start_method": "spawn"}`` for the process backend).
+        ``{"start_method": "spawn"}`` for the process backend); invalid
+        with a backend instance.
     bindings:
         Optional per-rank core assignments
         (:class:`repro.platform.corebind.ProcessBinding` list, one per
@@ -144,6 +160,14 @@ class MultiProcessEngine:
         function of ``(seed, epoch, step, rank)`` — so the knobs change
         wall clock, never numerics.  ``sampler_workers`` is what the
         auto-tuner's ``s`` (sampling cores) axis plugs into.
+    persistent:
+        Process-backend execution mode (ignored by the in-process
+        backends): ``True`` (default) keeps a pool of long-lived rank
+        workers alive across epochs, driven by shared-memory
+        plan/param channels, so only the first epoch pays the
+        fork-and-ship launch tax; ``False`` restores the original
+        respawn-workers-every-epoch behaviour.  Loss trajectories are
+        bit-identical either way.
     """
 
     def __init__(
@@ -162,8 +186,9 @@ class MultiProcessEngine:
         eval_nodes: int = 512,
         seed: int = 0,
         prefetch: bool = False,
-        queue_depth: int = 2,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
         sampler_workers: int = 1,
+        persistent: bool = True,
     ):
         self.dataset = dataset
         self.sampler = sampler
@@ -173,8 +198,19 @@ class MultiProcessEngine:
             raise ValueError(
                 f"global batch ({self.global_batch}) must be >= num_processes ({self.n})"
             )
-        self._backend = get_backend(backend, **(backend_options or {}))
+        if isinstance(backend, ExecutionBackend):
+            if backend_options:
+                raise ValueError(
+                    "backend_options are invalid with an already-constructed "
+                    "backend instance"
+                )
+            self._backend = backend
+            self._owns_backend = False
+        else:
+            self._backend = get_backend(backend, **(backend_options or {}))
+            self._owns_backend = True
         self.backend = self._backend.name
+        self.persistent = bool(persistent)
         if bindings is not None and len(bindings) < self.n:
             raise ValueError(
                 f"got {len(bindings)} core bindings for {self.n} ranks"
@@ -232,6 +268,7 @@ class MultiProcessEngine:
             sampled_edges=int(result.sampled_edges),
             sample_wait=float(result.sample_wait),
             compute_time=float(result.compute_time),
+            launch_time=float(result.launch_time),
         )
         self._minibatches_done += len(plan) * self.n
         self.history.epochs.append(stats)
@@ -275,12 +312,15 @@ class MultiProcessEngine:
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
-        """Release backend resources (e.g. shared-memory segments).
+        """Release backend resources (worker pools, shared-memory segments).
 
         Idempotent; the engine remains usable — the backend re-creates
-        what it needs on the next epoch.
+        what it needs on the next epoch.  Backends *shared* into the
+        engine (constructed by the caller and passed as an instance) are
+        left running: their owner shuts them down.
         """
-        self._backend.shutdown()
+        if self._owns_backend:
+            self._backend.shutdown()
 
     def __enter__(self) -> "MultiProcessEngine":
         return self

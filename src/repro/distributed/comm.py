@@ -214,6 +214,15 @@ class ProcessWorld:
     contribute under the lock, barrier, read, barrier, one rank resets
     the accumulator, barrier — so consecutive collectives can reuse the
     same region without tearing.
+
+    A world is built to be **reused across epochs**: the persistent
+    worker pool creates one world per launch and drives every epoch's
+    collectives through it (the barrier cycles naturally; the shared
+    region is re-zeroed by the counter protocol).  Only a change of
+    world size — the tuner rebinding ``n`` — requires a new world, and
+    an :meth:`abort` poisons the barrier permanently by design: after a
+    failure the owning pool tears the world down rather than trusting
+    half-finished collective state (check :attr:`broken`).
     """
 
     def __init__(
@@ -275,9 +284,9 @@ class ProcessWorld:
         self._lock = state["lock"]
         self._barrier = state["barrier"]
         # same no-unregister attach semantics as the graph store
-        from repro.graph.shm import _attach_segment
+        from repro.shm.arena import attach_segment
 
-        self._shm = _attach_segment(state["shm_name"])
+        self._shm = attach_segment(state["shm_name"])
         self._owner = False
         self._closed = False
 
@@ -294,6 +303,14 @@ class ProcessWorld:
     def abort(self) -> None:
         """Break the barrier so peers blocked in collectives fail fast."""
         self._barrier.abort()
+
+    @property
+    def broken(self) -> bool:
+        """Whether the world's barrier has been aborted (world unusable)."""
+        try:
+            return bool(self._barrier.broken)
+        except Exception:  # pragma: no cover - manager/ctx quirks
+            return True
 
     def communicator(self, rank: int) -> "ProcessCommunicator":
         if not 0 <= rank < self.world_size:

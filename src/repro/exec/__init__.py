@@ -8,7 +8,11 @@
 ``process``
     One OS process per rank — the paper's real mechanism: shared-memory
     graph/feature store, cross-process collectives, core binding via
-    ``sched_setaffinity``.
+    ``sched_setaffinity``.  Runs either as a **persistent runtime** (a
+    :class:`~repro.exec.pool.WorkerPool` of long-lived rank workers
+    driven by :class:`~repro.exec.runtime.EpochPlan` messages, weights
+    over a shared-memory param store) or in the original
+    respawn-per-epoch mode — the engine's ``persistent`` flag selects.
 
 Select with :func:`get_backend`; importing this package registers all
 built-in backends.
@@ -24,7 +28,9 @@ from repro.exec.base import (
     register_backend,
 )
 from repro.exec.inline import InlineBackend
+from repro.exec.pool import WorkerPool
 from repro.exec.process import ProcessBackend
+from repro.exec.runtime import EpochPlan, WorkerInit
 from repro.exec.thread import ThreadBackend
 
 __all__ = [
@@ -35,6 +41,9 @@ __all__ = [
     "get_backend",
     "rank_chunk",
     "register_backend",
+    "EpochPlan",
+    "WorkerInit",
+    "WorkerPool",
     "InlineBackend",
     "ProcessBackend",
     "ThreadBackend",

@@ -56,12 +56,18 @@ class EpochResult:
     — forward/backward/optimizer work *plus* gradient synchronisation,
     so a rank stalled in the all-reduce barrier books that straggler
     wait as train-stage time, not sample wait.
+
+    ``launch_time`` is the epoch's worker-launch tax: forking rank
+    processes and shipping weights into them.  Zero for the in-process
+    backends; paid every epoch by the respawning process backend; ≈0
+    after the first epoch under the persistent worker pool.
     """
 
     losses: list[float]
     sampled_edges: int
     sample_wait: float = 0.0
     compute_time: float = 0.0
+    launch_time: float = 0.0
 
 
 def rank_chunk(global_batch: np.ndarray, world_size: int, rank: int) -> np.ndarray:

@@ -1,0 +1,283 @@
+"""Persistent worker pool: long-lived rank processes, launched once.
+
+The original process backend re-forks its ``n`` rank workers — and
+re-pickles every model replica — on **every** epoch, so the online
+auto-tuner pays a fixed launch tax inside each measured trial.  The
+:class:`WorkerPool` is the persistent alternative: rank processes are
+forked once and then driven with small :class:`~repro.exec.runtime.EpochPlan`
+messages over per-rank command queues, with weights moving through a
+shared-memory :class:`~repro.shm.arena.ParamStore` and gradients through
+one :class:`~repro.distributed.comm.ProcessWorld` reused across epochs.
+
+The pool survives not only epochs but *engine reconstructions*: the
+tuner re-launches training with a new configuration every search epoch
+(paper Listing 3), and as long as the new engine's :meth:`signature`
+matches (same ``n``, dataset, parameter topology, optimizer, seed), the
+existing workers keep serving.  A change in ``n`` — or any signature
+field — triggers a clean relaunch: the old world/params/workers are
+reaped and fresh ones bound (``rebind on n change``).
+
+Failure contract: any failed epoch (worker crash, broken collective,
+timeout, killed child) reaps every worker and unlinks the pool's
+world + param-store segments before the error propagates; the pool
+relaunches lazily on the next epoch.  The graph store is owned by the
+backend, not the pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.distributed.comm import ProcessWorld
+from repro.exec.runtime import (
+    WorkerInit,
+    collect_results,
+    encode_epoch_commands,
+    fold_rank_state,
+    persistent_worker_main,
+)
+from repro.shm.arena import ParamStore
+from repro.utils.procs import reap_processes
+
+__all__ = ["WorkerPool", "pool_signature"]
+
+
+def pool_signature(engine) -> tuple:
+    """What must stay constant for a live pool to keep serving an engine.
+
+    The world size, parameter topology, optimizer choice and seed;
+    anything else (sampler, bindings, prefetch knobs, the weights
+    themselves) travels per epoch and may change freely.  The dataset is
+    tracked separately by the pool as a strong *identity* reference —
+    not an ``id()`` in the tuple, which a recycled address could forge.
+
+    Runs on every epoch's reuse check, so it must not touch weight
+    *values* — ``named_parameters`` reads shapes/dtypes without the
+    array copies ``state_dict`` makes.
+    """
+    model = engine.replicas[0]
+    return (
+        engine.n,
+        tuple((k, p.data.shape, p.data.dtype.str) for k, p in model.named_parameters()),
+        engine.optimizer_name,
+        float(engine.lr),
+        int(engine.seed),
+    )
+
+
+class WorkerPool:
+    """``n`` long-lived rank processes plus their shared channels.
+
+    Parameters
+    ----------
+    ctx:
+        ``multiprocessing`` context (``fork`` and ``spawn`` both work —
+        all launch state is picklable and segments re-attach by name).
+    timeout:
+        Seconds any single collective / queue wait may block before the
+        pool is declared broken; whole-epoch budgets scale with the step
+        count on top of this.
+    """
+
+    def __init__(self, ctx, *, timeout: float = 120.0):
+        self._ctx = ctx
+        self.timeout = float(timeout)
+        self.world: ProcessWorld | None = None
+        self.params: ParamStore | None = None
+        self.procs: list = []
+        self._cmd_qs: list = []
+        self._result_q = None
+        self.signature: tuple | None = None
+        #: strong references to the served dataset, rank-0 model and
+        #: graph store (identity-checked on reuse: parameter topology
+        #: alone cannot distinguish two models differing only in
+        #: non-parameter config such as dropout rate; a recreated store
+        #: means the workers map retired segments; and pinning the
+        #: references means their ids can never be recycled mid-pool)
+        self.dataset = None
+        self.model = None
+        self.store = None
+        self.launches = 0  # diagnostic: how often workers were (re)forked
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether every worker is running and the world is usable."""
+        return (
+            bool(self.procs)
+            and all(p.is_alive() for p in self.procs)
+            and self.world is not None
+            and not self.world.broken
+        )
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live rank workers (stable across epochs)."""
+        return [p.pid for p in self.procs]
+
+    # ------------------------------------------------------------------
+    def ensure(self, engine, store) -> bool:
+        """Make the pool serve ``engine``; returns True when it (re)launched.
+
+        A live pool with a matching :func:`pool_signature` is reused
+        as-is — this is the steady-state path whose cost is approximately
+        zero.  Anything else tears the old pool down and forks afresh.
+        """
+        sig = pool_signature(engine)
+        if (
+            self.alive
+            and sig == self.signature
+            and self.dataset is engine.dataset
+            and self.model is engine.replicas[0]
+            and self.store is store
+        ):
+            return False
+        self.shutdown()
+        self._launch(engine, store, sig)
+        return True
+
+    def _launch(self, engine, store, sig: tuple) -> None:
+        n = engine.n
+        capacity = max(1, sum(p.size for p in engine.replicas[0].parameters()))
+        self.world = ProcessWorld(n, capacity, ctx=self._ctx, timeout=self.timeout)
+        self.params = ParamStore.create(
+            {
+                "model": engine.replicas[0].state_dict(),
+                "optimizer": engine.optimizers[0].state_dict(),
+            }
+        )
+        self._cmd_qs = [self._ctx.Queue() for _ in range(n)]
+        self._result_q = self._ctx.Queue()
+        procs = []
+        try:
+            for rank in range(n):
+                init = WorkerInit(
+                    rank=rank,
+                    world_size=n,
+                    store_spec=store.spec,
+                    param_spec=self.params.spec,
+                    model=engine.replicas[rank],
+                    optimizer=engine.optimizer_name,
+                    lr=engine.lr,
+                    seed=engine.seed,
+                    parent_pid=os.getpid(),
+                )
+                p = self._ctx.Process(
+                    target=persistent_worker_main,
+                    args=(init, self.world, self._cmd_qs[rank], self._result_q),
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+        except BaseException:
+            reap_processes(procs)
+            self._release_channels()
+            raise
+        self.procs = procs
+        self.signature = sig
+        self.dataset = engine.dataset
+        self.model = engine.replicas[0]
+        self.store = store
+        self.launches += 1
+
+    # ------------------------------------------------------------------
+    def publish(self, engine) -> None:
+        """Ship the engine's current weights + optimizer state to the
+        workers (one fixed-layout memcpy into the shared param store).
+
+        Part of an epoch's launch cost — the backend times it as such —
+        so it is a separate step from :meth:`run_epoch`.
+        """
+        if not self.alive:
+            raise RuntimeError("worker pool is not running (call ensure first)")
+        self.params.publish(
+            {
+                "model": engine.replicas[0].state_dict(),
+                "optimizer": engine.optimizers[0].state_dict(),
+            }
+        )
+
+    def run_epoch(self, engine, epoch: int, plan: list[np.ndarray]) -> dict:
+        """Dispatch one (already-published) epoch, collect per-rank reports.
+
+        On any failure the pool is torn down (workers reaped, segments
+        unlinked) before the error propagates — no exception path may
+        leak kernel resources.
+        """
+        if not self.alive:
+            raise RuntimeError("worker pool is not running (call ensure first)")
+        n = engine.n
+        try:
+            # the heavy plan/sampler payload is pickled once and shared
+            # by all ranks; pre-encoding (not the queue feeder thread)
+            # also surfaces an unpicklable sampler as an immediate error
+            # instead of an opaque epoch timeout
+            payloads = encode_epoch_commands(engine, epoch, plan)
+            for rank in range(n):
+                self._cmd_qs[rank].put(payloads[rank])
+            results = collect_results(
+                self.procs,
+                self._result_q,
+                self.world,
+                n,
+                len(plan),
+                self.timeout,
+                what="persistent pool epoch",
+            )
+            # fold the evolved state back into the engine's replicas:
+            # weights/optimizer via shared memory, per-rank extra state
+            # via the reports
+            state = self.params.load()
+            fold_rank_state(engine, state["model"], state["optimizer"], results)
+            return results
+        except BaseException:
+            self.shutdown(graceful=False)
+            raise
+
+    # ------------------------------------------------------------------
+    def _release_channels(self) -> None:
+        for q in (*self._cmd_qs, self._result_q):
+            if q is not None:
+                try:
+                    q.cancel_join_thread()
+                    q.close()
+                except Exception:  # pragma: no cover - already closed
+                    pass
+        self._cmd_qs = []
+        self._result_q = None
+        if self.world is not None:
+            self.world.unlink()
+            self.world = None
+        if self.params is not None:
+            self.params.unlink()
+            self.params = None
+
+    def shutdown(self, *, graceful: bool = True) -> None:
+        """Stop the workers and unlink every pool-owned segment; idempotent.
+
+        ``graceful`` sends the stop sentinel and joins briefly before
+        reaping; failure paths skip that (the workers are wedged or dead).
+        """
+        if graceful:
+            for p, q in zip(self.procs, self._cmd_qs):
+                if p.is_alive():
+                    try:
+                        q.put_nowait(None)
+                    except Exception:  # pragma: no cover - queue broken
+                        pass
+            for p in self.procs:
+                p.join(5.0)
+        reap_processes(self.procs)
+        self.procs = []
+        self.signature = None
+        self.dataset = None
+        self.model = None
+        self.store = None
+        self._release_channels()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.shutdown(graceful=False)
+        except Exception:
+            pass

@@ -9,6 +9,23 @@ collectives over a shared float64 region, and each worker pins itself to
 its :class:`repro.platform.corebind.ProcessBinding` cores with
 ``os.sched_setaffinity`` before touching any data.
 
+Two execution modes, selected by the engine's ``persistent`` flag:
+
+**persistent** (default)
+    A :class:`repro.exec.pool.WorkerPool` forks the rank processes once
+    and keeps them alive across epochs *and* engine reconstructions;
+    each epoch ships a small :class:`~repro.exec.runtime.EpochPlan` over
+    a command queue while weights travel through a shared-memory
+    :class:`~repro.shm.arena.ParamStore`.  After the first epoch the
+    measured ``launch_time`` collapses to the cost of a weight memcpy —
+    the relaunch tax the online tuner used to pay in every trial is gone.
+**respawn**
+    The original mode — fresh workers forked per epoch, model replicas
+    pickled into them.  This mirrors ARGO's own behaviour (the online
+    tuner re-launches training every search epoch to reallocate
+    processes, paper Listing 3) and is kept as the baseline the
+    ``fig8_persistent_overhead`` benchmark measures the pool against.
+
 With prefetching on, each rank process additionally runs
 ``sampler_workers`` sampler threads
 (:func:`repro.pipeline.prefetch.rank_step_prefetcher`) pinned to the
@@ -16,9 +33,9 @@ binding's *sampling* cores, while the trainer thread re-pins to the
 *training* cores — the paper's sampler/trainer core split, inside every
 rank.
 
-Semantics are identical to the inline backend: the same per-rank RNG
-streams (``derive_rng(seed, "sample", epoch, step, rank)``), the same
-batch split (:func:`repro.exec.base.rank_chunk`) and synchronous
+Semantics are identical to the inline backend in both modes: the same
+per-rank RNG streams (``derive_rng(seed, "sample", epoch, step, rank)``),
+the same batch split (:func:`repro.exec.base.rank_chunk`) and synchronous
 gradient averaging.  Because all ranks finish an epoch with identical
 weights and optimizer state, only rank 0 ships its model/optimizer state
 back; the parent loads it into every replica.
@@ -27,7 +44,6 @@ back; the parent loads it into every replica.
 from __future__ import annotations
 
 import multiprocessing as mp
-import queue as queue_mod
 import sys
 import time
 import traceback
@@ -39,16 +55,17 @@ from repro.autograd.optim import make_optimizer
 from repro.autograd.tensor import Tensor
 from repro.distributed.comm import ProcessWorld
 from repro.distributed.ddp import DistributedDataParallel
-from repro.exec.base import (
-    EpochResult,
-    ExecutionBackend,
-    acquire_batch,
-    compute_loss,
-    register_backend,
+from repro.exec.base import EpochResult, ExecutionBackend, register_backend
+from repro.exec.pool import WorkerPool
+from repro.exec.runtime import (
+    EpochPlan,
+    _run_epoch_steps,
+    collect_results,
+    epoch_plan_for_rank,
+    fold_rank_state,
 )
 from repro.graph.shm import SharedGraphStore
-from repro.pipeline.prefetch import rank_step_prefetcher
-from repro.platform.corebind import apply_binding, sampling_affinity, training_affinity
+from repro.platform.corebind import apply_binding
 from repro.utils.procs import reap_processes
 
 __all__ = ["ProcessBackend"]
@@ -56,105 +73,52 @@ __all__ = ["ProcessBackend"]
 
 @dataclass
 class _WorkerPayload:
-    """Everything one rank worker needs (picklable; arrays travel by shm)."""
+    """Everything one respawned rank worker needs (picklable; arrays travel by shm)."""
 
     rank: int
     world_size: int
     store_spec: dict
-    sampler: object
     model: object  # the rank's replica (weights only; data stays in shm)
     optimizer: str
     optimizer_state: dict
     lr: float
     seed: int
-    epoch: int
-    plan: list
-    binding: object  # ProcessBinding | tuple[int, ...] | None
-    prefetch: bool = False
-    queue_depth: int = 2
-    sampler_workers: int = 1
+    plan: EpochPlan
 
 
 def _worker_main(payload: _WorkerPayload, world: ProcessWorld, result_q) -> None:
-    """Entry point of one rank process."""
+    """Entry point of one respawned (single-epoch) rank process."""
+    store = None
     try:
-        applied_cores = apply_binding(payload.binding)
+        applied_cores = apply_binding(payload.plan.binding)
         store = SharedGraphStore.attach(payload.store_spec)
-        prefetcher = None
-        try:
-            graph = store.graph  # zero-copy CSR over the shared segments
-            features = Tensor(store.features)
-            labels = store.labels
-            comm = world.communicator(payload.rank)
-            model = DistributedDataParallel(payload.model, comm)
-            optimizer = make_optimizer(payload.optimizer, model.parameters(), payload.lr)
-            optimizer.load_state_dict(payload.optimizer_state)
-            if payload.prefetch:
-                # sampler threads pin to the sampling cores; the trainer
-                # thread (this one) re-pins to the training cores so the
-                # two stages own the binding's core split
-                prefetcher = rank_step_prefetcher(
-                    payload.sampler,
-                    graph,
-                    payload.plan,
-                    world_size=payload.world_size,
-                    rank=payload.rank,
-                    seed=payload.seed,
-                    epoch=payload.epoch,
-                    num_workers=payload.sampler_workers,
-                    queue_depth=payload.queue_depth,
-                    sampling_cores=sampling_affinity(payload.binding),
-                )
-                apply_binding(training_affinity(payload.binding))
-            losses: list[float] = []
-            edges = 0
-            sample_wait = 0.0
-            compute_time = 0.0
-            for step, global_batch in enumerate(payload.plan):
-                model.zero_grad()
-                start = time.perf_counter()
-                batch = acquire_batch(
-                    prefetcher,
-                    payload.sampler,
-                    graph,
-                    global_batch,
-                    world_size=payload.world_size,
-                    rank=payload.rank,
-                    seed=payload.seed,
-                    epoch=payload.epoch,
-                    step=step,
-                )
-                sample_wait += time.perf_counter() - start
-                start = time.perf_counter()
-                if batch is not None:
-                    loss, e = compute_loss(batch, features, labels, model.module)
-                    loss.backward()
-                    losses.append(loss.item())
-                    edges += e
-                model.sync_gradients()
-                optimizer.step()
-                compute_time += time.perf_counter() - start
-            result = {
-                "rank": payload.rank,
-                "status": "ok",
-                "losses": losses,
-                "edges": edges,
-                "sample_wait": sample_wait,
-                "compute_time": compute_time,
-                "applied_cores": applied_cores,
-                # mutable non-parameter model state (dropout-stream
-                # counters, ...): the parent must advance its replicas
-                # identically or the next epoch diverges from inline
-                "extra_state": payload.model.extra_state_dict(),
-            }
-            if payload.rank == 0:
-                result["model_state"] = model.module.state_dict()
-                result["optimizer_state"] = optimizer.state_dict()
-            result_q.put(result)
-        finally:
-            if prefetcher is not None:
-                prefetcher.close()
-            store.close()
+        graph = store.graph  # zero-copy CSR over the shared segments
+        features = Tensor(store.features)
+        labels = store.labels
+        comm = world.communicator(payload.rank)
+        # the plan's extra_state is the single source of truth for the
+        # rank's mutable non-parameter state in both execution modes
+        # (the pickled replica carries a copy, but only this one is read)
+        payload.model.load_extra_state_dict(payload.plan.extra_state)
+        model = DistributedDataParallel(payload.model, comm)
+        optimizer = make_optimizer(payload.optimizer, model.parameters(), payload.lr)
+        optimizer.load_state_dict(payload.optimizer_state)
+        result = _run_epoch_steps(
+            payload.plan,
+            rank=payload.rank,
+            world_size=payload.world_size,
+            seed=payload.seed,
+            graph=graph,
+            features=features,
+            labels=labels,
+            model=model,
+            optimizer=optimizer,
+        )
+        result["applied_cores"] = applied_cores
+        if payload.rank == 0:
+            result["model_state"] = model.module.state_dict()
+            result["optimizer_state"] = optimizer.state_dict()
+        result_q.put(result)
     except BaseException as exc:
         world.abort()  # unblock peers stuck in collectives
         result_q.put(
@@ -166,6 +130,9 @@ def _worker_main(payload: _WorkerPayload, world: ProcessWorld, result_q) -> None
             }
         )
         sys.exit(1)  # quiet exit: the parent reports the queued error
+    finally:
+        if store is not None:
+            store.close()
 
 
 @register_backend("process")
@@ -183,77 +150,122 @@ class ProcessBackend(ExecutionBackend):
         declared broken; the whole-epoch budget scales with the step
         count on top of this.
 
-    The shared-memory store persists across epochs (workers re-attach
-    each epoch; the data never moves); call :meth:`shutdown` — or use the
-    owning engine as a context manager — to unlink the segments.  When an
-    epoch *fails* (a worker crash, a broken collective, a timeout), the
-    backend reaps every child and unlinks the store immediately: no
-    exception path may leak shared-memory segments or zombie processes.
-
-    Workers themselves are re-launched per epoch.  This mirrors ARGO's
-    own behaviour — the online tuner re-launches training every search
-    epoch to reallocate processes (paper Listing 3) — at the cost of
-    fork + weight-pickling overhead in each measured epoch time; a
-    persistent worker pool that ships plans over a queue would amortise
-    it and is the natural next optimisation.
+    The engine's ``persistent`` flag selects per-epoch worker respawn
+    (the original behaviour) or the long-lived :class:`WorkerPool` (see
+    the module docstring).  The shared-memory graph store persists across
+    epochs in both modes (workers attach; the data never moves); call
+    :meth:`shutdown` — or use the owning engine as a context manager —
+    to stop any pool and unlink the segments.  When an epoch *fails* (a
+    worker crash, a broken collective, a timeout, a killed child), the
+    backend reaps every child — pool included — and unlinks every
+    segment immediately: no exception path may leak shared-memory
+    segments or zombie processes.
     """
 
     def __init__(self, *, start_method: str | None = None, timeout: float = 120.0):
         self._ctx = mp.get_context(start_method)
         self.timeout = float(timeout)
         self._store: SharedGraphStore | None = None
-        self._store_dataset_id: int | None = None
+        # strong reference, compared by identity: backends outlive
+        # engines by design, and a freed dataset's id() can be recycled
+        # — an id-keyed cache could silently serve the wrong graph
+        self._store_dataset = None
+        self._pool: WorkerPool | None = None
 
     # ------------------------------------------------------------------
     def _ensure_store(self, dataset) -> SharedGraphStore:
         if self._store is not None and not self._store.closed:
-            if self._store_dataset_id == id(dataset):
+            if self._store_dataset is dataset:
                 return self._store
             self._store.unlink()
         self._store = SharedGraphStore.from_dataset(dataset)
-        self._store_dataset_id = id(dataset)
+        self._store_dataset = dataset
         return self._store
 
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The live persistent pool, if any (diagnostics/tests)."""
+        return self._pool
+
     def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
         if self._store is not None and not self._store.closed:
             self._store.unlink()
         self._store = None
-        self._store_dataset_id = None
+        self._store_dataset = None
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def run_epoch(self, engine, epoch: int, plan: list[np.ndarray]) -> EpochResult:
+        if getattr(engine, "persistent", False):
+            return self._run_epoch_persistent(engine, epoch, plan)
+        return self._run_epoch_respawn(engine, epoch, plan)
+
+    # ------------------------------------------------------------------
+    def _run_epoch_persistent(self, engine, epoch: int, plan) -> EpochResult:
+        store = self._ensure_store(engine.dataset)
+        if self._pool is None:
+            self._pool = WorkerPool(self._ctx, timeout=self.timeout)
+        try:
+            # launch tax: (re)forking workers when needed plus shipping
+            # this epoch's weights into them — a shm memcpy once the
+            # pool is warm (respawn mode's equivalent is fork + pickle).
+            # A fresh launch already published the current state as the
+            # ParamStore template, so only warm epochs publish here.
+            start = time.perf_counter()
+            if not self._pool.ensure(engine, store):
+                self._pool.publish(engine)
+            launch_time = time.perf_counter() - start
+            results = self._pool.run_epoch(engine, epoch, plan)
+        except BaseException:
+            # failed epoch: the pool already reaped its workers and
+            # unlinked its segments; release the graph store too — no
+            # exception path may leak segments or children
+            self.shutdown()
+            raise
+        return self._fold_results(engine, results, launch_time)
+
+    # ------------------------------------------------------------------
+    def _run_epoch_respawn(self, engine, epoch: int, plan) -> EpochResult:
         n = engine.n
         store = self._ensure_store(engine.dataset)
-        capacity = max(1, sum(p.size for p in engine.replicas[0].parameters()))
-        world = ProcessWorld(n, capacity, ctx=self._ctx, timeout=self.timeout)
-        result_q = self._ctx.Queue()
         procs: list = []
+        world = None
         try:
-            bindings = engine.bindings
+            # the per-epoch launch tax this mode pays by design: a fresh
+            # world, pickled replicas and n forks on every epoch
+            start = time.perf_counter()
+            capacity = max(1, sum(p.size for p in engine.replicas[0].parameters()))
+            world = ProcessWorld(n, capacity, ctx=self._ctx, timeout=self.timeout)
+            result_q = self._ctx.Queue()
             for rank in range(n):
                 payload = _WorkerPayload(
                     rank=rank,
                     world_size=n,
                     store_spec=store.spec,
-                    sampler=engine.sampler,
                     model=engine.replicas[rank],
                     optimizer=engine.optimizer_name,
                     optimizer_state=engine.optimizers[rank].state_dict(),
                     lr=engine.lr,
                     seed=engine.seed,
-                    epoch=epoch,
-                    plan=plan,
-                    binding=bindings[rank] if bindings is not None else None,
-                    prefetch=engine.prefetch,
-                    queue_depth=engine.queue_depth,
-                    sampler_workers=engine.sampler_workers,
+                    plan=epoch_plan_for_rank(engine, epoch, plan, rank),
                 )
                 p = self._ctx.Process(
                     target=_worker_main, args=(payload, world, result_q), daemon=True
                 )
                 p.start()
                 procs.append(p)
-            results = self._collect(procs, result_q, world, n, len(plan))
+            launch_time = time.perf_counter() - start
+            results = collect_results(
+                procs, result_q, world, n, len(plan), self.timeout
+            )
             for p in procs:
                 p.join(self.timeout)
         except BaseException:
@@ -264,16 +276,18 @@ class ProcessBackend(ExecutionBackend):
             raise
         finally:
             reap_processes(procs)
-            world.unlink()
+            if world is not None:
+                world.unlink()
 
         # fold worker outcomes back into the engine's replicas
         rank0 = results[0]
-        for replica in engine.replicas:
-            replica.load_state_dict(rank0["model_state"])
-        for opt in engine.optimizers:
-            opt.load_state_dict(rank0["optimizer_state"])
-        for rank, replica in enumerate(engine.replicas):
-            replica.load_extra_state_dict(results[rank]["extra_state"])
+        fold_rank_state(engine, rank0["model_state"], rank0["optimizer_state"], results)
+        return self._fold_results(engine, results, launch_time)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fold_results(engine, results: dict, launch_time: float) -> EpochResult:
+        n = engine.n
         losses = [v for rank in range(n) for v in results[rank]["losses"]]
         edges = int(sum(results[rank]["edges"] for rank in range(n)))
         return EpochResult(
@@ -281,55 +295,5 @@ class ProcessBackend(ExecutionBackend):
             sampled_edges=edges,
             sample_wait=float(sum(results[r]["sample_wait"] for r in range(n))),
             compute_time=float(sum(results[r]["compute_time"] for r in range(n))),
+            launch_time=float(launch_time),
         )
-
-    # ------------------------------------------------------------------
-    def _collect(self, procs, result_q, world: ProcessWorld, n: int, num_steps: int) -> dict:
-        """Drain one result per rank, failing fast on worker death.
-
-        ``self.timeout`` bounds a single collective (a deadlocked barrier
-        breaks within it inside the workers); the whole-epoch budget here
-        scales with the number of steps so long, healthy epochs are never
-        killed by the per-collective deadline.
-        """
-        results: dict[int, dict] = {}
-        deadline = time.monotonic() + self.timeout * (1 + num_steps)
-        while len(results) < n:
-            try:
-                item = result_q.get(timeout=0.2)
-            except queue_mod.Empty:
-                dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
-                if dead:
-                    world.abort()
-                    raise RuntimeError(
-                        f"rank process died with exit code {dead[0].exitcode}"
-                    ) from None
-                if time.monotonic() > deadline:
-                    world.abort()
-                    raise TimeoutError(
-                        f"process backend epoch exceeded its "
-                        f"{self.timeout * (1 + num_steps):.0f}s budget "
-                        f"({len(results)}/{n} ranks reported)"
-                    )
-                continue
-            if item["status"] != "ok":
-                world.abort()
-                # a failing rank breaks its peers' collectives; drain briefly
-                # so the *root* error is reported, not a secondary break
-                errors = [item]
-                deadline_drain = time.monotonic() + 1.0
-                while time.monotonic() < deadline_drain:
-                    try:
-                        extra = result_q.get(timeout=0.1)
-                    except queue_mod.Empty:
-                        continue
-                    if extra["status"] != "ok":
-                        errors.append(extra)
-                root = next(
-                    (e for e in errors if "collective broken" not in e["error"]), errors[0]
-                )
-                raise RuntimeError(
-                    f"rank {root['rank']} failed: {root['error']}\n{root.get('traceback', '')}"
-                )
-            results[item["rank"]] = item
-        return results

@@ -1,0 +1,399 @@
+"""Persistent-runtime protocol: plan messages and the rank-worker loop.
+
+The persistent execution runtime inverts the original process backend's
+shape: instead of forking ``n`` fresh rank processes per epoch (each
+swallowing a pickled copy of the model), the :class:`repro.exec.pool.WorkerPool`
+forks :func:`persistent_worker_main` processes **once** and then drives
+them with small :class:`EpochPlan` messages over per-rank command queues.
+Everything heavy travels through shared memory:
+
+* the graph/feature/label substrate via
+  :class:`repro.graph.shm.SharedGraphStore` (unchanged),
+* model weights and optimizer state via a
+  :class:`repro.shm.arena.ParamStore` — published by the parent before
+  each epoch command, republished by rank 0 after the epoch,
+* gradients via :class:`repro.distributed.comm.ProcessWorld` collectives
+  (the world is created once per pool and reused across epochs).
+
+An :class:`EpochPlan` therefore only carries the epoch id, the global
+batch split (node-id arrays — the one per-epoch payload that genuinely
+changes), the rank's core binding, the prefetch knobs, the sampler object
+(small; it may be swapped between epochs) and the rank's mutable
+non-parameter model state.
+
+Numerics are bit-identical to the respawn path by construction: the
+worker reloads the parent-published parameters and optimizer state at
+the top of every epoch and then executes exactly the same per-step
+protocol (:func:`repro.exec.base.acquire_batch` + :func:`compute_loss`,
+per-step derived RNG, synchronous gradient averaging) as the
+single-epoch worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import queue as queue_mod
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.optim import make_optimizer
+from repro.autograd.tensor import Tensor
+from repro.distributed.comm import ProcessWorld
+from repro.distributed.ddp import DistributedDataParallel
+from repro.exec.base import acquire_batch, compute_loss
+from repro.graph.shm import SharedGraphStore
+from repro.pipeline.prefetch import rank_step_prefetcher
+from repro.platform.corebind import apply_binding, sampling_affinity, training_affinity
+from repro.shm.arena import ParamStore
+from repro.tuning.defaults import DEFAULT_QUEUE_DEPTH
+
+__all__ = [
+    "EpochPlan",
+    "WorkerInit",
+    "persistent_worker_main",
+    "collect_results",
+    "fold_rank_state",
+    "epoch_plan_for_rank",
+    "encode_epoch_commands",
+    "decode_epoch_command",
+]
+
+
+@dataclass
+class EpochPlan:
+    """One epoch's marching orders for one persistent rank worker.
+
+    Weights are *not* in here — the parent publishes them to the shared
+    :class:`~repro.shm.arena.ParamStore` before sending the plan, and the
+    worker loads them on receipt.  ``extra_state`` is the rank's mutable
+    non-parameter model state (dropout-stream counters, ...), tiny and
+    rank-specific, so it rides the command queue.
+    """
+
+    epoch: int
+    plan: list  # global batch node-id arrays, shared by all ranks
+    sampler: object
+    binding: object = None  # ProcessBinding | tuple[int, ...] | None
+    prefetch: bool = False
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    sampler_workers: int = 1
+    extra_state: dict = field(default_factory=dict)
+
+
+@dataclass
+class WorkerInit:
+    """One-time launch payload for a persistent rank worker.
+
+    ``model`` is the rank's replica pickled exactly once per pool launch
+    — the template whose parameters are thereafter overwritten from the
+    :class:`~repro.shm.arena.ParamStore` every epoch.
+    """
+
+    rank: int
+    world_size: int
+    store_spec: dict
+    param_spec: dict
+    model: object
+    optimizer: str
+    lr: float
+    seed: int
+    #: the forking process's pid, captured at the fork site: the orphan
+    #: watchdog compares against it, and reading getppid() in the child
+    #: instead would record the *reaper's* pid if the parent died during
+    #: the fork window — masking the orphaning forever
+    parent_pid: int = 0
+
+
+def _run_epoch_steps(
+    plan: EpochPlan,
+    *,
+    rank: int,
+    world_size: int,
+    seed: int,
+    graph,
+    features: Tensor,
+    labels,
+    model: DistributedDataParallel,
+    optimizer,
+) -> dict:
+    """Execute one epoch's steps for one rank; returns the report dict.
+
+    The single definition of the per-epoch rank protocol, shared by the
+    respawn worker (:mod:`repro.exec.process`) and the persistent worker
+    below — which is what keeps the two modes bit-identical.
+    """
+    prefetcher = None
+    if plan.prefetch:
+        # sampler threads pin to the sampling cores; the trainer thread
+        # (this one) re-pins to the training cores so the two stages own
+        # the binding's core split
+        prefetcher = rank_step_prefetcher(
+            plan.sampler,
+            graph,
+            plan.plan,
+            world_size=world_size,
+            rank=rank,
+            seed=seed,
+            epoch=plan.epoch,
+            num_workers=plan.sampler_workers,
+            queue_depth=plan.queue_depth,
+            sampling_cores=sampling_affinity(plan.binding),
+        )
+        apply_binding(training_affinity(plan.binding))
+    try:
+        losses: list[float] = []
+        edges = 0
+        sample_wait = 0.0
+        compute_time = 0.0
+        for step, global_batch in enumerate(plan.plan):
+            model.zero_grad()
+            start = time.perf_counter()
+            batch = acquire_batch(
+                prefetcher,
+                plan.sampler,
+                graph,
+                global_batch,
+                world_size=world_size,
+                rank=rank,
+                seed=seed,
+                epoch=plan.epoch,
+                step=step,
+            )
+            sample_wait += time.perf_counter() - start
+            start = time.perf_counter()
+            if batch is not None:
+                loss, e = compute_loss(batch, features, labels, model.module)
+                loss.backward()
+                losses.append(loss.item())
+                edges += e
+            model.sync_gradients()
+            optimizer.step()
+            compute_time += time.perf_counter() - start
+        return {
+            "rank": rank,
+            "status": "ok",
+            "losses": losses,
+            "edges": edges,
+            "sample_wait": sample_wait,
+            "compute_time": compute_time,
+            # mutable non-parameter model state: the parent must advance
+            # its replicas identically or the next epoch diverges
+            "extra_state": model.module.extra_state_dict(),
+        }
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
+
+
+def persistent_worker_main(
+    init: WorkerInit, world: ProcessWorld, cmd_q, result_q
+) -> None:
+    """Entry point of one long-lived rank process.
+
+    Blocks on its command queue between epochs; a ``None`` sentinel shuts
+    it down cleanly.  Any epoch failure aborts the world (so peers stuck
+    in collectives fail fast), reports the error, and exits — the pool
+    treats a failed epoch as fatal and relaunches on the next one, which
+    matches the respawn backend's fresh-processes-per-epoch semantics.
+
+    Orphan watchdog: a SIGKILL'd parent can never send the stop
+    sentinel, and a long-lived worker parked in ``get()`` would outlive
+    it holding every shared segment open.  The idle loop therefore polls
+    its parent pid — re-parenting means the pool's owner is gone, so the
+    worker exits and the (inherited) resource tracker reclaims the
+    leaked segments once the last holder is gone.
+    """
+    store = None
+    params = None
+    parent_pid = init.parent_pid or os.getppid()
+    try:
+        store = SharedGraphStore.attach(init.store_spec)
+        params = ParamStore.attach(init.param_spec)
+        graph = store.graph  # zero-copy CSR over the shared segments
+        features = Tensor(store.features)
+        labels = store.labels
+        model_template = init.model
+        optimizer = make_optimizer(init.optimizer, model_template.parameters(), init.lr)
+        while True:
+            try:
+                cmd = cmd_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                if os.getppid() != parent_pid:
+                    return  # orphaned: the pool's owner died ungracefully
+                continue
+            if cmd is None:
+                return
+            # commands arrive pre-encoded (see encode_epoch_commands)
+            plan = decode_epoch_command(cmd)
+            applied_cores = apply_binding(plan.binding)
+            # load the parent-published state: the authoritative weights
+            # for this epoch (bit-identical to the respawn path's pickles)
+            state = params.load()
+            model_template.load_state_dict(state["model"])
+            model_template.load_extra_state_dict(plan.extra_state)
+            optimizer.load_state_dict(state["optimizer"])
+            comm = world.communicator(init.rank)
+            model = DistributedDataParallel(model_template, comm)
+            result = _run_epoch_steps(
+                plan,
+                rank=init.rank,
+                world_size=init.world_size,
+                seed=init.seed,
+                graph=graph,
+                features=features,
+                labels=labels,
+                model=model,
+                optimizer=optimizer,
+            )
+            result["applied_cores"] = applied_cores
+            if init.rank == 0:
+                # weights return through shared memory, not the queue
+                params.publish(
+                    {
+                        "model": model.module.state_dict(),
+                        "optimizer": optimizer.state_dict(),
+                    }
+                )
+            result_q.put(result)
+    except BaseException as exc:
+        world.abort()  # unblock peers stuck in collectives
+        result_q.put(
+            {
+                "rank": init.rank,
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }
+        )
+        sys.exit(1)  # quiet exit: the parent reports the queued error
+    finally:
+        if params is not None:
+            params.close()
+        if store is not None:
+            store.close()
+
+
+def fold_rank_state(engine, model_state, optimizer_state, results: dict) -> None:
+    """Fold one epoch's evolved worker state back into the engine.
+
+    The single definition of the post-epoch fold (weights + optimizer
+    into every replica, per-rank extra state from the reports), shared
+    by the persistent pool and the respawn backend so the two modes'
+    bit-identical invariant cannot drift.
+    """
+    for replica in engine.replicas:
+        replica.load_state_dict(model_state)
+    for opt in engine.optimizers:
+        opt.load_state_dict(optimizer_state)
+    for rank, replica in enumerate(engine.replicas):
+        replica.load_extra_state_dict(results[rank]["extra_state"])
+
+
+def collect_results(
+    procs, result_q, world: ProcessWorld, n: int, num_steps: int, timeout: float,
+    *, what: str = "process backend epoch",
+) -> dict:
+    """Drain one result per rank, failing fast on worker death.
+
+    ``timeout`` bounds a single collective (a deadlocked barrier breaks
+    within it inside the workers); the whole-epoch budget here scales
+    with the number of steps so long, healthy epochs are never killed by
+    the per-collective deadline.  Shared by the respawn backend and the
+    persistent pool — the failure semantics must not differ between them.
+    """
+    results: dict[int, dict] = {}
+    deadline = time.monotonic() + timeout * (1 + num_steps)
+    while len(results) < n:
+        try:
+            item = result_q.get(timeout=0.2)
+        except queue_mod.Empty:
+            dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
+            if dead:
+                world.abort()
+                raise RuntimeError(
+                    f"rank process died with exit code {dead[0].exitcode} "
+                    f"(killed mid-epoch?)"
+                ) from None
+            if time.monotonic() > deadline:
+                world.abort()
+                raise TimeoutError(
+                    f"{what} exceeded its {timeout * (1 + num_steps):.0f}s budget "
+                    f"({len(results)}/{n} ranks reported)"
+                )
+            continue
+        if item["status"] != "ok":
+            world.abort()
+            # a failing rank breaks its peers' collectives; drain briefly
+            # so the *root* error is reported, not a secondary break
+            errors = [item]
+            deadline_drain = time.monotonic() + 1.0
+            while time.monotonic() < deadline_drain:
+                try:
+                    extra = result_q.get(timeout=0.1)
+                except queue_mod.Empty:
+                    continue
+                if extra["status"] != "ok":
+                    errors.append(extra)
+            root = next(
+                (e for e in errors if "collective broken" not in e["error"]), errors[0]
+            )
+            raise RuntimeError(
+                f"rank {root['rank']} failed: {root['error']}\n{root.get('traceback', '')}"
+            )
+        results[item["rank"]] = item
+    return results
+
+
+def epoch_plan_for_rank(engine, epoch: int, plan: list[np.ndarray], rank: int) -> EpochPlan:
+    """Build rank ``rank``'s :class:`EpochPlan` from the engine's state."""
+    bindings = engine.bindings
+    return EpochPlan(
+        epoch=epoch,
+        plan=plan,
+        sampler=engine.sampler,
+        binding=bindings[rank] if bindings is not None else None,
+        prefetch=engine.prefetch,
+        queue_depth=engine.queue_depth,
+        sampler_workers=engine.sampler_workers,
+        extra_state=engine.replicas[rank].extra_state_dict(),
+    )
+
+
+#: the EpochPlan fields that differ between ranks; everything else is
+#: rank-invariant and ships in the shared pickle (the dataclass is the
+#: schema — encode/decode split along this one list, so a new knob
+#: added to EpochPlan + epoch_plan_for_rank transports automatically)
+_RANK_FIELDS = ("binding", "extra_state")
+
+
+def encode_epoch_commands(engine, epoch: int, plan: list[np.ndarray]) -> list[tuple]:
+    """Serialise one epoch's per-rank command-queue payloads.
+
+    The heavy, rank-invariant part — the batch split's node-id arrays
+    and the sampler — is pickled **once** and shared by every rank's
+    payload (a pickled ``bytes`` ships as a cheap memcpy); only the tiny
+    rank-specific remainder (:data:`_RANK_FIELDS`) is pickled per rank.
+    Pre-pickling here, not in the queue's feeder thread, also turns an
+    unpicklable sampler into an immediate, attributable error instead of
+    an opaque epoch timeout.
+    """
+    rank_plans = [epoch_plan_for_rank(engine, epoch, plan, rank) for rank in range(engine.n)]
+    common = pickle.dumps(dataclasses.replace(rank_plans[0], binding=None, extra_state={}))
+    return [
+        (common, pickle.dumps({f: getattr(p, f) for f in _RANK_FIELDS}))
+        for p in rank_plans
+    ]
+
+
+def decode_epoch_command(cmd) -> EpochPlan:
+    """Inverse of :func:`encode_epoch_commands` (worker side)."""
+    if isinstance(cmd, EpochPlan):  # direct (un-encoded) delivery
+        return cmd
+    common, rank_part = cmd
+    return dataclasses.replace(pickle.loads(common), **pickle.loads(rank_part))

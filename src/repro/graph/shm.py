@@ -2,18 +2,19 @@
 
 ARGO's worker processes (paper Sec. IV-B) never copy the graph: DGL keeps
 the CSR structure and node features in shared memory and every training
-process maps them.  This module reproduces that mechanism with
-``multiprocessing.shared_memory``: the parent *creates* one segment per
-array (CSR ``indptr``/``indices``, node features, labels), workers
-*attach* by name and reconstruct zero-copy, read-only numpy views — the
-same ``writeable=False`` convention :class:`repro.graph.csr.CSRGraph`
-already enforces in-process.
+process maps them.  :class:`SharedGraphStore` reproduces that mechanism
+as a thin specialisation of the generic :class:`repro.shm.arena.ShmArena`
+— the parent *creates* one segment per array (CSR ``indptr``/``indices``,
+node features, labels), workers *attach* by name and reconstruct
+zero-copy, read-only numpy views, the same ``writeable=False`` convention
+:class:`repro.graph.csr.CSRGraph` already enforces in-process.
 
 Lifecycle contract
 ------------------
 * The creating process owns the segments: it must call :meth:`unlink`
   (or use the store as a context manager) when training is done.  Tests
-  assert no segments leak.
+  assert no segments leak; ``close``/``unlink`` are idempotent and safe
+  under double-call and GC-after-unlink (see the arena layer).
 * Attached stores only :meth:`close` their local mappings — never
   unlink.  The resource-tracker daemon is shared across the process tree
   (fd inherited under fork *and* spawn on POSIX), so a worker attaching
@@ -22,55 +23,20 @@ Lifecycle contract
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from multiprocessing import shared_memory
-from typing import TYPE_CHECKING, Mapping
-
-import numpy as np
+from typing import TYPE_CHECKING
 
 from repro.graph.csr import CSRGraph
+from repro.shm.arena import SharedArraySpec, ShmArena
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
     from repro.graph.datasets import GNNDataset
 
 __all__ = ["SharedArraySpec", "SharedGraphStore"]
 
 
-@dataclass(frozen=True)
-class SharedArraySpec:
-    """Picklable descriptor of one array living in a shared segment."""
-
-    shm_name: str
-    shape: tuple[int, ...]
-    dtype: str
-
-    @property
-    def nbytes(self) -> int:
-        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
-
-
-def _view(shm: shared_memory.SharedMemory, spec: SharedArraySpec) -> np.ndarray:
-    """Read-only numpy view over a shared segment (no copy)."""
-    arr = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
-    arr.setflags(write=False)
-    return arr
-
-
-def _attach_segment(name: str) -> shared_memory.SharedMemory:
-    """Attach to an existing segment without adopting ownership.
-
-    Attaching re-registers the name with the resource tracker, which is
-    harmless: the tracker daemon is shared across the process tree (its
-    fd is inherited under both ``fork`` and ``spawn`` on POSIX) and
-    registration is an idempotent set-add, so the creator's single
-    ``unlink`` still retires the name exactly once.  Unregistering here
-    instead would make the creator's later unlink double-unregister and
-    spew ``KeyError`` noise from the tracker daemon.
-    """
-    return shared_memory.SharedMemory(name=name)
-
-
-class SharedGraphStore:
+class SharedGraphStore(ShmArena):
     """CSR graph + feature/label matrices backed by shared memory.
 
     Build with :meth:`create` (or :meth:`from_dataset`) in the parent,
@@ -81,42 +47,6 @@ class SharedGraphStore:
 
     #: array keys a full training store carries
     KEYS = ("indptr", "indices", "features", "labels")
-
-    def __init__(
-        self,
-        segments: dict[str, shared_memory.SharedMemory],
-        specs: dict[str, SharedArraySpec],
-        *,
-        owner: bool,
-    ):
-        self._segments = segments
-        self._specs = specs
-        self._owner = owner
-        self._closed = False
-        self._arrays = {k: _view(shm, specs[k]) for k, shm in segments.items()}
-
-    # ------------------------------------------------------------------
-    # construction
-    # ------------------------------------------------------------------
-    @classmethod
-    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedGraphStore":
-        """Copy ``arrays`` into fresh shared segments (creator/owner role)."""
-        segments: dict[str, shared_memory.SharedMemory] = {}
-        specs: dict[str, SharedArraySpec] = {}
-        try:
-            for key, arr in arrays.items():
-                arr = np.ascontiguousarray(arr)
-                shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
-                segments[key] = shm
-                specs[key] = SharedArraySpec(shm.name, arr.shape, arr.dtype.str)
-                dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-                dst[...] = arr
-        except Exception:
-            for shm in segments.values():
-                shm.close()
-                shm.unlink()
-            raise
-        return cls(segments, specs, owner=True)
 
     @classmethod
     def from_dataset(cls, dataset: "GNNDataset") -> "SharedGraphStore":
@@ -130,91 +60,15 @@ class SharedGraphStore:
             }
         )
 
-    @classmethod
-    def attach(cls, spec: dict[str, SharedArraySpec]) -> "SharedGraphStore":
-        """Map the segments described by a creator's :attr:`spec` (worker role)."""
-        segments: dict[str, shared_memory.SharedMemory] = {}
-        try:
-            for key, aspec in spec.items():
-                segments[key] = _attach_segment(aspec.shm_name)
-        except Exception:
-            for shm in segments.values():
-                shm.close()
-            raise
-        return cls(segments, dict(spec), owner=False)
-
-    # ------------------------------------------------------------------
-    # access
-    # ------------------------------------------------------------------
-    @property
-    def spec(self) -> dict[str, SharedArraySpec]:
-        """Picklable descriptor workers pass to :meth:`attach`."""
-        return dict(self._specs)
-
-    def array(self, key: str) -> np.ndarray:
-        if self._closed:
-            raise ValueError("store is closed")
-        return self._arrays[key]
-
     @property
     def graph(self) -> CSRGraph:
         """Zero-copy CSR view (validation skipped — creator validated)."""
         return CSRGraph.from_trusted_parts(self.array("indptr"), self.array("indices"))
 
     @property
-    def features(self) -> np.ndarray:
+    def features(self) -> "np.ndarray":
         return self.array("features")
 
     @property
-    def labels(self) -> np.ndarray:
+    def labels(self) -> "np.ndarray":
         return self.array("labels")
-
-    @property
-    def total_bytes(self) -> int:
-        return sum(s.nbytes for s in self._specs.values())
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    @property
-    def closed(self) -> bool:
-        return self._closed
-
-    def close(self) -> None:
-        """Drop the local mappings (both roles); idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        self._arrays.clear()
-        for shm in self._segments.values():
-            shm.close()
-
-    def unlink(self) -> None:
-        """Free the segments system-wide (owner only); implies :meth:`close`."""
-        if not self._owner:
-            raise RuntimeError("only the creating store may unlink segments")
-        self.close()
-        for shm in self._segments.values():
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already reaped
-                pass
-        self._segments = {}
-
-    def __enter__(self) -> "SharedGraphStore":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        if self._owner:
-            self.unlink()
-        else:
-            self.close()
-
-    def __del__(self):  # pragma: no cover - GC safety net
-        try:
-            if self._owner and not self._closed:
-                self.unlink()
-            else:
-                self.close()
-        except Exception:
-            pass

@@ -20,7 +20,13 @@ Two worker modes:
     sampler cores.  The graph's CSR structure is shared zero-copy through
     :class:`repro.graph.shm.SharedGraphStore` (structure only: features
     and labels stay in the parent, which attaches labels on delivery), so
-    workers never copy the graph and escape the GIL entirely.
+    workers never copy the graph and escape the GIL entirely.  Sampled
+    batches return through a slotted shared-memory
+    :class:`repro.shm.arena.BatchArena` instead of queue pickling: a
+    worker packs the batch's arrays into a free slot and ships only a
+    tiny descriptor, which keeps million-node frontiers off the result
+    pipe entirely (oversized outliers fall back to pickling, and
+    ``arena_slot_bytes=None`` disables the arena outright).
 
 ``sampling_cores`` pins the workers (threads or processes) to the
 sampler core set, reproducing ARGO's core binding.
@@ -29,6 +35,7 @@ sampler core set, reproducing ARGO's core binding.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 import traceback
@@ -39,8 +46,9 @@ import numpy as np
 from repro.graph.shm import SharedGraphStore
 from repro.pipeline.prefetch import OrderedPrefetcher, PrefetchStats
 from repro.platform.corebind import apply_binding
-from repro.sampling.block import MiniBatch
+from repro.sampling.block import Block, MiniBatch
 from repro.sampling.dataloader import NodeDataLoader
+from repro.shm.arena import BatchArena
 from repro.utils.procs import reap_processes
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
@@ -57,6 +65,43 @@ class _RemoteFailure:
         self.message = message
 
 
+class _ArenaBatch:
+    """Descriptor of a MiniBatch parked in a :class:`BatchArena` slot."""
+
+    __slots__ = ("slot", "layouts", "num_dsts")
+
+    def __init__(self, slot: int, layouts, num_dsts: tuple[int, ...]):
+        self.slot = slot
+        self.layouts = layouts
+        self.num_dsts = num_dsts
+
+
+def _batch_arrays(batch: MiniBatch) -> tuple[tuple[int, ...], list[np.ndarray]]:
+    """Split a (label-less) MiniBatch into shippable parts: per-block
+    ``num_dst`` metadata plus a flat array bundle."""
+    arrays: list[np.ndarray] = [batch.seeds]
+    num_dsts = []
+    for blk in batch.blocks:
+        num_dsts.append(blk.num_dst)
+        arrays.extend((blk.src_ids, blk.edge_src, blk.edge_dst))
+    return tuple(num_dsts), arrays
+
+
+def _batch_from_arrays(num_dsts, arrays) -> MiniBatch:
+    """Inverse of :func:`_batch_arrays`."""
+    seeds = arrays[0]
+    blocks = [
+        Block(
+            src_ids=arrays[1 + 3 * i],
+            num_dst=int(n),
+            edge_src=arrays[2 + 3 * i],
+            edge_dst=arrays[3 + 3 * i],
+        )
+        for i, n in enumerate(num_dsts)
+    ]
+    return MiniBatch(seeds=seeds, blocks=blocks)
+
+
 def _sampler_worker(
     task_q,
     result_q,
@@ -65,14 +110,36 @@ def _sampler_worker(
     seed: int,
     rank: int,
     sampling_cores: tuple[int, ...] | None,
+    arena_spec: dict | None,
+    slot_q,
+    parent_pid: int,
 ) -> None:
-    """Sampler-process main loop: ``(epoch, step, seeds)`` → ``(step, batch, secs)``."""
+    """Sampler-process main loop: ``(epoch, step, seeds)`` → ``(step, batch, secs)``.
+
+    With an arena, results park their arrays in a free shared-memory
+    slot and ship an :class:`_ArenaBatch` descriptor; a batch that does
+    not fit a slot — or a momentarily starved free-slot queue — falls
+    back to pickling the batch through the result queue.
+
+    Orphan watchdog: a SIGKILL'd consumer never sends the stop sentinel,
+    so the idle loop polls the parent pid — on re-parenting the worker
+    exits instead of holding the graph/arena segments open forever.
+    ``parent_pid`` is captured at the *fork site*: reading getppid()
+    here would record the reaper's pid if the consumer died during the
+    fork window, masking the orphaning forever.
+    """
     apply_binding(sampling_cores)
     store = SharedGraphStore.attach(store_spec)
+    arena = BatchArena.attach(arena_spec) if arena_spec is not None else None
     try:
         graph = store.graph  # zero-copy CSR over the shared structure
         while True:
-            item = task_q.get()
+            try:
+                item = task_q.get(timeout=1.0)
+            except queue_mod.Empty:
+                if os.getppid() != parent_pid:
+                    return  # orphaned: the consumer died ungracefully
+                continue
             if item is None:
                 return
             epoch, step, seeds = item
@@ -85,8 +152,24 @@ def _sampler_worker(
                     (step, _RemoteFailure(traceback.format_exc()), time.perf_counter() - start)
                 )
                 continue
-            result_q.put((step, batch, time.perf_counter() - start))
+            value: object = batch
+            if arena is not None:
+                slot = None
+                try:
+                    slot = slot_q.get(timeout=0.05)
+                except queue_mod.Empty:
+                    pass  # consumer slow to recycle; pickle this one
+                if slot is not None:
+                    num_dsts, arrays = _batch_arrays(batch)
+                    layouts = arena.write(slot, arrays)
+                    if layouts is None:  # oversized bundle: recycle + pickle
+                        slot_q.put(slot)
+                    else:
+                        value = _ArenaBatch(slot, layouts, num_dsts)
+            result_q.put((step, value, time.perf_counter() - start))
     finally:
+        if arena is not None:
+            arena.close()
         store.close()
 
 
@@ -111,6 +194,12 @@ class PrefetchingLoader:
     start_method, timeout:
         Process-mode knobs: the ``multiprocessing`` start method and the
         per-batch deadline (seconds) before a dead pool is reported.
+    arena_slot_bytes:
+        Process-mode result transport: size of each shared-memory batch
+        slot (one slot per lookahead position).  Batches whose arrays
+        fit a slot return as raw shared-memory copies instead of queue
+        pickles; larger ones fall back to pickling.  ``None`` disables
+        the arena entirely (pure pickle transport).
 
     The process pool and its shared-memory graph segments persist across
     epochs; call :meth:`close` (or use the loader as a context manager)
@@ -129,6 +218,7 @@ class PrefetchingLoader:
         sampling_cores: Iterable[int] | None = None,
         start_method: str | None = None,
         timeout: float = 120.0,
+        arena_slot_bytes: int | None = 1 << 22,
     ):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
@@ -152,6 +242,21 @@ class PrefetchingLoader:
         self._procs: list = []
         self._task_q = None
         self._result_q = None
+        self._slot_q = None
+        self._arena: BatchArena | None = None
+        if arena_slot_bytes is not None:
+            arena_slot_bytes = check_positive_int(arena_slot_bytes, "arena_slot_bytes")
+            if arena_slot_bytes < 16:
+                # BatchArena's minimum slot; fail here like every other
+                # knob instead of mid-first-epoch inside _ensure_pool
+                raise ValueError(
+                    f"arena_slot_bytes must be >= 16 (or None to disable "
+                    f"the arena), got {arena_slot_bytes}"
+                )
+        self.arena_slot_bytes = arena_slot_bytes
+        #: process-mode transport counters (arena hits vs pickle fallbacks)
+        self.arena_batches = 0
+        self.pickled_batches = 0
         self._closed = False
         #: lifetime queue-dynamics record, folded over every epoch
         self.stats = PrefetchStats(
@@ -208,6 +313,18 @@ class PrefetchingLoader:
         )
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
+        arena_spec = None
+        if self.arena_slot_bytes is not None:
+            # one slot per lookahead position: in-flight results are
+            # bounded by the submit window, so the free-slot queue can
+            # never starve a worker for long
+            self._arena = BatchArena.create(
+                num_slots=self.queue_depth, slot_bytes=self.arena_slot_bytes
+            )
+            self._slot_q = self._ctx.Queue()
+            for slot in range(self._arena.num_slots):
+                self._slot_q.put(slot)
+            arena_spec = self._arena.spec
         self._procs = [
             self._ctx.Process(
                 target=_sampler_worker,
@@ -219,6 +336,9 @@ class PrefetchingLoader:
                     loader.seed,
                     loader.rank,
                     self.sampling_cores,
+                    arena_spec,
+                    self._slot_q,
+                    os.getpid(),
                 ),
                 daemon=True,
             )
@@ -268,6 +388,13 @@ class PrefetchingLoader:
                 delivered += 1
                 if isinstance(value, _RemoteFailure):
                     raise RuntimeError(f"sampler worker failed:\n{value.message}")
+                if isinstance(value, _ArenaBatch):
+                    arrays = self._arena.read(value.slot, value.layouts)
+                    self._slot_q.put(value.slot)  # recycle before compute
+                    value = _batch_from_arrays(value.num_dsts, arrays)
+                    self.arena_batches += 1
+                else:
+                    self.pickled_batches += 1
                 value.labels = loader.labels[value.seeds]
                 yield value
         except BaseException:
@@ -303,11 +430,14 @@ class PrefetchingLoader:
             p.join(5.0)  # graceful: workers exit on the sentinel
         reap_processes(self._procs)
         self._procs = []
-        for q in (self._task_q, self._result_q):
+        for q in (self._task_q, self._result_q, self._slot_q):
             if q is not None:
                 q.cancel_join_thread()
                 q.close()
-        self._task_q = self._result_q = None
+        self._task_q = self._result_q = self._slot_q = None
+        if self._arena is not None:
+            self._arena.unlink()
+        self._arena = None
         if self._store is not None and not self._store.closed:
             self._store.unlink()
         self._store = None

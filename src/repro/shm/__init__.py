@@ -1,0 +1,25 @@
+"""Shared-memory arena layer: the data plane of the persistent runtime.
+
+Generic pieces live in :mod:`repro.shm.arena`; the graph-specific store
+(:class:`repro.graph.shm.SharedGraphStore`) is a thin specialisation.
+"""
+
+from repro.shm.arena import (
+    BatchArena,
+    ParamStore,
+    SharedArraySpec,
+    ShmArena,
+    attach_segment,
+    flatten_arrays,
+    unflatten_arrays,
+)
+
+__all__ = [
+    "BatchArena",
+    "ParamStore",
+    "SharedArraySpec",
+    "ShmArena",
+    "attach_segment",
+    "flatten_arrays",
+    "unflatten_arrays",
+]

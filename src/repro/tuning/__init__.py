@@ -13,7 +13,12 @@ from repro.tuning.space import BackendSpace, ConfigSpace
 from repro.tuning.search import Searcher, SearchResult, ExhaustiveSearch, RandomSearch
 from repro.tuning.anneal import SimulatedAnnealing
 from repro.tuning.pruning import PruningSearch
-from repro.tuning.defaults import default_config
+from repro.tuning.defaults import (
+    DEFAULT_QUEUE_DEPTH,
+    QUEUE_DEPTH_CHOICES,
+    default_backend_space,
+    default_config,
+)
 
 __all__ = [
     "BackendSpace",
@@ -25,4 +30,7 @@ __all__ = [
     "SimulatedAnnealing",
     "PruningSearch",
     "default_config",
+    "default_backend_space",
+    "DEFAULT_QUEUE_DEPTH",
+    "QUEUE_DEPTH_CHOICES",
 ]

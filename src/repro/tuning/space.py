@@ -34,7 +34,8 @@ from repro.utils.validation import check_positive_int
 __all__ = ["ConfigSpace", "BackendSpace"]
 
 Config = tuple[int, int, int]
-#: a config extended with an execution-backend name (BackendSpace points)
+#: a config extended with an execution-backend name (BackendSpace points);
+#: with a searched queue depth the points grow to (n, s, t, backend, q)
 BackendConfig = tuple[int, int, int, str]
 
 
@@ -198,14 +199,25 @@ class BackendSpace:
     Points are ``(n, s, t, backend)`` — the original design space plus a
     categorical axis over :mod:`repro.exec` backend names, so the online
     autotuner can discover e.g. that ``process`` beats ``thread`` once
-    the rank count saturates the GIL.  The class is duck-compatible with
-    :class:`ConfigSpace` everywhere the tuners need it (``configs``,
-    ``features``, ``index``, ``neighbors``, ``paper_budget``,
-    ``random_config``); :meth:`repro.core.config.RuntimeConfig.from_tuple`
-    accepts its 4-tuples directly.
+    the rank count saturates the GIL.  Passing ``queue_depths`` adds the
+    overlap pipeline's lookahead bound as a further axis: points become
+    ``(n, s, t, backend, queue_depth)`` and
+    :meth:`repro.core.config.RuntimeConfig.from_tuple` maps them to
+    prefetch-enabled configs, making ``queue_depth`` a searched runtime
+    knob rather than a hand-set constant.  The class is duck-compatible
+    with :class:`ConfigSpace` everywhere the tuners need it
+    (``configs``, ``features``, ``index``, ``neighbors``,
+    ``paper_budget``, ``random_config``); ``RuntimeConfig.from_tuple``
+    accepts its 4- and 5-tuples directly.
     """
 
-    def __init__(self, base: ConfigSpace, backends=("inline", "thread", "process")):
+    def __init__(
+        self,
+        base: ConfigSpace,
+        backends=("inline", "thread", "process"),
+        *,
+        queue_depths=None,
+    ):
         from repro.exec import available_backends  # lazy: avoid import cycle
 
         # normalize like get_backend; dedupe, keep order
@@ -218,12 +230,25 @@ class BackendSpace:
                 f"unknown backends {sorted(unknown)}; registered: "
                 f"{sorted(available_backends())}"
             )
+        if queue_depths is not None:
+            queue_depths = tuple(sorted({check_positive_int(q, "queue_depth") for q in queue_depths}))
+            if not queue_depths:
+                raise ValueError("queue_depths must be non-empty when given")
         self.base = base
         self.backends = backends
+        self.queue_depths: tuple[int, ...] | None = queue_depths
         self.total_cores = base.total_cores
-        self.configs: list[BackendConfig] = [
-            (n, s, t, b) for b in backends for (n, s, t) in base.configs
-        ]
+        if queue_depths is None:
+            self.configs: list[BackendConfig] = [
+                (n, s, t, b) for b in backends for (n, s, t) in base.configs
+            ]
+        else:
+            self.configs = [
+                (n, s, t, b, q)
+                for q in queue_depths
+                for b in backends
+                for (n, s, t) in base.configs
+            ]
         self._index = {cfg: i for i, cfg in enumerate(self.configs)}
 
     # ------------------------------------------------------------------
@@ -243,28 +268,53 @@ class BackendSpace:
         return _paper_budget(len(self), fraction)
 
     def features(self) -> np.ndarray:
-        """Base features plus one normalised categorical backend column."""
+        """Base features plus one normalised categorical backend column
+        (and, with searched depths, a log-scaled queue-depth column)."""
         base_feats = self.base.features()
         k = len(self.backends)
-        rows = np.zeros((len(self.configs), base_feats.shape[1] + 1), dtype=np.float64)
+        extra = 1 if self.queue_depths is None else 2
+        rows = np.zeros(
+            (len(self.configs), base_feats.shape[1] + extra), dtype=np.float64
+        )
         n_base = len(self.base.configs)
-        for bi in range(k):
-            lo, hi = bi * n_base, (bi + 1) * n_base
-            rows[lo:hi, :-1] = base_feats
-            rows[lo:hi, -1] = bi / max(1, k - 1)
+        block = k * n_base  # rows per queue-depth value
+        depths = (None,) if self.queue_depths is None else self.queue_depths
+        log_max_q = np.log2(max(depths[-1], 2)) if self.queue_depths else 1.0
+        for qi, q in enumerate(depths):
+            for bi in range(k):
+                lo = qi * block + bi * n_base
+                hi = lo + n_base
+                rows[lo:hi, : base_feats.shape[1]] = base_feats
+                rows[lo:hi, base_feats.shape[1]] = bi / max(1, k - 1)
+                if q is not None:
+                    rows[lo:hi, -1] = np.log2(q) / log_max_q
         return rows
 
     def neighbors(self, cfg: BackendConfig) -> list[BackendConfig]:
-        """Base-space moves at the same backend, plus backend flips."""
-        n, s, t, b = cfg
+        """Base-space moves at the same backend, plus backend flips (and,
+        with searched depths, one-step queue-depth moves)."""
         if cfg not in self:
             raise KeyError(f"{cfg} not in space")
-        out = [(n2, s2, t2, b) for (n2, s2, t2) in self.base.neighbors((n, s, t))]
+        if self.queue_depths is None:
+            n, s, t, b = cfg
+            tail: tuple = ()
+        else:
+            n, s, t, b, q = cfg
+            tail = (q,)
+        out = [
+            (n2, s2, t2, b, *tail) for (n2, s2, t2) in self.base.neighbors((n, s, t))
+        ]
         bi = self.backends.index(b)
         for db in (-1, 1):
             j = bi + db
             if 0 <= j < len(self.backends):
-                out.append((n, s, t, self.backends[j]))
+                out.append((n, s, t, self.backends[j], *tail))
+        if self.queue_depths is not None:
+            qi = self.queue_depths.index(q)
+            for dq in (-1, 1):
+                j = qi + dq
+                if 0 <= j < len(self.queue_depths):
+                    out.append((n, s, t, b, self.queue_depths[j]))
         return out
 
     def random_config(self, rng: np.random.Generator) -> BackendConfig:

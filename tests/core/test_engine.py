@@ -11,6 +11,16 @@ from repro.gnn.models import make_task
 ALL_BACKENDS = ("inline", "thread", "process")
 
 
+class ExplodingSampler:
+    """Module-level (hence picklable — the persistent runtime ships the
+    sampler over the command queue) sampler that always fails."""
+
+    num_layers = 2
+
+    def sample(self, graph, seeds, *, rng=None):
+        raise RuntimeError("boom")
+
+
 def build_engine(ds, n=2, backend="inline", batch=64, seed=0, task="neighbor-sage", **kw):
     sampler, model = make_task(task, ds.layer_dims(2), seed=seed, fanouts=[5, 5] if task == "neighbor-sage" else None)
     return MultiProcessEngine(
@@ -169,32 +179,36 @@ class TestProcessBackend:
         eng.shutdown()
         assert len(eng.history.epochs) == 2
 
-    def test_worker_failure_propagates(self, tiny_dataset):
-        from repro.sampling.base import Sampler
-
-        class Exploding(Sampler):
-            num_layers = 2
-
-            def sample(self, graph, seeds, *, rng=None):
-                raise RuntimeError("boom")
-
+    @pytest.mark.parametrize("persistent", [True, False])
+    def test_worker_failure_propagates(self, tiny_dataset, persistent):
         _, model = make_task("neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5])
         eng = MultiProcessEngine(
-            tiny_dataset, Exploding(), model, num_processes=2, global_batch_size=64,
-            backend="process", backend_options={"timeout": 30.0},
+            tiny_dataset, ExplodingSampler(), model, num_processes=2, global_batch_size=64,
+            backend="process", backend_options={"timeout": 30.0}, persistent=persistent,
         )
         with pytest.raises(RuntimeError, match="boom"):
             eng.train_epoch()
         eng.shutdown()
 
 
-class TestBackendParity:
-    """Same seed => same trajectory on every backend (acceptance criterion)."""
+#: every execution mode the engine offers: backend x persistent (the
+#: persistent flag only changes the process backend's worker lifecycle)
+ALL_MODES = [
+    ("thread", True),
+    ("process", True),
+    ("process", False),
+]
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
-    def test_loss_trajectory_matches_inline(self, tiny_dataset, backend):
+
+class TestBackendParity:
+    """Same seed => same trajectory on every backend and worker
+    lifecycle (acceptance criterion: inline/thread/process x
+    persistent on/off)."""
+
+    @pytest.mark.parametrize("backend,persistent", ALL_MODES)
+    def test_loss_trajectory_matches_inline(self, tiny_dataset, backend, persistent):
         a = build_engine(tiny_dataset, n=2, backend="inline", seed=3)
-        b = build_engine(tiny_dataset, n=2, backend=backend, seed=3)
+        b = build_engine(tiny_dataset, n=2, backend=backend, seed=3, persistent=persistent)
         try:
             la = a.train(3).losses
             lb = b.train(3).losses
@@ -203,10 +217,10 @@ class TestBackendParity:
         # acceptance: per-epoch loss within 1e-6 of the inline reference
         np.testing.assert_allclose(lb, la, atol=1e-6, rtol=0)
 
-    @pytest.mark.parametrize("backend", ["thread", "process"])
-    def test_final_weights_match_inline(self, tiny_dataset, backend):
+    @pytest.mark.parametrize("backend,persistent", ALL_MODES)
+    def test_final_weights_match_inline(self, tiny_dataset, backend, persistent):
         a = build_engine(tiny_dataset, n=2, backend="inline", seed=3)
-        b = build_engine(tiny_dataset, n=2, backend=backend, seed=3)
+        b = build_engine(tiny_dataset, n=2, backend=backend, seed=3, persistent=persistent)
         try:
             a.train(2)
             b.train(2)
@@ -214,6 +228,21 @@ class TestBackendParity:
             b.shutdown()
         for k, v in a.model.state_dict().items():
             np.testing.assert_allclose(b.model.state_dict()[k], v, rtol=1e-5, atol=1e-6)
+
+    def test_persistent_pool_matches_respawn_bitwise(self, tiny_dataset):
+        """The two process-backend lifecycles are the *same algorithm*:
+        loss streams agree exactly, not merely to tolerance."""
+        a = build_engine(tiny_dataset, n=2, backend="process", seed=3, persistent=False)
+        b = build_engine(tiny_dataset, n=2, backend="process", seed=3, persistent=True)
+        try:
+            la = a.train(3).losses
+            lb = b.train(3).losses
+        finally:
+            a.shutdown()
+            b.shutdown()
+        assert la == lb
+        for k, v in a.model.state_dict().items():
+            np.testing.assert_array_equal(b.model.state_dict()[k], v)
 
     def test_inline_reruns_are_bit_identical(self, tiny_dataset):
         a = build_engine(tiny_dataset, n=2, seed=9)

@@ -1,0 +1,247 @@
+"""Persistent worker pool: reuse across epochs and engines, launch tax."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.core.engine import MultiProcessEngine
+from repro.core.train_loop import make_train_fn
+from repro.exec import get_backend
+from repro.gnn.models import make_task
+
+has_dev_shm = os.path.isdir("/dev/shm")
+needs_dev_shm = pytest.mark.skipif(not has_dev_shm, reason="no /dev/shm to inspect")
+
+
+def shm_segments() -> frozenset:
+    return frozenset(n for n in os.listdir("/dev/shm") if n.startswith("psm_"))
+
+
+def build_engine(ds, n=2, seed=0, persistent=True, backend="process", **kw):
+    sampler, model = make_task("neighbor-sage", ds.layer_dims(2), seed=seed, fanouts=[5, 5])
+    return MultiProcessEngine(
+        ds,
+        sampler,
+        model,
+        num_processes=n,
+        global_batch_size=64,
+        backend=backend,
+        backend_options={"timeout": 30.0} if backend == "process" else None,
+        seed=seed,
+        persistent=persistent,
+        **kw,
+    )
+
+
+class TestPoolPersistence:
+    def test_worker_pids_stable_across_epochs(self, tiny_dataset):
+        with build_engine(tiny_dataset) as eng:
+            eng.train_epoch()
+            pool = eng._backend.pool
+            pids = pool.worker_pids()
+            assert len(pids) == 2
+            eng.train_epoch()
+            eng.train_epoch()
+            assert pool.worker_pids() == pids
+            assert pool.launches == 1
+
+    def test_launch_time_collapses_after_first_epoch(self, tiny_dataset):
+        with build_engine(tiny_dataset) as eng:
+            eng.train(3)
+        launches = [e.launch_time for e in eng.history.epochs]
+        assert launches[0] > 0
+        # once the pool is warm an epoch's launch cost is one weight
+        # memcpy — far below the initial fork
+        assert max(launches[1:]) < launches[0]
+
+    def test_respawn_pays_launch_every_epoch(self, tiny_dataset):
+        with build_engine(tiny_dataset, persistent=False) as eng:
+            eng.train(3)
+        assert all(e.launch_time > 0 for e in eng.history.epochs)
+
+    def test_shutdown_stops_pool_and_engine_recovers(self, tiny_dataset):
+        eng = build_engine(tiny_dataset)
+        eng.train_epoch()
+        first_pids = eng._backend.pool.worker_pids()
+        eng.shutdown()
+        assert eng._backend.pool is None
+        eng.train_epoch()  # relaunches lazily
+        assert eng._backend.pool.worker_pids() != first_pids
+        eng.shutdown()
+
+    @needs_dev_shm
+    def test_shutdown_unlinks_pool_segments(self, tiny_dataset):
+        before = shm_segments()
+        eng = build_engine(tiny_dataset)
+        eng.train_epoch()
+        assert shm_segments() != before  # store + world + param store live
+        eng.shutdown()
+        assert shm_segments() == before
+
+
+class TestPoolAcrossEngines:
+    """A shared backend instance keeps its pool across engine rebuilds —
+    the tuner's re-launch pattern."""
+
+    def test_same_n_reuses_workers(self, tiny_dataset):
+        """The tuner pattern: engines rebuilt around one shared model."""
+        backend = get_backend("process", timeout=30.0)
+        sampler, model = make_task(
+            "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+
+        def engine():
+            return MultiProcessEngine(
+                tiny_dataset, sampler, model, num_processes=2,
+                global_batch_size=64, backend=backend, seed=0,
+            )
+
+        try:
+            engine().train_epoch()
+            pids = backend.pool.worker_pids()
+            engine().train_epoch()
+            assert backend.pool.worker_pids() == pids
+            assert backend.pool.launches == 1
+        finally:
+            backend.shutdown()
+
+    def test_different_model_rebinds_pool(self, tiny_dataset):
+        """Identical parameter topology but a different model object must
+        not reuse the old pool's pickled templates (non-parameter config
+        such as dropout rate would silently leak across engines)."""
+        backend = get_backend("process", timeout=30.0)
+        try:
+            e1 = build_engine(tiny_dataset, backend=backend)
+            e1.train_epoch()
+            pids = backend.pool.worker_pids()
+            e2 = build_engine(tiny_dataset, backend=backend)  # fresh model
+            e2.train_epoch()
+            assert backend.pool.launches == 2
+            assert backend.pool.worker_pids() != pids
+        finally:
+            backend.shutdown()
+
+    def test_n_change_rebinds_pool(self, tiny_dataset):
+        backend = get_backend("process", timeout=30.0)
+        try:
+            e1 = build_engine(tiny_dataset, n=2, backend=backend)
+            e1.train_epoch()
+            pids2 = backend.pool.worker_pids()
+            e2 = build_engine(tiny_dataset, n=3, backend=backend)
+            e2.train_epoch()
+            pids3 = backend.pool.worker_pids()
+            assert len(pids3) == 3
+            assert set(pids3).isdisjoint(pids2)
+            assert backend.pool.launches == 2
+        finally:
+            backend.shutdown()
+
+    def test_engine_shutdown_leaves_shared_backend_running(self, tiny_dataset):
+        backend = get_backend("process", timeout=30.0)
+        try:
+            eng = build_engine(tiny_dataset, backend=backend)
+            eng.train_epoch()
+            eng.shutdown()  # engine does not own the backend
+            assert backend.pool is not None and backend.pool.alive
+        finally:
+            backend.shutdown()
+
+    def test_backend_options_invalid_with_instance(self, tiny_dataset):
+        backend = get_backend("process", timeout=30.0)
+        try:
+            sampler, model = make_task(
+                "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+            )
+            with pytest.raises(ValueError, match="backend_options"):
+                MultiProcessEngine(
+                    tiny_dataset, sampler, model, num_processes=2,
+                    global_batch_size=64, backend=backend,
+                    backend_options={"timeout": 5.0},
+                )
+        finally:
+            backend.shutdown()
+
+
+class TestTrainFnPersistence:
+    def test_tuner_relaunches_share_pool(self, tiny_dataset):
+        sampler, model = make_task(
+            "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=64, seed=0)
+        try:
+            cfg = RuntimeConfig(num_processes=2, sampling_cores=1, training_cores=1,
+                                backend="process")
+            train(config=cfg, epochs=1)
+            pool = train.backends["process"].pool
+            pids = pool.worker_pids()
+            # a tuner re-launch with the same n must reuse the forked
+            # workers: no second fork, identical pids
+            train(config=cfg, epochs=1)
+            assert train.backends["process"].pool is pool
+            assert pool.worker_pids() == pids
+            assert pool.launches == 1
+        finally:
+            train.close()
+
+    @needs_dev_shm
+    def test_close_releases_everything(self, tiny_dataset):
+        before = shm_segments()
+        sampler, model = make_task(
+            "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=64, seed=0)
+        cfg = RuntimeConfig(num_processes=2, sampling_cores=1, training_cores=1,
+                            backend="process")
+        train(config=cfg, epochs=2)
+        assert shm_segments() != before
+        train.close()
+        assert shm_segments() == before
+
+    def test_losses_progress_across_relaunches(self, tiny_dataset):
+        """The persistent pool must not reset learning between calls."""
+        sampler, model = make_task(
+            "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+        train = make_train_fn(tiny_dataset, sampler, model, global_batch_size=128, seed=0)
+        try:
+            cfg = RuntimeConfig(num_processes=2, sampling_cores=1, training_cores=1,
+                                backend="process")
+            w_before = {k: v.copy() for k, v in model.state_dict().items()}
+            train(config=cfg, epochs=2)
+            w_mid = {k: v.copy() for k, v in model.state_dict().items()}
+            train(config=cfg, epochs=2)
+            w_after = model.state_dict()
+            assert any(not np.array_equal(w_before[k], w_mid[k]) for k in w_before)
+            assert any(not np.array_equal(w_mid[k], w_after[k]) for k in w_mid)
+        finally:
+            train.close()
+
+    def test_warm_pool_matches_cold_pool_numerics(self, tiny_dataset):
+        """Pool reuse across tuner re-launches must not change numerics:
+        two calls over one warm pool give bit-identical weights to two
+        calls that each fork a cold pool."""
+
+        def run(close_between: bool):
+            sampler, model = make_task(
+                "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+            )
+            train = make_train_fn(
+                tiny_dataset, sampler, model, global_batch_size=64, seed=0
+            )
+            try:
+                cfg = RuntimeConfig(num_processes=2, sampling_cores=1,
+                                    training_cores=1, backend="process")
+                train(config=cfg, epochs=1)
+                if close_between:
+                    train.close()  # next call forks a fresh pool
+                train(config=cfg, epochs=1)
+                return {k: v.copy() for k, v in model.state_dict().items()}
+            finally:
+                train.close()
+
+        warm = run(close_between=False)
+        cold = run(close_between=True)
+        for k in warm:
+            np.testing.assert_array_equal(warm[k], cold[k])

@@ -1,14 +1,17 @@
 """Process backend under worker failure: no leaks, no zombies.
 
-Crash-injection tests for the shutdown contract: when a rank process
-raises mid-epoch, the backend must (1) surface the root error, (2) reap
-every child, and (3) unlink *all* shared-memory segments — the
-cross-epoch graph store included — so no exception path leaks kernel
-resources.
+Crash-injection tests for the shutdown contract, in both execution modes
+(persistent worker pool and per-epoch respawn): when a rank process
+raises — or is killed outright — mid-epoch, the backend must (1) surface
+a clear root error, (2) reap every child, pool included, and (3) unlink
+*all* shared-memory segments (graph store, collective world, param
+store) so no exception path leaks kernel resources.
 """
 
 import multiprocessing as mp
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -19,6 +22,8 @@ from repro.sampling.neighbor import NeighborSampler
 
 has_dev_shm = os.path.isdir("/dev/shm")
 needs_dev_shm = pytest.mark.skipif(not has_dev_shm, reason="no /dev/shm to inspect")
+
+BOTH_MODES = pytest.mark.parametrize("persistent", [True, False], ids=["pool", "respawn"])
 
 
 def shm_segments() -> frozenset:
@@ -42,11 +47,26 @@ class ExplodingSampler(NeighborSampler):
         return super().sample(graph, seeds, rng=rng)
 
 
-def crashing_engine(ds, **kw):
+class SlowSampler(NeighborSampler):
+    """Picklable sampler that naps per call — stretches the epoch so the
+    parent can kill a worker mid-flight."""
+
+    def __init__(self, fanouts, *, nap: float = 0.2):
+        super().__init__(fanouts)
+        self.nap = nap
+
+    def sample(self, graph, seeds, *, rng=None):
+        time.sleep(self.nap)
+        return super().sample(graph, seeds, rng=rng)
+
+
+def crashing_engine(ds, *, persistent=True, sampler=None, **kw):
     _, model = make_task("neighbor-sage", ds.layer_dims(2), seed=7, fanouts=[5, 5])
+    if sampler is None:
+        sampler = ExplodingSampler([5, 5], fail_at=kw.pop("fail_at", 1))
     return MultiProcessEngine(
         ds,
-        ExplodingSampler([5, 5], fail_at=kw.pop("fail_at", 1)),
+        sampler,
         model,
         num_processes=2,
         # small global batch -> several steps per epoch, so fail_at=1
@@ -55,40 +75,47 @@ def crashing_engine(ds, **kw):
         backend="process",
         backend_options={"timeout": 30.0},
         seed=0,
+        persistent=persistent,
         **kw,
     )
 
 
 class TestCrashInjection:
-    def test_worker_error_is_surfaced(self, tiny_dataset):
-        engine = crashing_engine(tiny_dataset)
+    @BOTH_MODES
+    def test_worker_error_is_surfaced(self, tiny_dataset, persistent):
+        engine = crashing_engine(tiny_dataset, persistent=persistent)
         with pytest.raises(RuntimeError, match="injected mid-epoch crash"):
             engine.train_epoch()
 
     @needs_dev_shm
-    def test_no_segment_leak_on_worker_crash(self, tiny_dataset):
+    @BOTH_MODES
+    def test_no_segment_leak_on_worker_crash(self, tiny_dataset, persistent):
         before = shm_segments()
-        engine = crashing_engine(tiny_dataset)
+        engine = crashing_engine(tiny_dataset, persistent=persistent)
         with pytest.raises(RuntimeError):
             engine.train_epoch()
         # the failed epoch must have reaped children and unlinked every
-        # segment — graph store *and* collective world — without waiting
-        # for engine.shutdown()
+        # segment — graph store, collective world *and* the persistent
+        # pool's param store — without waiting for engine.shutdown()
         assert shm_segments() == before
         assert engine._backend._store is None
+        assert engine._backend.pool is None
 
     @needs_dev_shm
-    def test_no_segment_leak_with_prefetch(self, tiny_dataset):
+    @BOTH_MODES
+    def test_no_segment_leak_with_prefetch(self, tiny_dataset, persistent):
         before = shm_segments()
         engine = crashing_engine(
-            tiny_dataset, prefetch=True, sampler_workers=2, queue_depth=2
+            tiny_dataset, persistent=persistent, prefetch=True,
+            sampler_workers=2, queue_depth=2,
         )
         with pytest.raises(RuntimeError):
             engine.train_epoch()
         assert shm_segments() == before
 
-    def test_children_reaped_after_crash(self, tiny_dataset):
-        engine = crashing_engine(tiny_dataset)
+    @BOTH_MODES
+    def test_children_reaped_after_crash(self, tiny_dataset, persistent):
+        engine = crashing_engine(tiny_dataset, persistent=persistent)
         with pytest.raises(RuntimeError):
             engine.train_epoch()
         # join any transient mp helpers, then assert no rank worker lives
@@ -96,19 +123,81 @@ class TestCrashInjection:
             p.join(5.0)
         assert not [p for p in mp.active_children() if p.is_alive()]
 
-    def test_shutdown_idempotent_after_crash(self, tiny_dataset):
-        engine = crashing_engine(tiny_dataset)
+    @BOTH_MODES
+    def test_shutdown_idempotent_after_crash(self, tiny_dataset, persistent):
+        engine = crashing_engine(tiny_dataset, persistent=persistent)
         with pytest.raises(RuntimeError):
             engine.train_epoch()
         engine.shutdown()
         engine.shutdown()
 
-    def test_engine_recovers_with_fresh_sampler(self, tiny_dataset):
-        """After a failed epoch the engine still trains (store re-created)."""
-        engine = crashing_engine(tiny_dataset)
+    @BOTH_MODES
+    def test_engine_recovers_with_fresh_sampler(self, tiny_dataset, persistent):
+        """After a failed epoch the engine still trains (store and pool
+        re-created on demand)."""
+        engine = crashing_engine(tiny_dataset, persistent=persistent)
         with pytest.raises(RuntimeError):
             engine.train_epoch()
         engine.sampler = NeighborSampler([5, 5])
         stats = engine.train_epoch()
         assert np.isfinite(stats.mean_loss)
         engine.shutdown()
+
+
+class TestKilledWorker:
+    """A rank worker killed outright (SIGKILL) mid-epoch: the pool is
+    reaped, all segments unlinked, and the error names the dead child."""
+
+    def _kill_one_mid_epoch(self, engine):
+        """Run one epoch in a thread; SIGKILL a pool worker once it's up."""
+        errors: list[BaseException] = []
+
+        def run():
+            try:
+                engine.train_epoch()
+            except BaseException as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=run)
+        t.start()
+        deadline = time.monotonic() + 10.0
+        victim = None
+        while time.monotonic() < deadline and victim is None:
+            pool = engine._backend.pool
+            if pool is not None and pool.procs:
+                victim = pool.procs[0]
+            else:
+                time.sleep(0.01)
+        assert victim is not None, "pool never launched"
+        # wait until the epoch is actually in flight, then kill
+        time.sleep(0.3)
+        victim.kill()
+        t.join(60.0)
+        assert not t.is_alive(), "epoch did not fail after worker kill"
+        return errors
+
+    def test_killed_worker_raises_clear_error(self, tiny_dataset):
+        engine = crashing_engine(
+            tiny_dataset, sampler=SlowSampler([5, 5], nap=0.25)
+        )
+        errors = self._kill_one_mid_epoch(engine)
+        assert errors, "killed worker produced no error"
+        assert "died" in str(errors[0]) or "collective broken" in str(errors[0])
+        engine.shutdown()
+
+    @needs_dev_shm
+    def test_killed_worker_leaks_nothing(self, tiny_dataset):
+        before = shm_segments()
+        engine = crashing_engine(
+            tiny_dataset, sampler=SlowSampler([5, 5], nap=0.25)
+        )
+        errors = self._kill_one_mid_epoch(engine)
+        assert errors
+        assert shm_segments() == before
+        assert engine._backend.pool is None
+        # and the engine recovers on the next epoch
+        engine.sampler = NeighborSampler([5, 5])
+        stats = engine.train_epoch()
+        assert np.isfinite(stats.mean_loss)
+        engine.shutdown()
+        assert shm_segments() == before

@@ -66,6 +66,51 @@ class TestLifecycle:
         with pytest.raises(ValueError, match="closed"):
             store.features
 
+    def test_unlink_is_idempotent(self, tiny_dataset):
+        store = SharedGraphStore.from_dataset(tiny_dataset)
+        names = _segment_names(store)
+        store.unlink()
+        store.unlink()  # double-call is a no-op, not an error
+        if has_dev_shm:
+            assert not any(_segment_exists(n) for n in names)
+
+    def test_unlink_after_close_still_frees(self, tiny_dataset):
+        store = SharedGraphStore.from_dataset(tiny_dataset)
+        names = _segment_names(store)
+        store.close()
+        store.unlink()
+        if has_dev_shm:
+            assert not any(_segment_exists(n) for n in names)
+
+    def test_gc_after_unlink_is_safe(self, tiny_dataset):
+        store = SharedGraphStore.from_dataset(tiny_dataset)
+        store.unlink()
+        store.__del__()  # GC safety net must tolerate a dead store
+        del store
+
+
+@needs_dev_shm
+class TestNoLeakAfterEngineShutdown:
+    """No /dev/shm segment may survive engine shutdown, in any mode."""
+
+    @pytest.mark.parametrize("persistent", [True, False], ids=["pool", "respawn"])
+    @pytest.mark.parametrize("prefetch", [False, True], ids=["sync", "prefetch"])
+    def test_engine_shutdown_leaves_no_segments(self, tiny_dataset, persistent, prefetch):
+        from repro.core.engine import MultiProcessEngine
+        from repro.gnn.models import make_task
+
+        before = frozenset(os.listdir("/dev/shm"))
+        sampler, model = make_task(
+            "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+        with MultiProcessEngine(
+            tiny_dataset, sampler, model, num_processes=2, global_batch_size=64,
+            backend="process", seed=0, persistent=persistent,
+            prefetch=prefetch, sampler_workers=2,
+        ) as eng:
+            eng.train(2)
+        assert frozenset(os.listdir("/dev/shm")) == before
+
 
 class TestContent:
     def test_roundtrip_equality(self, tiny_dataset):

@@ -61,3 +61,35 @@ class TestTrainPrefetch:
         out = capsys.readouterr().out
         assert "prefetch(s=2, q=4)" in out
         assert "sample wait s" in out
+
+
+class TestTrainPersistent:
+    def test_persistent_smoke_reports_launch_column(self, capsys):
+        assert main(
+            ["train", "--backend", "process", "--processes", "2", "--epochs", "2",
+             "--scale", "9", "--batch", "64", "--persistent"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "persistent" in out
+        assert "launch s" in out
+
+    def test_no_persistent_selects_respawn(self, capsys):
+        assert main(
+            ["train", "--backend", "process", "--processes", "2", "--epochs", "1",
+             "--scale", "9", "--batch", "64", "--no-persistent"]
+        ) == 0
+        assert "respawn" in capsys.readouterr().out
+
+    def test_persistent_rejected_off_process_backend(self):
+        with pytest.raises(SystemExit, match="process backend only"):
+            main(
+                ["train", "--backend", "inline", "--processes", "1", "--epochs", "1",
+                 "--scale", "9", "--batch", "64", "--persistent"]
+            )
+
+    def test_no_persistent_rejected_off_process_backend(self):
+        with pytest.raises(SystemExit, match="process backend only"):
+            main(
+                ["train", "--backend", "thread", "--processes", "1", "--epochs", "1",
+                 "--scale", "9", "--batch", "64", "--no-persistent"]
+            )

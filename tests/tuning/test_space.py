@@ -187,3 +187,92 @@ class TestBackendSpace:
         rng = np.random.default_rng(0)
         for _ in range(10):
             assert space.random_config(rng) in space
+
+
+class TestQueueDepthAxis:
+    """BackendSpace with a searched queue_depth: 5-tuple points."""
+
+    DEPTHS = (1, 2, 4)
+
+    def _space(self):
+        from repro.tuning.space import BackendSpace
+
+        return BackendSpace(
+            ConfigSpace(16), backends=("inline", "process"), queue_depths=self.DEPTHS
+        )
+
+    def test_cross_product_size(self):
+        base = ConfigSpace(16)
+        assert len(self._space()) == 2 * len(self.DEPTHS) * len(base)
+
+    def test_configs_are_five_tuples(self):
+        space = self._space()
+        for cfg in space.configs[:: max(1, len(space) // 10)]:
+            n, s, t, b, q = cfg
+            assert (n, s, t) in space.base
+            assert b in space.backends
+            assert q in self.DEPTHS
+
+    def test_runtime_config_roundtrip(self):
+        from repro.core.config import RuntimeConfig
+
+        space = self._space()
+        cfg = RuntimeConfig.from_tuple(space.configs[-1])
+        # a searched depth implies the overlap pipeline
+        assert cfg.prefetch is True
+        assert cfg.queue_depth == self.DEPTHS[-1]
+        assert cfg.backend == "process"
+
+    def test_features_add_depth_column(self):
+        space = self._space()
+        feats = space.features()
+        base_cols = space.base.features().shape[1]
+        assert feats.shape == (len(space), base_cols + 2)
+        # log-scaled depth column: 1 -> 0, max -> 1
+        assert set(np.round(np.unique(feats[:, -1]), 6)) == {0.0, 0.5, 1.0}
+
+    def test_neighbors_move_one_depth_step(self):
+        space = self._space()
+        cfg = space.base.configs[0] + ("inline", 2)
+        moves = space.neighbors(cfg)
+        depth_moves = {m[4] for m in moves if m[:4] == cfg[:4]}
+        assert depth_moves == {1, 4}
+        for m in moves:
+            assert m in space
+
+    def test_index_roundtrip_and_random(self):
+        space = self._space()
+        rng = np.random.default_rng(0)
+        for i in (0, len(space) // 2, len(space) - 1):
+            assert space.index(space.configs[i]) == i
+        for _ in range(10):
+            assert space.random_config(rng) in space
+
+    def test_rejects_bad_depths(self):
+        from repro.tuning.space import BackendSpace
+
+        with pytest.raises(ValueError):
+            BackendSpace(ConfigSpace(16), queue_depths=(0, 2))
+        with pytest.raises(ValueError, match="non-empty"):
+            BackendSpace(ConfigSpace(16), queue_depths=())
+
+    def test_autotuner_searches_depths(self):
+        """The tuner traverses the queue-depth axis and finds the best."""
+        from repro.core.autotuner import OnlineAutoTuner
+
+        space = self._space()
+        tuner = OnlineAutoTuner(space, num_searches=8, seed=0)
+        # fake objective: deeper lookahead hides more sampling
+        result = tuner.tune(lambda cfg: 3.0 / cfg[4] + 0.01 * cfg[0])
+        tried = {cfg[4] for cfg, _ in result.history}
+        assert len(tried) >= 2
+        assert result.best_config[4] == max(self.DEPTHS)
+
+    def test_default_backend_space_helper(self):
+        from repro.platform import ICE_LAKE_8380H
+        from repro.tuning.defaults import QUEUE_DEPTH_CHOICES, default_backend_space
+
+        space = default_backend_space(ICE_LAKE_8380H)
+        assert space.queue_depths == QUEUE_DEPTH_CHOICES
+        n, s, t, b, q = space.configs[0]
+        assert q in QUEUE_DEPTH_CHOICES

@@ -12,7 +12,13 @@ every op's gradient is verified against central finite differences in
 ``tests/autograd/test_gradcheck.py``.
 """
 
-from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd.tensor import (
+    Tensor,
+    no_grad,
+    inference_mode,
+    is_grad_enabled,
+    is_inference_mode,
+)
 from repro.autograd.ops import (
     add,
     sub,
@@ -31,12 +37,14 @@ from repro.autograd.functional import log_softmax, nll_loss, cross_entropy, accu
 from repro.autograd.module import Module, Parameter, Linear, Sequential
 from repro.autograd.optim import Optimizer, SGD, Adam
 from repro.autograd import init
-from repro.autograd.serialize import save_module, load_module
+from repro.autograd.serialize import save_module, load_module, save_payload, load_payload
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "add",
     "sub",
     "mul",
@@ -63,4 +71,6 @@ __all__ = [
     "init",
     "save_module",
     "load_module",
+    "save_payload",
+    "load_payload",
 ]

@@ -37,7 +37,11 @@ def _wrap(x) -> Tensor:
 
 
 def _make(data: np.ndarray, parents, op: str) -> Tensor:
-    requires = is_grad_enabled() and any(p.requires_grad or p._parents for p, _ in parents)
+    if not is_grad_enabled():
+        # forward-only fast path (no_grad / inference_mode): the tape is
+        # never consulted, so skip the parent scan entirely
+        return Tensor(data, requires_grad=False, _op=op)
+    requires = any(p.requires_grad or p._parents for p, _ in parents)
     return Tensor(
         data,
         requires_grad=False,

@@ -17,9 +17,17 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "inference_mode",
+    "is_grad_enabled",
+    "is_inference_mode",
+    "unbroadcast",
+]
 
 _GRAD_ENABLED = True
+_INFERENCE_MODE = False
 
 
 @contextlib.contextmanager
@@ -34,8 +42,31 @@ def no_grad():
         _GRAD_ENABLED = prev
 
 
+@contextlib.contextmanager
+def inference_mode():
+    """Forward-only fast path: ``no_grad`` plus skipped tape bookkeeping.
+
+    Inside the block every op takes the cheap construction path — no
+    ``(parent, vjp)`` scan, no parent-list handling — so a serving
+    forward pays only the numpy kernels.  Numerics are untouched: the
+    produced values are bit-identical to the grad-enabled forward (the
+    tape never influences values), which the serve tests assert.
+    """
+    global _GRAD_ENABLED, _INFERENCE_MODE
+    prev = (_GRAD_ENABLED, _INFERENCE_MODE)
+    _GRAD_ENABLED, _INFERENCE_MODE = False, True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED, _INFERENCE_MODE = prev
+
+
 def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
+
+
+def is_inference_mode() -> bool:
+    return _INFERENCE_MODE
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

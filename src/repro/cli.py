@@ -9,12 +9,18 @@ Usage::
     python -m repro.cli train --backend process --processes 2 --epochs 2
     python -m repro.cli train --backend process --prefetch --samplers 2
     python -m repro.cli train --backend process --no-persistent  # respawn/epoch
+    python -m repro.cli serve-bench --mode inline --requests 256
+    python -m repro.cli serve-bench --mode pool --serve-workers 2 --slo-ms 20
 
 Each command prints the reproduced artefact to stdout (the benchmark
 suite additionally asserts the paper's shapes; the CLI is for quick
 interactive inspection).  ``train`` runs the *real* Multi-Process Engine
 on a local synthetic instance under any execution backend — it is also
 the CI smoke test for the fork-sensitive ``process`` backend.
+``serve-bench`` trains briefly, freezes a model snapshot and drives the
+online inference runtime (micro-batching, prediction cache, inline or
+persistent-pool execution) through a synthetic Zipf/Poisson workload,
+reporting throughput, p50/p95/p99 latency and cache hit rate.
 """
 
 from __future__ import annotations
@@ -45,6 +51,17 @@ def _positive_int(value: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
     if n < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {n}")
+    return n
+
+
+def _nonnegative_int(value: str) -> int:
+    """argparse type for budgets where 0 means "disabled" (e.g. cache size)."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if n < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {n}")
     return n
 
 
@@ -175,6 +192,7 @@ def cmd_train(args) -> str:
         acc = engine.evaluate()
     finally:
         engine.shutdown()
+    show_pool = args.backend == "process" and persistent
     rows = [
         [
             e.epoch,
@@ -185,14 +203,20 @@ def cmd_train(args) -> str:
             f"{e.compute_time:.3f}",
             e.sampled_edges,
         ]
+        + ([e.pool_launches, e.pool_parked] if show_pool else [])
         for e in engine.history.epochs
     ]
     overlap = f", prefetch(s={args.samplers}, q={args.queue_depth})" if args.prefetch else ""
     mode = "" if args.backend != "process" else (
         ", persistent" if persistent else ", respawn"
     )
+    headers = ["epoch", "mean loss", "time s", "launch s", "sample wait s", "compute s", "edges"]
+    if show_pool:
+        # persistent-pool lifecycle diagnostics (ROADMAP PR 3 follow-up):
+        # cumulative worker forks and workers parked idle after a shrink
+        headers += ["launches", "parked"]
     table = render_table(
-        ["epoch", "mean loss", "time s", "launch s", "sample wait s", "compute s", "edges"],
+        headers,
         rows,
         title=(
             f"train — {args.task} on {args.dataset} (scale 2^{args.scale}), "
@@ -200,6 +224,88 @@ def cmd_train(args) -> str:
         ),
     )
     return f"{table}\nfinal validation accuracy: {acc:.3f}"
+
+
+def cmd_serve_bench(args) -> str:
+    """Train briefly, snapshot, and bench the online inference runtime."""
+    from repro.core.engine import MultiProcessEngine
+    from repro.gnn.models import make_task
+    from repro.graph.datasets import load_dataset
+    from repro.serve import InferenceEngine, ModelSnapshot, run_serving_workload
+    from repro.tuning.serving import slo_objective
+
+    ds = load_dataset(args.dataset, seed=args.seed, scale_override=args.scale)
+    sampler, model = make_task(args.task, ds.layer_dims(args.layers), seed=args.seed)
+    trainer = MultiProcessEngine(
+        ds, sampler, model, num_processes=1, global_batch_size=args.batch,
+        backend="inline", seed=args.seed,
+    )
+    trainer.train(args.train_epochs)
+    snapshot = ModelSnapshot.from_engine(trainer)
+    engine = InferenceEngine(
+        snapshot,
+        ds,
+        mode=args.mode,
+        workers=args.serve_workers,
+        cache_entries=args.cache_entries,
+        timeout=args.timeout,
+    )
+    try:
+        engine.warm_up()  # pool fork paid before the clock starts
+        report = run_serving_workload(
+            engine,
+            num_requests=args.requests,
+            rate_rps=args.rate,
+            zipf_alpha=args.zipf,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            closed_loop=args.closed,
+            concurrency=args.concurrency,
+            seed=args.seed,
+        )
+        pool = engine.pool
+        pool_line = (
+            f"pool: workers={engine.n}, launches={pool.launches}, parked={pool.parked}; "
+            f"arena: slot hits={report.transport.arena_hits}, "
+            f"pickle fallbacks={report.transport.pickle_fallbacks}"
+            if pool is not None
+            else "pool: (inline mode)"
+        )
+    finally:
+        engine.close()
+    loop = f"closed(c={args.concurrency})" if args.closed else f"open({args.rate:g} rps)"
+    table = render_table(
+        ["metric", "value"],
+        [
+            ["requests", report.requests],
+            ["throughput req/s", f"{report.throughput_rps:.1f}"],
+            ["latency p50 ms", f"{report.p50_ms:.2f}"],
+            ["latency p95 ms", f"{report.p95_ms:.2f}"],
+            ["latency p99 ms", f"{report.p99_ms:.2f}"],
+            ["latency mean ms", f"{report.mean_ms:.2f}"],
+            ["mean batch", f"{report.mean_batch:.2f}"],
+            ["flushes full/deadline/drain",
+             f"{report.full_flushes}/{report.deadline_flushes}/{report.drain_flushes}"],
+            ["cache hit rate", f"{report.cache.hit_rate:.3f}"],
+            ["cache hits/misses/evictions",
+             f"{report.cache.hits}/{report.cache.misses}/{report.cache.evictions}"],
+        ],
+        title=(
+            f"serve-bench — {args.task} on {args.dataset} (scale 2^{args.scale}), "
+            f"mode={args.mode}, {loop}, zipf={args.zipf:g}, "
+            f"batch<={args.max_batch}, wait<={args.max_wait_ms:g}ms, "
+            f"cache={args.cache_entries}"
+        ),
+    )
+    lines = [table, pool_line]
+    if args.slo_ms is not None:
+        lines.append(
+            f"SLO {args.slo_ms:g} ms: p99 "
+            f"{'MET' if report.p99_ms <= args.slo_ms else 'MISSED'} "
+            f"(attainment {report.slo_attainment(args.slo_ms):.3f}, "
+            f"objective {slo_objective(report, slo_ms=args.slo_ms):.6f})"
+        )
+    return "\n".join(lines)
 
 
 COMMANDS = {
@@ -211,6 +317,7 @@ COMMANDS = {
     "table5": cmd_table5,
     "table6": cmd_table6,
     "train": cmd_train,
+    "serve-bench": cmd_serve_bench,
 }
 
 
@@ -249,6 +356,60 @@ def main(argv=None) -> int:
                 "--persistent", action=argparse.BooleanOptionalAction, default=None,
                 help="process backend: keep rank workers alive across epochs "
                      "(default) or respawn them per epoch (--no-persistent)",
+            )
+        if name == "serve-bench":
+            p.add_argument("--scale", type=_positive_int, default=10)
+            p.add_argument("--layers", type=_positive_int, default=2)
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--batch", type=_positive_int, default=128)
+            p.add_argument(
+                "--train-epochs", type=_positive_int, default=1,
+                help="quick inline training pass before the snapshot is frozen",
+            )
+            p.add_argument(
+                "--mode", default="inline", choices=["inline", "pool"],
+                help="inference execution: in-process or persistent worker pool",
+            )
+            p.add_argument(
+                "--serve-workers", type=_positive_int, default=2,
+                help="pool mode: rank workers sharing each micro-batch",
+            )
+            p.add_argument(
+                "--max-batch", type=_positive_int, default=8,
+                help="micro-batcher: flush when this many requests coalesce",
+            )
+            p.add_argument(
+                "--max-wait-ms", type=float, default=2.0,
+                help="micro-batcher: flush when the oldest request waited this long",
+            )
+            p.add_argument(
+                "--cache-entries", type=_nonnegative_int, default=4096,
+                help="LRU prediction-cache budget (0 disables the cache)",
+            )
+            p.add_argument("--requests", type=_positive_int, default=256)
+            p.add_argument(
+                "--rate", type=float, default=500.0,
+                help="open-loop Poisson arrival rate (requests/s)",
+            )
+            p.add_argument(
+                "--zipf", type=float, default=1.1,
+                help="node-popularity skew (0 = uniform traffic)",
+            )
+            p.add_argument(
+                "--closed", action="store_true",
+                help="closed-loop traffic (fixed concurrency) instead of open-loop",
+            )
+            p.add_argument(
+                "--concurrency", type=_positive_int, default=8,
+                help="closed-loop client count",
+            )
+            p.add_argument(
+                "--slo-ms", type=float, default=None,
+                help="report p99 SLO attainment and the autotuner objective",
+            )
+            p.add_argument(
+                "--timeout", type=float, default=120.0,
+                help="pool mode: per-batch worker deadline (s)",
             )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -79,6 +79,11 @@ class EpochStats:
     workers, and ≈0 after the first epoch under the persistent pool —
     the difference is exactly the relaunch overhead the online tuner
     used to measure inside every trial.
+
+    ``pool_launches`` / ``pool_parked`` surface the persistent pool's
+    lifecycle diagnostics (cumulative worker forks; workers parked idle
+    after a shrink) for tuner debugging; zero outside the persistent
+    process backend.
     """
 
     epoch: int
@@ -90,6 +95,8 @@ class EpochStats:
     sample_wait: float = 0.0
     compute_time: float = 0.0
     launch_time: float = 0.0
+    pool_launches: int = 0
+    pool_parked: int = 0
 
 
 @dataclass
@@ -269,6 +276,8 @@ class MultiProcessEngine:
             sample_wait=float(result.sample_wait),
             compute_time=float(result.compute_time),
             launch_time=float(result.launch_time),
+            pool_launches=int(result.pool_launches),
+            pool_parked=int(result.pool_parked),
         )
         self._minibatches_done += len(plan) * self.n
         self.history.epochs.append(stats)

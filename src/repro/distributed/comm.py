@@ -218,11 +218,23 @@ class ProcessWorld:
     A world is built to be **reused across epochs**: the persistent
     worker pool creates one world per launch and drives every epoch's
     collectives through it (the barrier cycles naturally; the shared
-    region is re-zeroed by the counter protocol).  Only a change of
-    world size — the tuner rebinding ``n`` — requires a new world, and
-    an :meth:`abort` poisons the barrier permanently by design: after a
+    region is re-zeroed by the counter protocol).  A change of world
+    size — the tuner rebinding ``n`` — requires a new world, and an
+    :meth:`abort` poisons the barrier permanently by design: after a
     failure the owning pool tears the world down rather than trusting
     half-finished collective state (check :attr:`broken`).
+
+    ``segment_from`` builds a *sibling* world that reuses another
+    world's data segment instead of allocating its own: same capacity
+    and slot layout, fresh lock/barrier sized for this ``world_size``.
+    The persistent pool pre-creates one world per candidate size (locks
+    and barriers only travel by fork inheritance, so they must exist
+    before the workers are forked) — siblings keep that from costing
+    ``O(n · capacity)`` shared memory, which is safe because the pool
+    only ever drives collectives through one world at a time and the
+    counter protocol leaves the region clean between epochs.  Siblings
+    do not own the segment: the primary world's :meth:`unlink` retires
+    it.
     """
 
     def __init__(
@@ -233,6 +245,7 @@ class ProcessWorld:
         slot_bytes: int = 1 << 20,
         ctx=None,
         timeout: float = 120.0,
+        segment_from: "ProcessWorld | None" = None,
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
@@ -243,13 +256,30 @@ class ProcessWorld:
         self.capacity = int(capacity)
         self.slot_bytes = int(slot_bytes)
         self.timeout = float(timeout)
-        size = _HEADER_BYTES + 8 * self.capacity + self.world_size * self.slot_bytes
-        self._shm = shared_memory.SharedMemory(create=True, size=size)
-        self._owner = True
+        if segment_from is not None:
+            if (
+                self.capacity != segment_from.capacity
+                or self.slot_bytes != segment_from.slot_bytes
+                or self.world_size > segment_from.world_size
+            ):
+                raise ValueError(
+                    "sibling world must match the segment owner's capacity/"
+                    "slot_bytes and not exceed its world size"
+                )
+            # same no-unregister attach semantics as __setstate__ below
+            from repro.shm.arena import attach_segment
+
+            self._shm = attach_segment(segment_from._shm.name)
+            self._owner = False
+        else:
+            size = _HEADER_BYTES + 8 * self.capacity + self.world_size * self.slot_bytes
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+            self._owner = True
         self._closed = False
         self._lock = ctx.Lock()
         self._barrier = ctx.Barrier(self.world_size)
-        self._counter()[0] = 0
+        if self._owner:
+            self._counter()[0] = 0
 
     # -- shared views (recomputed per process; views don't survive pickling)
     def _counter(self) -> np.ndarray:

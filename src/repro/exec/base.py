@@ -61,6 +61,11 @@ class EpochResult:
     processes and shipping weights into them.  Zero for the in-process
     backends; paid every epoch by the respawning process backend; ≈0
     after the first epoch under the persistent worker pool.
+
+    ``pool_launches`` / ``pool_parked`` are the persistent pool's
+    lifecycle diagnostics as of this epoch: cumulative worker (re)fork
+    count and workers currently parked idle after a shrink.  Zero for
+    every other execution mode.
     """
 
     losses: list[float]
@@ -68,6 +73,8 @@ class EpochResult:
     sample_wait: float = 0.0
     compute_time: float = 0.0
     launch_time: float = 0.0
+    pool_launches: int = 0
+    pool_parked: int = 0
 
 
 def rank_chunk(global_batch: np.ndarray, world_size: int, rank: int) -> np.ndarray:

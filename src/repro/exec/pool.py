@@ -13,9 +13,23 @@ The pool survives not only epochs but *engine reconstructions*: the
 tuner re-launches training with a new configuration every search epoch
 (paper Listing 3), and as long as the new engine's :meth:`signature`
 matches (same ``n``, dataset, parameter topology, optimizer, seed), the
-existing workers keep serving.  A change in ``n`` — or any signature
-field — triggers a clean relaunch: the old world/params/workers are
-reaped and fresh ones bound (``rebind on n change``).
+existing workers keep serving.  A *smaller* ``n`` (same everything else)
+does not relaunch either: the pool pre-creates one
+:class:`~repro.distributed.comm.ProcessWorld` per candidate size at fork
+time (mp locks/barriers only travel by inheritance), sends the active
+ranks a :class:`~repro.exec.runtime.Rebind` and **parks** the surplus
+workers idle — they keep their fork image and rejoin instantly when
+``n`` grows back.  Only growing beyond the forked worker count — or any
+other signature change — triggers a clean relaunch: the old
+worlds/params/workers are reaped and fresh ones bound.
+
+Beyond training epochs the pool also serves forward-only inference
+batches (:meth:`WorkerPool.run_infer`): the serving runtime
+(:mod:`repro.serve`) shards a micro-batch's node ids across the active
+ranks, each long-lived worker computes its chunk's predictions without
+collectives or optimizer state, and rows return through a shared-memory
+:class:`~repro.shm.arena.BatchArena` slot (pickle fallback for oversized
+rows).
 
 Failure contract: any failed epoch (worker crash, broken collective,
 timeout, killed child) reaps every worker and unlinks the pool's
@@ -32,6 +46,8 @@ import numpy as np
 
 from repro.distributed.comm import ProcessWorld
 from repro.exec.runtime import (
+    InferPlan,
+    Rebind,
     WorkerInit,
     collect_results,
     encode_epoch_commands,
@@ -84,7 +100,12 @@ class WorkerPool:
     def __init__(self, ctx, *, timeout: float = 120.0):
         self._ctx = ctx
         self.timeout = float(timeout)
-        self.world: ProcessWorld | None = None
+        #: one pre-created world per candidate size: ``worlds[k - 1]``
+        #: serves ``k`` ranks.  All of them must exist before the fork —
+        #: mp locks/barriers only travel by inheritance — which is what
+        #: makes shrink-without-relaunch possible at all.
+        self.worlds: list[ProcessWorld] = []
+        self.active_n = 0
         self.params: ParamStore | None = None
         self.procs: list = []
         self._cmd_qs: list = []
@@ -100,11 +121,22 @@ class WorkerPool:
         self.model = None
         self.store = None
         self.launches = 0  # diagnostic: how often workers were (re)forked
+        self._infer_seq = 0
 
     # ------------------------------------------------------------------
     @property
+    def world(self) -> ProcessWorld | None:
+        """The world the active ranks currently collect over."""
+        return self.worlds[self.active_n - 1] if self.worlds else None
+
+    @property
+    def parked(self) -> int:
+        """Diagnostic: forked workers currently idle beyond ``active_n``."""
+        return max(0, len(self.procs) - self.active_n)
+
+    @property
     def alive(self) -> bool:
-        """Whether every worker is running and the world is usable."""
+        """Whether every worker is running and the active world is usable."""
         return (
             bool(self.procs)
             and all(p.is_alive() for p in self.procs)
@@ -122,25 +154,64 @@ class WorkerPool:
 
         A live pool with a matching :func:`pool_signature` is reused
         as-is — this is the steady-state path whose cost is approximately
-        zero.  Anything else tears the old pool down and forks afresh.
+        zero.  A pool that matches in everything *but* ``n`` resizes
+        without re-forking as long as ``n`` fits the forked worker count:
+        surplus workers park idle (shrink) or rejoin (grow back), and the
+        active ranks are rebound to the pre-created world of the new
+        size.  Anything else tears the old pool down and forks afresh.
         """
         sig = pool_signature(engine)
-        if (
+        compatible = (
             self.alive
-            and sig == self.signature
             and self.dataset is engine.dataset
             and self.model is engine.replicas[0]
             and self.store is store
+        )
+        if compatible and sig == self.signature:
+            return False
+        if (
+            compatible
+            and self.signature is not None
+            and sig[1:] == self.signature[1:]
+            and engine.n <= len(self.procs)
         ):
+            self._resize(engine.n, sig)
             return False
         self.shutdown()
         self._launch(engine, store, sig)
         return True
 
+    def _resize(self, n: int, sig: tuple) -> None:
+        """Repoint the pool at ``n`` active ranks without re-forking.
+
+        Every newly-active rank gets a :class:`Rebind` onto the
+        pre-created size-``n`` world (command queues are FIFO, so the
+        rebind lands before any subsequent epoch/inference command);
+        ranks beyond ``n`` simply stop receiving commands — parked, not
+        reaped, keeping their fork image warm for a later grow.
+        """
+        for rank in range(n):
+            self._cmd_qs[rank].put(Rebind(world_size=n))
+        self.active_n = n
+        self.signature = sig
+
     def _launch(self, engine, store, sig: tuple) -> None:
         n = engine.n
         capacity = max(1, sum(p.size for p in engine.replicas[0].parameters()))
-        self.world = ProcessWorld(n, capacity, ctx=self._ctx, timeout=self.timeout)
+        # one world per candidate size, created *before* the fork so
+        # every worker inherits all of them — the substrate a later
+        # shrink's Rebind switches to without re-forking anyone.  Only
+        # the size-n world owns a data segment; the smaller sizes are
+        # siblings over the same region (fresh barrier/lock each), so
+        # the whole ladder costs one segment, not n.
+        primary = ProcessWorld(n, capacity, ctx=self._ctx, timeout=self.timeout)
+        self.worlds = [
+            ProcessWorld(
+                k, capacity, ctx=self._ctx, timeout=self.timeout, segment_from=primary
+            )
+            for k in range(1, n)
+        ] + [primary]
+        self.active_n = n
         self.params = ParamStore.create(
             {
                 "model": engine.replicas[0].state_dict(),
@@ -149,6 +220,7 @@ class WorkerPool:
         )
         self._cmd_qs = [self._ctx.Queue() for _ in range(n)]
         self._result_q = self._ctx.Queue()
+        worlds = tuple(self.worlds)
         procs = []
         try:
             for rank in range(n):
@@ -165,7 +237,7 @@ class WorkerPool:
                 )
                 p = self._ctx.Process(
                     target=persistent_worker_main,
-                    args=(init, self.world, self._cmd_qs[rank], self._result_q),
+                    args=(init, worlds, self._cmd_qs[rank], self._result_q),
                     daemon=True,
                 )
                 p.start()
@@ -236,6 +308,74 @@ class WorkerPool:
             raise
 
     # ------------------------------------------------------------------
+    def run_infer(
+        self, node_ids: np.ndarray, sampler, *, seed: int, arena=None, transport=None
+    ) -> np.ndarray:
+        """Forward-only predictions for ``node_ids`` over the active ranks.
+
+        Shards the ids with the engine's own split
+        (``np.array_split`` — rank order preserves request order on
+        reassembly), ships one :class:`InferPlan` per active rank and
+        collects one result each.  Per-node determinism (the RNG is a
+        pure function of ``(seed, node)``) makes the result independent
+        of the shard boundaries — bit-identical to inline inference.
+
+        ``arena`` (a :class:`~repro.shm.arena.BatchArena` with one slot
+        per rank, owned by the caller) carries each rank's prediction
+        rows as a raw shared-memory copy; oversized rows fall back to
+        queue pickling.  ``transport`` (a
+        :class:`~repro.shm.arena.TransportStats`) records which path was
+        taken.  Failure semantics match :meth:`run_epoch`: any broken
+        batch tears the pool down before the error propagates.
+        """
+        if not self.alive:
+            raise RuntimeError("worker pool is not running (call ensure first)")
+        n = self.active_n
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        self._infer_seq += 1
+        chunks = np.array_split(node_ids, n)
+        try:
+            for rank in range(n):
+                self._cmd_qs[rank].put(
+                    InferPlan(
+                        seq=self._infer_seq,
+                        node_ids=chunks[rank],
+                        sampler=sampler,
+                        seed=seed,
+                        slot=rank,
+                        arena_spec=arena.spec if arena is not None else None,
+                    )
+                )
+            results = collect_results(
+                self.procs,
+                self._result_q,
+                self.world,
+                n,
+                1,
+                self.timeout,
+                what="pool inference batch",
+            )
+            parts = []
+            for rank in range(n):
+                item = results[rank]
+                if "layouts" in item:
+                    (preds,) = arena.read(rank, item["layouts"])
+                    if transport is not None:
+                        transport.arena_hits += 1
+                else:
+                    preds = item["preds"]
+                    if transport is not None and len(chunks[rank]):
+                        transport.pickle_fallbacks += 1
+                if preds.size:
+                    parts.append(preds)
+            if not parts:
+                raise RuntimeError("pool inference batch produced no predictions")
+            return np.concatenate(parts, axis=0)
+        except BaseException:
+            self.shutdown(graceful=False)
+            raise
+
+    # ------------------------------------------------------------------
     def _release_channels(self) -> None:
         for q in (*self._cmd_qs, self._result_q):
             if q is not None:
@@ -246,9 +386,15 @@ class WorkerPool:
                     pass
         self._cmd_qs = []
         self._result_q = None
-        if self.world is not None:
-            self.world.unlink()
-            self.world = None
+        for world in self.worlds:
+            # siblings share the primary world's segment: close their
+            # mappings; the single owner unlinks the name
+            if world._owner:
+                world.unlink()
+            else:
+                world.close()
+        self.worlds = []
+        self.active_n = 0
         if self.params is not None:
             self.params.unlink()
             self.params = None

@@ -224,13 +224,18 @@ class ProcessBackend(ExecutionBackend):
                 self._pool.publish(engine)
             launch_time = time.perf_counter() - start
             results = self._pool.run_epoch(engine, epoch, plan)
+            pool_launches = self._pool.launches
+            pool_parked = self._pool.parked
         except BaseException:
             # failed epoch: the pool already reaped its workers and
             # unlinked its segments; release the graph store too — no
             # exception path may leak segments or children
             self.shutdown()
             raise
-        return self._fold_results(engine, results, launch_time)
+        result = self._fold_results(engine, results, launch_time)
+        result.pool_launches = pool_launches
+        result.pool_parked = pool_parked
+        return result
 
     # ------------------------------------------------------------------
     def _run_epoch_respawn(self, engine, epoch: int, plan) -> EpochResult:

@@ -55,6 +55,8 @@ from repro.tuning.defaults import DEFAULT_QUEUE_DEPTH
 
 __all__ = [
     "EpochPlan",
+    "InferPlan",
+    "Rebind",
     "WorkerInit",
     "persistent_worker_main",
     "collect_results",
@@ -84,6 +86,48 @@ class EpochPlan:
     queue_depth: int = DEFAULT_QUEUE_DEPTH
     sampler_workers: int = 1
     extra_state: dict = field(default_factory=dict)
+
+
+@dataclass
+class InferPlan:
+    """One forward-only serving batch for one persistent rank worker.
+
+    The online-inference counterpart of :class:`EpochPlan`: no optimizer,
+    no collectives, no weight reload — the worker's model template
+    already holds the served weights (pickled at fork, or folded by the
+    last training epoch, which the parent mirrors).  ``node_ids`` is this
+    *rank's* chunk of the micro-batch; each node's prediction is computed
+    independently with an RNG derived purely from ``(seed, node)``
+    (:func:`repro.serve.engine.predict_nodes`), so pool predictions are
+    bit-identical to inline single-request inference regardless of how
+    requests were batched or sharded.
+
+    Results return through a :class:`~repro.shm.arena.BatchArena` slot
+    (``slot``; one per rank) when ``arena_spec`` is given and the rows
+    fit, else pickled through the result queue.
+    """
+
+    seq: int
+    node_ids: np.ndarray
+    sampler: object
+    seed: int
+    slot: int = 0
+    arena_spec: dict | None = None
+
+
+@dataclass
+class Rebind:
+    """Resize command: switch a persistent worker to another world size.
+
+    Sent by :meth:`repro.exec.pool.WorkerPool.ensure` when the engine's
+    ``n`` shrinks (or grows back) within the pool's forked worker count:
+    the recipient swaps its active :class:`ProcessWorld` for the
+    pre-created world of ``world_size`` ranks and keeps serving — no
+    re-fork, no re-pickle.  Ranks beyond ``world_size`` are simply never
+    commanded again until a later rebind: they park in the idle loop.
+    """
+
+    world_size: int
 
 
 @dataclass
@@ -191,8 +235,28 @@ def _run_epoch_steps(
             prefetcher.close()
 
 
+def _run_infer_plan(
+    plan: InferPlan, *, rank: int, graph, features: Tensor, model, arena
+) -> dict:
+    """Serve one rank's chunk of a forward-only inference batch."""
+    # lazy import: repro.serve imports this module's package at load time
+    from repro.serve.engine import predict_nodes
+
+    preds = predict_nodes(
+        model, graph, features, plan.sampler, plan.node_ids, seed=plan.seed
+    )
+    result = {"rank": rank, "status": "ok", "seq": plan.seq}
+    if arena is not None and preds.size:
+        layouts = arena.write(plan.slot, [preds])
+        if layouts is not None:
+            result["layouts"] = layouts
+            return result
+    result["preds"] = preds
+    return result
+
+
 def persistent_worker_main(
-    init: WorkerInit, world: ProcessWorld, cmd_q, result_q
+    init: WorkerInit, worlds: tuple, cmd_q, result_q
 ) -> None:
     """Entry point of one long-lived rank process.
 
@@ -201,6 +265,15 @@ def persistent_worker_main(
     in collectives fail fast), reports the error, and exits — the pool
     treats a failed epoch as fatal and relaunches on the next one, which
     matches the respawn backend's fresh-processes-per-epoch semantics.
+
+    ``worlds`` holds one pre-created :class:`ProcessWorld` per candidate
+    world size (``worlds[k - 1]`` serves ``k`` ranks); the worker starts
+    on ``worlds[init.world_size - 1]`` and a :class:`Rebind` command
+    switches it — that is what lets the pool shrink/grow within its
+    forked worker count without re-forking anyone (mp locks/barriers
+    only travel by inheritance, so every size's world must exist before
+    the fork).  :class:`InferPlan` commands run a forward-only serving
+    batch: no collectives, no optimizer, results via arena slot or queue.
 
     Orphan watchdog: a SIGKILL'd parent can never send the stop
     sentinel, and a long-lived worker parked in ``get()`` would outlive
@@ -211,7 +284,10 @@ def persistent_worker_main(
     """
     store = None
     params = None
+    arena = None
+    arena_name = None
     parent_pid = init.parent_pid or os.getppid()
+    world: ProcessWorld = worlds[init.world_size - 1]
     try:
         store = SharedGraphStore.attach(init.store_spec)
         params = ParamStore.attach(init.param_spec)
@@ -229,6 +305,28 @@ def persistent_worker_main(
                 continue
             if cmd is None:
                 return
+            if isinstance(cmd, Rebind):
+                world = worlds[cmd.world_size - 1]
+                continue
+            if isinstance(cmd, InferPlan):
+                if cmd.arena_spec is not None and arena_name != cmd.arena_spec["shm_name"]:
+                    if arena is not None:
+                        arena.close()
+                    from repro.shm.arena import BatchArena
+
+                    arena = BatchArena.attach(cmd.arena_spec)
+                    arena_name = cmd.arena_spec["shm_name"]
+                result_q.put(
+                    _run_infer_plan(
+                        cmd,
+                        rank=init.rank,
+                        graph=graph,
+                        features=features,
+                        model=model_template,
+                        arena=arena if cmd.arena_spec is not None else None,
+                    )
+                )
+                continue
             # commands arrive pre-encoded (see encode_epoch_commands)
             plan = decode_epoch_command(cmd)
             applied_cores = apply_binding(plan.binding)
@@ -243,7 +341,7 @@ def persistent_worker_main(
             result = _run_epoch_steps(
                 plan,
                 rank=init.rank,
-                world_size=init.world_size,
+                world_size=world.world_size,
                 seed=init.seed,
                 graph=graph,
                 features=features,
@@ -273,6 +371,8 @@ def persistent_worker_main(
         )
         sys.exit(1)  # quiet exit: the parent reports the queued error
     finally:
+        if arena is not None:
+            arena.close()
         if params is not None:
             params.close()
         if store is not None:

@@ -48,7 +48,7 @@ from repro.pipeline.prefetch import OrderedPrefetcher, PrefetchStats
 from repro.platform.corebind import apply_binding
 from repro.sampling.block import Block, MiniBatch
 from repro.sampling.dataloader import NodeDataLoader
-from repro.shm.arena import BatchArena
+from repro.shm.arena import BatchArena, TransportStats
 from repro.utils.procs import reap_processes
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
@@ -254,9 +254,10 @@ class PrefetchingLoader:
                     f"the arena), got {arena_slot_bytes}"
                 )
         self.arena_slot_bytes = arena_slot_bytes
-        #: process-mode transport counters (arena hits vs pickle fallbacks)
-        self.arena_batches = 0
-        self.pickled_batches = 0
+        #: process-mode transport counters (arena hits vs pickle
+        #: fallbacks) — the same record the serving runtime reports, so
+        #: arena behaviour reads identically in every surface
+        self.transport = TransportStats()
         self._closed = False
         #: lifetime queue-dynamics record, folded over every epoch
         self.stats = PrefetchStats(
@@ -392,9 +393,9 @@ class PrefetchingLoader:
                     arrays = self._arena.read(value.slot, value.layouts)
                     self._slot_q.put(value.slot)  # recycle before compute
                     value = _batch_from_arrays(value.num_dsts, arrays)
-                    self.arena_batches += 1
+                    self.transport.arena_hits += 1
                 else:
-                    self.pickled_batches += 1
+                    self.transport.pickle_fallbacks += 1
                 value.labels = loader.labels[value.seeds]
                 yield value
         except BaseException:

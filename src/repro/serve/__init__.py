@@ -1,0 +1,37 @@
+"""Online inference serving runtime.
+
+The training side of this repository (paper conf_ipps_LinCGJJP24)
+optimises epoch throughput; this subpackage is the *serving* vertical
+layered on the same runtime substrate: a frozen
+:class:`~repro.serve.snapshot.ModelSnapshot` exported from a trained
+engine, a deadline-aware :class:`~repro.serve.batcher.MicroBatcher`
+coalescing per-node requests, an LRU
+:class:`~repro.serve.cache.EmbeddingCache` over predictions, an
+:class:`~repro.serve.engine.InferenceEngine` that runs forward-only
+sampled inference inline or across the persistent
+:class:`~repro.exec.pool.WorkerPool`, and a synthetic Zipf/Poisson
+workload driver (:mod:`repro.serve.workload`) reporting throughput and
+tail latency.  The serving knobs (``workers``, ``max_batch``,
+``max_wait_ms``, ``cache_entries``) are searchable by the existing BO
+autotuner via :class:`repro.tuning.serving.ServingSpace`.
+"""
+
+from repro.serve.batcher import BatchStats, MicroBatcher, Request
+from repro.serve.cache import CacheStats, EmbeddingCache
+from repro.serve.engine import InferenceEngine, predict_nodes
+from repro.serve.snapshot import ModelSnapshot
+from repro.serve.workload import ServingReport, run_serving_workload, zipf_nodes
+
+__all__ = [
+    "BatchStats",
+    "MicroBatcher",
+    "Request",
+    "CacheStats",
+    "EmbeddingCache",
+    "InferenceEngine",
+    "predict_nodes",
+    "ModelSnapshot",
+    "ServingReport",
+    "run_serving_workload",
+    "zipf_nodes",
+]

@@ -1,0 +1,94 @@
+"""LRU prediction/embedding cache keyed by node id.
+
+Serving traffic is heavily skewed — a Zipf-popular node is requested
+over and over — and a node's prediction is a *deterministic* function of
+``(weights, seed, node)`` in this runtime (per-node derived sampling
+RNG), so caching it is exact, not approximate.  The cache is a plain
+ordered-dict LRU with hit/miss/eviction accounting; the serving report
+and the autotuner's ``cache_entries`` axis both read
+:class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "EmbeddingCache"]
+
+
+@dataclass
+class CacheStats:
+    """Lookup accounting over an :class:`EmbeddingCache`'s lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class EmbeddingCache:
+    """Bounded LRU mapping ``node id -> prediction row``.
+
+    ``capacity`` is the entry budget; ``0`` disables caching entirely
+    (every lookup is a miss, nothing is stored) so the autotuner can
+    search "no cache" as a point of the ``cache_entries`` axis.  Stored
+    rows are copied in and handed out read-only, so a caller mutating
+    its result cannot poison later hits.
+    """
+
+    def __init__(self, capacity: int):
+        capacity = int(capacity)
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        """Presence probe without touching recency or the counters."""
+        return int(key) in self._entries
+
+    def get(self, key) -> np.ndarray | None:
+        """The cached row for ``key`` (refreshing recency), else ``None``."""
+        key = int(key)
+        row = self._entries.get(key)
+        if row is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return row
+
+    def put(self, key, value: np.ndarray) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        key = int(key)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return  # deterministic predictions: the stored row is current
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        row = np.array(value, copy=True)
+        row.setflags(write=False)
+        self._entries[key] = row
+
+    def clear(self) -> None:
+        """Drop every entry (the counters keep their history)."""
+        self._entries.clear()

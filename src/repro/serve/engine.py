@@ -1,0 +1,282 @@
+"""Forward-only inference engine over a model snapshot.
+
+Two execution modes, one algorithm:
+
+``inline``
+    Predictions computed in the calling process — the reference path.
+``pool``
+    The persistent-runtime path: a :class:`repro.exec.pool.WorkerPool`
+    of long-lived rank processes over a shared-memory
+    :class:`~repro.graph.shm.SharedGraphStore`; each micro-batch's
+    missing nodes are sharded across the active ranks as
+    :class:`~repro.exec.runtime.InferPlan` commands and prediction rows
+    return through a :class:`~repro.shm.arena.BatchArena` slot per rank
+    (pickle fallback for oversized rows, counted in
+    :attr:`InferenceEngine.transport`).
+
+Determinism contract
+--------------------
+A node's prediction is a pure function of ``(weights, seed, node)``:
+each node is sampled with ``derive_rng(seed, "serve", node)`` and
+forwarded on its own sampled subgraph under
+:func:`repro.autograd.inference_mode`.  Batch composition and rank
+sharding therefore cannot change any prediction — pool mode is
+bit-identical to inline single-request inference, which is also what
+makes the LRU :class:`~repro.serve.cache.EmbeddingCache` exact rather
+than approximate.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.autograd.optim import make_optimizer
+from repro.autograd.ops import gather_rows
+from repro.autograd.tensor import Tensor, inference_mode
+from repro.exec.pool import WorkerPool
+from repro.graph.shm import SharedGraphStore
+from repro.serve.cache import EmbeddingCache
+from repro.serve.snapshot import ModelSnapshot
+from repro.shm.arena import BatchArena, TransportStats
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["InferenceEngine", "predict_nodes"]
+
+
+def predict_nodes(model, graph, features: Tensor, sampler, node_ids, *, seed: int) -> np.ndarray:
+    """Deterministic per-node predictions; the one serving forward path.
+
+    Every node is sampled independently with the RNG stream
+    ``(seed, "serve", node)`` and forwarded alone — the single
+    definition shared by the inline engine and the pool workers
+    (:func:`repro.exec.runtime._run_infer_plan`), which is what makes the
+    two modes bit-identical by construction.  Runs the model in eval
+    mode under :func:`~repro.autograd.tensor.inference_mode` (no tape,
+    no dropout, dropout counters untouched) and restores the training
+    flag afterwards.
+    """
+    node_ids = np.asarray(node_ids, dtype=np.int64)
+    was_training = model.training
+    model.eval()
+    rows: list[np.ndarray] = []
+    try:
+        with inference_mode():
+            for node in node_ids:
+                batch = sampler.sample(
+                    graph,
+                    np.asarray([node], dtype=np.int64),
+                    rng=derive_rng(seed, "serve", int(node)),
+                )
+                x = gather_rows(features, batch.input_ids)
+                rows.append(model(batch.blocks, x).data[0].copy())
+    finally:
+        model.train(was_training)
+    if not rows:
+        return np.zeros((0, 0), dtype=np.float32)
+    return np.stack(rows)
+
+
+class InferenceEngine:
+    """Online inference over a :class:`ModelSnapshot` + dataset.
+
+    Parameters
+    ----------
+    snapshot:
+        The frozen model/sampler export to serve.
+    dataset:
+        The :class:`~repro.graph.datasets.GNNDataset` providing the graph
+        and node features to sample/aggregate over.
+    mode:
+        ``"inline"`` (in-process) or ``"pool"`` (persistent worker pool
+        over shared memory).
+    workers:
+        Pool mode: number of rank workers sharing each micro-batch.
+    cache_entries:
+        LRU prediction-cache budget (``0`` disables the cache).
+    pool:
+        Optional already-constructed :class:`WorkerPool` to drive —
+        shared pools survive engine reconstructions exactly like shared
+        execution backends in training (the serving autotuner's
+        ``workers`` axis then parks/rebinds instead of re-forking); the
+        engine does not own it and :meth:`close` leaves it running.
+    model, store:
+        Advanced sharing hooks for pool reuse across engines: the pool's
+        identity checks require the *same* model object and graph store,
+        so autotuner trials that rebuild the engine per configuration
+        pass both (``model`` pre-built from the snapshot, ``store`` a
+        :class:`SharedGraphStore` over the dataset).  Shared stores are
+        not unlinked by :meth:`close` — their creator owns them.
+    timeout, start_method:
+        Pool-mode knobs, as in the process execution backend.
+    seed:
+        Serving RNG stream (defaults to the snapshot's training seed);
+        part of the per-node determinism contract.
+    arena_slot_bytes:
+        Per-rank result-slot size for the prediction transport; rows
+        that do not fit fall back to queue pickling (counted in
+        :attr:`transport`).
+
+    The pool-mode engine owns shared-memory segments (graph store,
+    result arena, the pool's channels when the pool is owned): call
+    :meth:`close` or use the engine as a context manager.
+    """
+
+    MODES = ("inline", "pool")
+
+    def __init__(
+        self,
+        snapshot: ModelSnapshot,
+        dataset,
+        *,
+        mode: str = "inline",
+        workers: int = 1,
+        cache_entries: int = 4096,
+        pool: WorkerPool | None = None,
+        model=None,
+        store: SharedGraphStore | None = None,
+        timeout: float = 120.0,
+        start_method: str | None = None,
+        seed: int | None = None,
+        arena_slot_bytes: int = 1 << 20,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.snapshot = snapshot
+        self.dataset = dataset
+        self.mode = mode
+        self.model = model if model is not None else snapshot.build_model()
+        self.sampler = snapshot.build_sampler()
+        self.seed = int(snapshot.seed if seed is None else seed)
+        self.cache = EmbeddingCache(cache_entries)
+        self.transport = TransportStats()
+        self.features = Tensor(dataset.features)
+        self.requests = 0
+        self._closed = False
+        # engine-shim fields the WorkerPool launch protocol reads; the
+        # optimizer is inert (InferPlan never steps) but gives the
+        # ParamStore channel its frozen layout
+        self.n = check_positive_int(workers, "workers") if mode == "pool" else 1
+        self.replicas = [self.model] * self.n
+        self.optimizer_name = "sgd"
+        self.lr = 1e-3
+        self.optimizers = [make_optimizer(self.optimizer_name, self.model.parameters(), self.lr)]
+        self._pool: WorkerPool | None = None
+        self._owns_pool = False
+        self._store = store
+        self._owns_store = store is None
+        self._arena: BatchArena | None = None
+        if mode == "pool":
+            self._ctx = mp.get_context(start_method)
+            self._pool = pool if pool is not None else WorkerPool(self._ctx, timeout=timeout)
+            self._owns_pool = pool is None
+            slot_bytes = check_positive_int(arena_slot_bytes, "arena_slot_bytes")
+            self._arena = BatchArena.create(num_slots=self.n, slot_bytes=max(16, slot_bytes))
+
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The live worker pool, if any (diagnostics/tests)."""
+        return self._pool
+
+    def _ensure_pool(self) -> None:
+        if self._store is None or self._store.closed:
+            self._store = SharedGraphStore.from_dataset(self.dataset)
+            self._owns_store = True
+        self._pool.ensure(self, self._store)
+
+    def warm_up(self) -> None:
+        """Pay the launch tax up front (pool fork + shm mapping).
+
+        Without this the first served request's latency includes the
+        pool launch — correct for a cold start, noise when a bench
+        compares batching/cache knobs.  Touches neither the cache nor
+        the counters; a no-op in inline mode and on a warm pool.
+        """
+        if self.mode == "pool":
+            self._ensure_pool()
+
+    # ------------------------------------------------------------------
+    def predict(self, node_ids) -> np.ndarray:
+        """Predictions for ``node_ids`` (one row each, duplicates allowed).
+
+        Per-request cache lookups first; the unique missing nodes are
+        computed once — inline or sharded across the pool — inserted,
+        and the rows assembled back into request order.
+        """
+        if self._closed:
+            raise ValueError("inference engine is closed")
+        node_ids = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        if node_ids.size == 0:
+            return np.zeros((0, self.snapshot.out_dim), dtype=np.float32)
+        self.requests += len(node_ids)
+        rows: dict[int, np.ndarray] = {}
+        missing: list[int] = []
+        seen: set[int] = set()
+        for node in node_ids:
+            node = int(node)
+            if node in seen:
+                continue  # duplicate within the batch: one lookup, one row
+            seen.add(node)
+            row = self.cache.get(node)
+            if row is None:
+                missing.append(node)
+            else:
+                rows[node] = row
+        if missing:
+            preds = self._compute(np.asarray(missing, dtype=np.int64))
+            for node, row in zip(missing, preds):
+                self.cache.put(node, row)
+                rows[node] = row
+        return np.stack([rows[int(node)] for node in node_ids])
+
+    def _compute(self, miss_ids: np.ndarray) -> np.ndarray:
+        if self.mode == "inline":
+            return predict_nodes(
+                self.model,
+                self.dataset.graph,
+                self.features,
+                self.sampler,
+                miss_ids,
+                seed=self.seed,
+            )
+        self._ensure_pool()
+        return self._pool.run_infer(
+            miss_ids,
+            self.sampler,
+            seed=self.seed,
+            arena=self._arena,
+            transport=self.transport,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release serving resources; idempotent.
+
+        Owned pools are shut down (shared pools keep running for their
+        owner); the graph store and result arena are unlinked either way
+        — they are this engine's segments.
+        """
+        self._closed = True
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown()
+        if self._arena is not None:
+            self._arena.unlink()
+            self._arena = None
+        if self._owns_store and self._store is not None and not self._store.closed:
+            self._store.unlink()
+        self._store = None
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,197 @@
+"""Synthetic serving traffic: Poisson arrivals, Zipf popularity, SLO report.
+
+The driver measures an :class:`~repro.serve.engine.InferenceEngine`
+under realistic request dynamics without real sleeping: arrivals and
+queueing run on a **virtual clock** (deterministic in the seed) while
+each flushed batch's service time is the *measured* wall time of the
+real ``predict`` call.  Latency of a request is then
+
+    (flush time + measured service time) - arrival time
+
+on the virtual axis — batching delay, queueing behind a busy server and
+real compute all included, yet the bench is fast (no idle waiting) and
+the arrival process is exactly reproducible.
+
+Two traffic shapes:
+
+* **open loop** — Poisson arrivals at ``rate_rps``; load is independent
+  of the server, so an undersized configuration visibly builds queue and
+  blows up tail latency (the p99-vs-throughput trade-off of Fig. 9).
+* **closed loop** — ``concurrency`` clients each issue the next request
+  the moment the previous completes; measures saturated throughput.
+
+Node popularity is Zipf-skewed (:func:`zipf_nodes`) so the prediction
+cache actually matters: a handful of hot nodes dominate the stream.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher, Request
+from repro.serve.cache import CacheStats
+from repro.shm.arena import TransportStats
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ServingReport", "zipf_nodes", "poisson_arrivals", "run_serving_workload"]
+
+
+def zipf_nodes(
+    catalog: np.ndarray, num_requests: int, *, alpha: float = 1.1, rng=None
+) -> np.ndarray:
+    """``num_requests`` node ids drawn Zipf(``alpha``)-skewed from ``catalog``.
+
+    Popularity rank is a seeded permutation of the catalog (so "which
+    node is hot" is deterministic but not trivially the lowest id);
+    ``alpha=0`` degenerates to uniform traffic.
+    """
+    catalog = np.asarray(catalog, dtype=np.int64)
+    if catalog.size == 0:
+        raise ValueError("empty node catalog")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    rng = rng if rng is not None else np.random.default_rng()
+    ranked = rng.permutation(catalog)
+    weights = 1.0 / np.arange(1, len(ranked) + 1, dtype=np.float64) ** alpha
+    probs = weights / weights.sum()
+    return ranked[rng.choice(len(ranked), size=int(num_requests), p=probs)]
+
+
+def poisson_arrivals(num_requests: int, rate_rps: float, *, rng=None) -> np.ndarray:
+    """Cumulative Poisson-process arrival times (seconds) at ``rate_rps``."""
+    check_positive_int(num_requests, "num_requests")
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    rng = rng if rng is not None else np.random.default_rng()
+    return np.cumsum(rng.exponential(1.0 / rate_rps, size=int(num_requests)))
+
+
+@dataclass
+class ServingReport:
+    """One workload run's outcome: throughput, tail latency, cache/arena."""
+
+    mode: str
+    requests: int
+    duration_s: float  # virtual makespan: first arrival epoch to last completion
+    service_s: float  # summed real wall time inside predict()
+    throughput_rps: float
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_batch: float
+    full_flushes: int
+    deadline_flushes: int
+    drain_flushes: int
+    cache: CacheStats
+    transport: TransportStats
+    #: per-request latencies (seconds, request-id order) for sweeps/tests
+    latencies_s: np.ndarray = field(repr=False, default=None)
+
+    def slo_attainment(self, slo_ms: float) -> float:
+        """Fraction of requests completed within ``slo_ms``."""
+        if self.latencies_s is None or not len(self.latencies_s):
+            return 0.0
+        return float(np.mean(self.latencies_s * 1e3 <= slo_ms))
+
+
+def run_serving_workload(
+    engine,
+    *,
+    num_requests: int = 256,
+    rate_rps: float = 500.0,
+    zipf_alpha: float = 1.1,
+    max_batch: int = 8,
+    max_wait_ms: float = 2.0,
+    closed_loop: bool = False,
+    concurrency: int = 8,
+    nodes: np.ndarray | None = None,
+    seed: int = 0,
+) -> ServingReport:
+    """Drive ``engine`` through one synthetic workload; returns the report.
+
+    ``nodes`` restricts the request catalog (default: the dataset's
+    validation split, falling back to all nodes when it is empty).  The
+    run is single-server: batches execute back to back on the engine,
+    exactly how the engine would sit behind one dispatch loop.
+    """
+    check_positive_int(num_requests, "num_requests")
+    rng = derive_rng(seed, "serve-workload")
+    if nodes is None:
+        nodes = engine.dataset.val_idx
+        if len(nodes) == 0:
+            nodes = np.arange(engine.dataset.num_nodes, dtype=np.int64)
+    node_seq = zipf_nodes(nodes, num_requests, alpha=zipf_alpha, rng=rng)
+
+    if closed_loop:
+        check_positive_int(concurrency, "concurrency")
+        first = min(concurrency, num_requests)
+        arrivals: deque = deque((0.0, i) for i in range(first))
+        next_issue = first
+    else:
+        times = poisson_arrivals(num_requests, rate_rps, rng=rng)
+        arrivals = deque(zip(times, range(num_requests)))
+        next_issue = num_requests
+
+    batcher = MicroBatcher(max_batch, max_wait_ms)
+    latencies = np.zeros(num_requests, dtype=np.float64)
+    completed = 0
+    service_total = 0.0
+    now = 0.0
+    while completed < num_requests:
+        # admit everything that has arrived by the server-free time
+        while arrivals and arrivals[0][0] <= now:
+            t_arr, idx = arrivals.popleft()
+            batcher.submit(Request(idx, int(node_seq[idx]), t_arr))
+        if len(batcher) == 0:
+            now = arrivals[0][0]
+            continue
+        flush_t = now
+        if not batcher.ready(now):
+            # idle server, partial batch: it flushes at the oldest
+            # request's deadline unless arrivals fill it first
+            flush_t = batcher.next_deadline()
+            while arrivals and arrivals[0][0] < flush_t and len(batcher) < max_batch:
+                t_arr, idx = arrivals.popleft()
+                batcher.submit(Request(idx, int(node_seq[idx]), t_arr))
+                if len(batcher) >= max_batch:
+                    flush_t = t_arr
+        batch = batcher.pop(max(now, flush_t))
+        start = time.perf_counter()
+        engine.predict([r.node for r in batch])
+        service = time.perf_counter() - start
+        service_total += service
+        done_t = max(now, flush_t) + service
+        for r in batch:
+            latencies[r.id] = done_t - r.arrival
+            completed += 1
+            if closed_loop and next_issue < num_requests:
+                arrivals.append((done_t, next_issue))
+                next_issue += 1
+        now = done_t
+
+    duration = max(now, 1e-12)
+    lat_ms = latencies * 1e3
+    return ServingReport(
+        mode=engine.mode,
+        requests=num_requests,
+        duration_s=float(duration),
+        service_s=float(service_total),
+        throughput_rps=float(num_requests / duration),
+        mean_ms=float(lat_ms.mean()),
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p95_ms=float(np.percentile(lat_ms, 95)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+        mean_batch=batcher.stats.mean_batch,
+        full_flushes=batcher.stats.full_flushes,
+        deadline_flushes=batcher.stats.deadline_flushes,
+        drain_flushes=batcher.stats.drain_flushes,
+        cache=engine.cache.stats,
+        transport=engine.transport,
+        latencies_s=latencies,
+    )

@@ -45,10 +45,38 @@ __all__ = [
     "ShmArena",
     "ParamStore",
     "BatchArena",
+    "TransportStats",
     "attach_segment",
     "flatten_arrays",
     "unflatten_arrays",
 ]
+
+
+@dataclass
+class TransportStats:
+    """Slot-hit vs pickle-fallback accounting for a :class:`BatchArena`.
+
+    The one counter record every arena-backed transport shares — the
+    prefetching loader's sampled-batch path and the serving runtime's
+    prediction path both report through it, so CLI/bench reports can
+    render "how often did results ride shared memory vs fall back to
+    queue pickling" identically everywhere.
+    """
+
+    #: bundles that travelled through an arena slot (raw memcpy)
+    arena_hits: int = 0
+    #: bundles that fell back to queue pickling (oversized, no free slot,
+    #: or the arena disabled outright)
+    pickle_fallbacks: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.arena_hits + self.pickle_fallbacks
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of bundles served from arena slots (0.0 when idle)."""
+        return self.arena_hits / self.total if self.total else 0.0
 
 
 @dataclass(frozen=True)

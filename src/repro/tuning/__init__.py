@@ -10,6 +10,7 @@ algorithms ARGO's auto-tuner is compared against (paper Sec. VI-D).
 """
 
 from repro.tuning.space import BackendSpace, ConfigSpace
+from repro.tuning.serving import ServingSpace, slo_objective
 from repro.tuning.search import Searcher, SearchResult, ExhaustiveSearch, RandomSearch
 from repro.tuning.anneal import SimulatedAnnealing
 from repro.tuning.pruning import PruningSearch
@@ -23,6 +24,8 @@ from repro.tuning.defaults import (
 __all__ = [
     "BackendSpace",
     "ConfigSpace",
+    "ServingSpace",
+    "slo_objective",
     "Searcher",
     "SearchResult",
     "ExhaustiveSearch",

@@ -124,3 +124,47 @@ class TestUnbroadcast:
         g = np.ones((2, 3))
         out = unbroadcast(g, ())
         assert out == pytest.approx(6.0)
+
+
+class TestInferenceMode:
+    def test_skips_tape_and_restores_flags(self):
+        from repro.autograd.tensor import inference_mode, is_inference_mode
+
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with inference_mode():
+            assert is_inference_mode() and not is_grad_enabled()
+            out = (a @ a).relu().sum()
+            assert out._parents == [] and not out.requires_grad
+        assert not is_inference_mode() and is_grad_enabled()
+
+    def test_flags_restored_on_exception(self):
+        from repro.autograd.tensor import inference_mode, is_inference_mode
+
+        with pytest.raises(RuntimeError):
+            with inference_mode():
+                raise RuntimeError("boom")
+        assert is_grad_enabled() and not is_inference_mode()
+
+    def test_values_bit_identical_to_grad_forward(self):
+        from repro.autograd.tensor import inference_mode
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        w = rng.standard_normal((3, 4)).astype(np.float32)
+
+        def forward():
+            t = Tensor(x, requires_grad=True) @ Tensor(w, requires_grad=True)
+            return (t.relu().sum(axis=0) * 2.0).data
+
+        with_tape = forward()
+        with inference_mode():
+            without_tape = forward()
+        np.testing.assert_array_equal(with_tape, without_tape)
+
+    def test_nests_inside_no_grad(self):
+        from repro.autograd.tensor import inference_mode, is_inference_mode
+
+        with no_grad():
+            with inference_mode():
+                assert is_inference_mode()
+            assert not is_grad_enabled() and not is_inference_mode()

@@ -164,6 +164,116 @@ class TestPoolAcrossEngines:
             backend.shutdown()
 
 
+class TestPoolResize:
+    """Shrinking ``n`` parks surplus workers instead of re-forking."""
+
+    def shared_engines(self, ds, backend):
+        sampler, model = make_task(
+            "neighbor-sage", ds.layer_dims(2), seed=0, fanouts=[5, 5]
+        )
+
+        def engine(n):
+            return MultiProcessEngine(
+                ds, sampler, model, num_processes=n,
+                global_batch_size=64, backend=backend, seed=0,
+            )
+
+        return engine
+
+    def test_shrink_parks_instead_of_reforking(self, tiny_dataset):
+        backend = get_backend("process", timeout=30.0)
+        engine = self.shared_engines(tiny_dataset, backend)
+        try:
+            engine(3).train_epoch()
+            pool = backend.pool
+            pids = pool.worker_pids()
+            assert (pool.launches, pool.parked) == (1, 0)
+            stats = engine(1).train_epoch()
+            assert pool.launches == 1  # no second fork
+            assert pool.parked == 2
+            assert pool.worker_pids() == pids  # everyone still alive
+            # the diagnostics surface through the epoch stats
+            assert stats.pool_parked == 2 and stats.pool_launches == 1
+        finally:
+            backend.shutdown()
+
+    def test_grow_back_within_forked_count_unparks(self, tiny_dataset):
+        backend = get_backend("process", timeout=30.0)
+        engine = self.shared_engines(tiny_dataset, backend)
+        try:
+            engine(3).train_epoch()
+            pids = backend.pool.worker_pids()
+            engine(1).train_epoch()
+            engine(2).train_epoch()
+            pool = backend.pool
+            assert pool.launches == 1
+            assert pool.parked == 1
+            assert pool.worker_pids() == pids
+        finally:
+            backend.shutdown()
+
+    def test_grow_beyond_forked_count_relaunches(self, tiny_dataset):
+        backend = get_backend("process", timeout=30.0)
+        engine = self.shared_engines(tiny_dataset, backend)
+        try:
+            engine(2).train_epoch()
+            engine(3).train_epoch()
+            pool = backend.pool
+            assert pool.launches == 2
+            assert len(pool.worker_pids()) == 3
+            assert pool.parked == 0
+        finally:
+            backend.shutdown()
+
+    def test_parked_pool_numerics_match_fresh_pools(self, tiny_dataset):
+        """A shrink served by parked workers must be bit-identical to
+        tearing down and re-forking at the smaller n."""
+
+        def run(fresh_each: bool):
+            backend = get_backend("process", timeout=30.0)
+            engine = self.shared_engines(tiny_dataset, backend)
+            losses = []
+            try:
+                for i, n in enumerate([2, 1, 2]):
+                    e = engine(n)
+                    e._epoch = i  # continue the shuffle sequence
+                    losses.append(e.train_epoch().mean_loss)
+                    if fresh_each:
+                        backend.shutdown()
+            finally:
+                backend.shutdown()
+            return losses
+
+        assert run(fresh_each=False) == run(fresh_each=True)
+
+    def test_world_ladder_shares_one_segment(self, tiny_dataset):
+        """Per-size worlds must not multiply shm: siblings reuse the
+        primary world's data segment (fresh barrier/lock only)."""
+        backend = get_backend("process", timeout=30.0)
+        engine = self.shared_engines(tiny_dataset, backend)
+        try:
+            engine(3).train_epoch()
+            worlds = backend.pool.worlds
+            assert len(worlds) == 3
+            names = {w._shm.name for w in worlds}
+            assert len(names) == 1  # one shared data segment
+            assert sum(w._owner for w in worlds) == 1
+        finally:
+            backend.shutdown()
+
+    @needs_dev_shm
+    def test_resize_leaks_nothing(self, tiny_dataset):
+        before = shm_segments()
+        backend = get_backend("process", timeout=30.0)
+        engine = self.shared_engines(tiny_dataset, backend)
+        try:
+            engine(3).train_epoch()
+            engine(1).train_epoch()
+        finally:
+            backend.shutdown()
+        assert shm_segments() == before
+
+
 class TestTrainFnPersistence:
     def test_tuner_relaunches_share_pool(self, tiny_dataset):
         sampler, model = make_task(

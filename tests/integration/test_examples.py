@@ -34,6 +34,12 @@ class TestExamples:
         assert "ARGO auto-tuner" in out
         assert "oracle config" in out
 
+    def test_products_serve(self):
+        out = run_example("products_serve.py")
+        assert "bit-identical" in out
+        assert "cache hit rate" in out
+        assert "p99=" in out
+
     @pytest.mark.slow
     def test_products_autotune(self):
         out = run_example("products_autotune.py")

@@ -1,0 +1,23 @@
+"""Serving-test fixtures: one trained snapshot shared by the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import MultiProcessEngine
+from repro.gnn.models import make_task
+from repro.serve.snapshot import ModelSnapshot
+
+
+@pytest.fixture(scope="session")
+def trained_snapshot(tiny_dataset):
+    """A briefly-trained neighbor-sage snapshot over the tiny dataset."""
+    sampler, model = make_task(
+        "neighbor-sage", tiny_dataset.layer_dims(2), seed=0, fanouts=[5, 5]
+    )
+    engine = MultiProcessEngine(
+        tiny_dataset, sampler, model, num_processes=1, global_batch_size=128,
+        backend="inline", seed=0,
+    )
+    engine.train(1)
+    return ModelSnapshot.from_engine(engine)

@@ -1,0 +1,107 @@
+"""MicroBatcher deadline semantics, driven with an explicit clock."""
+
+import pytest
+
+from repro.serve.batcher import MicroBatcher, Request
+
+
+def req(i, t):
+    return Request(id=i, node=i, arrival=t)
+
+
+class TestValidation:
+    def test_bad_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(0, 1.0)
+
+    def test_bad_max_wait(self):
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(1, -1.0)
+
+    def test_pop_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            MicroBatcher(2, 1.0).pop(0.0)
+
+
+class TestFullFlush:
+    def test_flushes_immediately_when_full(self):
+        b = MicroBatcher(3, max_wait_ms=1000.0)
+        for i in range(3):
+            b.submit(req(i, 0.0))
+        assert b.ready(0.0)  # long deadline irrelevant: the batch is full
+        batch = b.pop(0.0)
+        assert [r.id for r in batch] == [0, 1, 2]
+        assert b.stats.full_flushes == 1 and b.stats.deadline_flushes == 0
+
+    def test_burst_larger_than_batch_splits_fifo(self):
+        b = MicroBatcher(4, max_wait_ms=50.0)
+        for i in range(10):
+            b.submit(req(i, 0.0))
+        first = b.pop(0.0)
+        second = b.pop(0.0)
+        assert [r.id for r in first] == [0, 1, 2, 3]
+        assert [r.id for r in second] == [4, 5, 6, 7]
+        # the burst's tail is below max_batch: it waits for its deadline
+        assert not b.ready(0.0)
+        assert b.ready(0.050)
+        assert [r.id for r in b.pop(0.050)] == [8, 9]
+        assert b.stats.full_flushes == 2 and b.stats.deadline_flushes == 1
+        assert b.stats.mean_batch == pytest.approx(10 / 3)
+
+
+class TestDeadlineFlush:
+    def test_partial_batch_waits_until_oldest_deadline(self):
+        b = MicroBatcher(8, max_wait_ms=2.0)
+        b.submit(req(0, 0.010))
+        assert not b.ready(0.010)
+        assert not b.ready(0.0119)
+        assert b.next_deadline() == pytest.approx(0.012)
+        assert b.ready(0.012)
+        assert [r.id for r in b.pop(0.012)] == [0]
+        assert b.stats.deadline_flushes == 1
+
+    def test_deadline_follows_oldest_not_newest(self):
+        """A trickle of arrivals must not postpone the first request."""
+        b = MicroBatcher(8, max_wait_ms=5.0)
+        b.submit(req(0, 0.0))
+        b.submit(req(1, 0.004))  # newer arrival, later own deadline
+        assert b.next_deadline() == pytest.approx(0.005)
+        assert b.ready(0.005)
+        batch = b.pop(0.005)
+        assert [r.id for r in batch] == [0, 1]  # the newcomer rides along
+
+    def test_pop_before_deadline_rejected(self):
+        b = MicroBatcher(8, max_wait_ms=10.0)
+        b.submit(req(0, 0.0))
+        with pytest.raises(ValueError, match="not ready"):
+            b.pop(0.001)
+
+    def test_zero_wait_flushes_on_first_poll(self):
+        b = MicroBatcher(8, max_wait_ms=0.0)
+        b.submit(req(0, 0.5))
+        assert b.ready(0.5)
+        assert b.pop(0.5)[0].id == 0
+
+
+class TestBurstyArrivals:
+    def test_gapped_bursts_each_flush_on_their_own_deadline(self):
+        b = MicroBatcher(16, max_wait_ms=1.0)
+        for i in range(3):
+            b.submit(req(i, 0.0))
+        # first burst flushes at its deadline, before the second arrives
+        assert b.ready(0.001)
+        assert len(b.pop(0.001)) == 3
+        for i in range(3, 5):
+            b.submit(req(i, 0.100))
+        assert not b.ready(0.100)
+        assert b.ready(0.101)
+        assert [r.id for r in b.pop(0.101)] == [3, 4]
+        assert b.stats.deadline_flushes == 2
+
+    def test_drain_flushes_partial_batch_before_deadline(self):
+        b = MicroBatcher(16, max_wait_ms=1000.0)
+        b.submit(req(0, 0.0))
+        batch = b.pop(0.0, drain=True)
+        assert [r.id for r in batch] == [0]
+        assert b.stats.drain_flushes == 1
+        assert len(b) == 0

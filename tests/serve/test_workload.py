@@ -1,0 +1,111 @@
+"""Workload generators and the virtual-clock serving driver."""
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import InferenceEngine
+from repro.serve.workload import poisson_arrivals, run_serving_workload, zipf_nodes
+from repro.utils.rng import derive_rng
+
+
+class TestGenerators:
+    def test_zipf_deterministic_in_seed(self):
+        catalog = np.arange(100, dtype=np.int64)
+        a = zipf_nodes(catalog, 50, alpha=1.2, rng=derive_rng(0, "z"))
+        b = zipf_nodes(catalog, 50, alpha=1.2, rng=derive_rng(0, "z"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_zipf_skew_concentrates_mass(self):
+        catalog = np.arange(1000, dtype=np.int64)
+        skewed = zipf_nodes(catalog, 2000, alpha=1.5, rng=derive_rng(0, "z"))
+        uniform = zipf_nodes(catalog, 2000, alpha=0.0, rng=derive_rng(0, "z"))
+        assert len(np.unique(skewed)) < len(np.unique(uniform)) / 2
+
+    def test_zipf_draws_from_catalog(self):
+        catalog = np.array([5, 9, 42], dtype=np.int64)
+        draws = zipf_nodes(catalog, 30, alpha=1.0, rng=derive_rng(1, "z"))
+        assert set(draws) <= set(catalog.tolist())
+
+    def test_zipf_rejects_empty_catalog(self):
+        with pytest.raises(ValueError, match="empty"):
+            zipf_nodes(np.array([], dtype=np.int64), 5)
+
+    def test_poisson_mean_gap_matches_rate(self):
+        times = poisson_arrivals(4000, 100.0, rng=derive_rng(0, "p"))
+        assert np.all(np.diff(times) >= 0)
+        assert np.mean(np.diff(times)) == pytest.approx(0.01, rel=0.15)
+
+    def test_poisson_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            poisson_arrivals(10, 0.0)
+
+
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def engine(self, tiny_dataset, trained_snapshot):
+        return InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=256)
+
+    def test_report_accounts_every_request(self, engine):
+        report = run_serving_workload(
+            engine, num_requests=64, rate_rps=5000.0, max_batch=8,
+            max_wait_ms=1.0, seed=0,
+        )
+        assert report.requests == 64
+        assert len(report.latencies_s) == 64
+        assert np.all(report.latencies_s > 0)
+        assert report.full_flushes + report.deadline_flushes + report.drain_flushes > 0
+        assert report.throughput_rps > 0
+        assert report.duration_s >= report.service_s
+
+    def test_percentiles_ordered(self, engine):
+        report = run_serving_workload(
+            engine, num_requests=64, rate_rps=2000.0, max_batch=4,
+            max_wait_ms=2.0, seed=1,
+        )
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.p50_ms > 0
+
+    def test_zipf_traffic_hits_cache(self, tiny_dataset, trained_snapshot):
+        eng = InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=4096)
+        report = run_serving_workload(
+            eng, num_requests=200, rate_rps=5000.0, zipf_alpha=1.3,
+            max_batch=8, max_wait_ms=1.0, seed=0,
+        )
+        assert report.cache.hit_rate > 0.3  # hot nodes repeat
+
+    def test_unbatched_config_serves_singly(self, tiny_dataset, trained_snapshot):
+        eng = InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0)
+        report = run_serving_workload(
+            eng, num_requests=32, rate_rps=100.0, max_batch=1,
+            max_wait_ms=5.0, seed=0,
+        )
+        assert report.mean_batch == 1.0
+        assert report.full_flushes == 32
+
+    def test_closed_loop_completes_all(self, tiny_dataset, trained_snapshot):
+        eng = InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=256)
+        report = run_serving_workload(
+            eng, num_requests=48, closed_loop=True, concurrency=6,
+            max_batch=4, max_wait_ms=1.0, seed=0,
+        )
+        assert report.requests == 48
+        assert np.all(report.latencies_s > 0)
+
+    def test_slo_attainment_bounds(self, engine):
+        report = run_serving_workload(
+            engine, num_requests=32, rate_rps=2000.0, max_batch=4,
+            max_wait_ms=1.0, seed=2,
+        )
+        assert report.slo_attainment(1e9) == 1.0
+        assert report.slo_attainment(1e-9) == 0.0
+
+    def test_overload_coalesces_into_batches(self, tiny_dataset, trained_snapshot):
+        """Arrivals far faster than service must build real batches —
+        the queue forms behind the busy server and flushes full."""
+        eng = InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0)
+        report = run_serving_workload(
+            eng, num_requests=80, rate_rps=50000.0, zipf_alpha=0.0,
+            max_batch=8, max_wait_ms=2.0, seed=7,
+        )
+        assert report.mean_batch > 1.5
+        assert report.full_flushes > 0

@@ -93,3 +93,67 @@ class TestTrainPersistent:
                 ["train", "--backend", "thread", "--processes", "1", "--epochs", "1",
                  "--scale", "9", "--batch", "64", "--no-persistent"]
             )
+
+
+class TestServeBench:
+    def test_inline_smoke_reports_latency_and_cache(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "48", "--rate", "2000",
+             "--max-batch", "4", "--max-wait-ms", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput req/s" in out
+        assert "latency p50 ms" in out and "latency p99 ms" in out
+        assert "cache hit rate" in out
+        assert "mode=inline" in out
+
+    def test_pool_smoke_reports_pool_and_arena_stats(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "32", "--mode", "pool",
+             "--serve-workers", "2", "--timeout", "30", "--max-batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mode=pool" in out
+        assert "launches=1" in out
+        assert "slot hits=" in out and "pickle fallbacks=" in out
+
+    def test_slo_verdict_rendered(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "24", "--slo-ms", "1e9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SLO" in out and "MET" in out and "objective" in out
+
+    def test_closed_loop_flag(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "24", "--closed",
+             "--concurrency", "4"]
+        ) == 0
+        assert "closed(c=4)" in capsys.readouterr().out
+
+    def test_bad_mode_fails_in_parser(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--mode", "thread"])
+
+    def test_negative_cache_fails_in_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--cache-entries", "-1"])
+        assert "non-negative" in capsys.readouterr().err
+
+
+class TestTrainPoolDiagnostics:
+    def test_persistent_report_has_launches_and_parked_columns(self, capsys):
+        assert main(
+            ["train", "--backend", "process", "--processes", "2", "--epochs", "2",
+             "--scale", "9", "--batch", "64", "--persistent"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "launches" in out and "parked" in out
+
+    def test_respawn_report_omits_pool_columns(self, capsys):
+        assert main(
+            ["train", "--backend", "process", "--processes", "2", "--epochs", "1",
+             "--scale", "9", "--batch", "64", "--no-persistent"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "launches" not in out and "parked" not in out

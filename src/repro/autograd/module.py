@@ -13,6 +13,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.autograd.ops import matmul as ops_matmul
 from repro.autograd.tensor import Tensor
 from repro.autograd import init as init_mod
 
@@ -139,8 +140,10 @@ class Linear(Module):
         self.weight = Parameter(init_mod.glorot_uniform((in_features, out_features), rng=rng))
         self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
 
-    def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
+    def forward(self, x: Tensor, *, row_splits=None) -> Tensor:
+        # row_splits: compute the product in independent row segments —
+        # see ops.matmul; the bias broadcast is per-row either way
+        out = ops_matmul(x, self.weight, row_splits=row_splits)
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -126,12 +126,43 @@ def log(a) -> Tensor:
 # ----------------------------------------------------------------------
 # linear algebra
 # ----------------------------------------------------------------------
-def matmul(a, b) -> Tensor:
+def matmul(a, b, *, row_splits=None) -> Tensor:
+    """``a @ b``, optionally computed in independent row segments.
+
+    ``row_splits`` (a monotone ``0..len(a)`` offset array) computes the
+    product one ``a[s:e] @ b`` slice at a time.  The *values* are the
+    same either way in exact arithmetic, but not bit-for-bit: BLAS picks
+    different kernels (and accumulation orders) for different row
+    counts, so row ``i`` of one big product need not equal row ``i`` of
+    a smaller one.  Shared-frontier batched inference
+    (:mod:`repro.serve.frontier`) therefore passes each request's
+    segment bounds — every slice reproduces the exact call geometry of
+    that request's solo forward, which is what makes merged predictions
+    bit-identical to per-node inference.  Gradients treat the product
+    whole (training never splits rows).
+    """
     a, b = _wrap(a), _wrap(b)
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError(f"matmul expects 2-D tensors, got {a.shape} @ {b.shape}")
+    if row_splits is None or len(row_splits) <= 2:
+        out_data = a.data @ b.data
+    else:
+        row_splits = np.asarray(row_splits, dtype=np.int64)
+        if (
+            row_splits[0] != 0
+            or row_splits[-1] != len(a.data)
+            or np.any(np.diff(row_splits) < 0)
+        ):
+            raise ValueError(
+                f"row_splits must be a monotone 0..{len(a.data)} offset array, "
+                f"got [{row_splits[0]}, ..., {row_splits[-1]}]"
+            )
+        out_data = np.concatenate(
+            [a.data[s:e] @ b.data for s, e in zip(row_splits[:-1], row_splits[1:])],
+            axis=0,
+        )
     return _make(
-        a.data @ b.data,
+        out_data,
         [
             (a, lambda g: g @ b.data.T),
             (b, lambda g: a.data.T @ g),

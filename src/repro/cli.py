@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli train --backend process --no-persistent  # respawn/epoch
     python -m repro.cli serve-bench --mode inline --requests 256
     python -m repro.cli serve-bench --mode pool --serve-workers 2 --slo-ms 20
+    python -m repro.cli serve-bench --batch-mode frontier --queue-limit 64
+    python -m repro.cli serve-bench --mode pool --swaps 2  # hot snapshot reloads
 
 Each command prints the reproduced artefact to stdout (the benchmark
 suite additionally asserts the paper's shapes; the CLI is for quick
@@ -232,6 +234,7 @@ def cmd_serve_bench(args) -> str:
     from repro.gnn.models import make_task
     from repro.graph.datasets import load_dataset
     from repro.serve import InferenceEngine, ModelSnapshot, run_serving_workload
+    from repro.serve.workload import merge_reports
     from repro.tuning.serving import slo_objective
 
     ds = load_dataset(args.dataset, seed=args.seed, scale_override=args.scale)
@@ -246,23 +249,45 @@ def cmd_serve_bench(args) -> str:
         snapshot,
         ds,
         mode=args.mode,
+        batch_mode=args.batch_mode,
         workers=args.serve_workers,
         cache_entries=args.cache_entries,
         timeout=args.timeout,
     )
+    swap_lines = []
     try:
         engine.warm_up()  # pool fork paid before the clock starts
-        report = run_serving_workload(
-            engine,
-            num_requests=args.requests,
-            rate_rps=args.rate,
-            zipf_alpha=args.zipf,
-            max_batch=args.max_batch,
-            max_wait_ms=args.max_wait_ms,
-            closed_loop=args.closed,
-            concurrency=args.concurrency,
-            seed=args.seed,
-        )
+        # --swaps N splits the run into N+1 segments with a hot snapshot
+        # reload between them: the live pool keeps its workers (launches
+        # must stay flat) while weights travel the ParamStore channel.
+        # A segment needs at least one request, so very small runs cap
+        # the swap count rather than serving more than --requests.
+        segments = min(args.swaps + 1, args.requests)
+        seg_requests = [args.requests // segments] * segments
+        seg_requests[-1] += args.requests - sum(seg_requests)
+        reports = []
+        for seg, n_req in enumerate(seg_requests):
+            if seg > 0:
+                engine.reload(snapshot)
+                swap_lines.append(
+                    f"swap {seg}: generation={engine.generation}, "
+                    f"launches={engine.pool.launches if engine.pool else '(inline)'}"
+                )
+            reports.append(
+                run_serving_workload(
+                    engine,
+                    num_requests=n_req,
+                    rate_rps=args.rate,
+                    zipf_alpha=args.zipf,
+                    max_batch=args.max_batch,
+                    max_wait_ms=args.max_wait_ms,
+                    closed_loop=args.closed,
+                    concurrency=args.concurrency,
+                    queue_limit=args.queue_limit,
+                    seed=args.seed + seg,
+                )
+            )
+        report = merge_reports(reports)
         pool = engine.pool
         pool_line = (
             f"pool: workers={engine.n}, launches={pool.launches}, parked={pool.parked}; "
@@ -274,30 +299,33 @@ def cmd_serve_bench(args) -> str:
     finally:
         engine.close()
     loop = f"closed(c={args.concurrency})" if args.closed else f"open({args.rate:g} rps)"
+    rows = [
+        ["requests", report.requests],
+        ["throughput req/s", f"{report.throughput_rps:.1f}"],
+        ["latency p50 ms", f"{report.p50_ms:.2f}"],
+        ["latency p95 ms", f"{report.p95_ms:.2f}"],
+        ["latency p99 ms", f"{report.p99_ms:.2f}"],
+        ["latency mean ms", f"{report.mean_ms:.2f}"],
+        ["mean batch", f"{report.mean_batch:.2f}"],
+        ["flushes full/deadline/drain",
+         f"{report.full_flushes}/{report.deadline_flushes}/{report.drain_flushes}"],
+        ["cache hit rate", f"{report.cache.hit_rate:.3f}"],
+        ["cache hits/misses/evictions",
+         f"{report.cache.hits}/{report.cache.misses}/{report.cache.evictions}"],
+    ]
+    if args.queue_limit is not None:
+        rows.append(["shed (queue limit)", f"{report.shed_count} (max queue {report.max_queue})"])
     table = render_table(
         ["metric", "value"],
-        [
-            ["requests", report.requests],
-            ["throughput req/s", f"{report.throughput_rps:.1f}"],
-            ["latency p50 ms", f"{report.p50_ms:.2f}"],
-            ["latency p95 ms", f"{report.p95_ms:.2f}"],
-            ["latency p99 ms", f"{report.p99_ms:.2f}"],
-            ["latency mean ms", f"{report.mean_ms:.2f}"],
-            ["mean batch", f"{report.mean_batch:.2f}"],
-            ["flushes full/deadline/drain",
-             f"{report.full_flushes}/{report.deadline_flushes}/{report.drain_flushes}"],
-            ["cache hit rate", f"{report.cache.hit_rate:.3f}"],
-            ["cache hits/misses/evictions",
-             f"{report.cache.hits}/{report.cache.misses}/{report.cache.evictions}"],
-        ],
+        rows,
         title=(
             f"serve-bench — {args.task} on {args.dataset} (scale 2^{args.scale}), "
-            f"mode={args.mode}, {loop}, zipf={args.zipf:g}, "
+            f"mode={args.mode}/{args.batch_mode}, {loop}, zipf={args.zipf:g}, "
             f"batch<={args.max_batch}, wait<={args.max_wait_ms:g}ms, "
             f"cache={args.cache_entries}"
         ),
     )
-    lines = [table, pool_line]
+    lines = [table, pool_line, *swap_lines]
     if args.slo_ms is not None:
         lines.append(
             f"SLO {args.slo_ms:g} ms: p99 "
@@ -369,6 +397,21 @@ def main(argv=None) -> int:
             p.add_argument(
                 "--mode", default="inline", choices=["inline", "pool"],
                 help="inference execution: in-process or persistent worker pool",
+            )
+            p.add_argument(
+                "--batch-mode", default="per_node", choices=["per_node", "frontier"],
+                help="micro-batch forward: each node alone, or one vectorised "
+                     "forward over the merged frontiers (bit-identical outputs)",
+            )
+            p.add_argument(
+                "--queue-limit", type=_positive_int, default=None,
+                help="admission control: bound the pending queue, shedding the "
+                     "oldest request on overflow (default: unbounded)",
+            )
+            p.add_argument(
+                "--swaps", type=_nonnegative_int, default=0,
+                help="hot snapshot reloads mid-run (live pool keeps its "
+                     "workers; weights travel the ParamStore channel)",
             )
             p.add_argument(
                 "--serve-workers", type=_positive_int, default=2,

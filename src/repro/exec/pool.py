@@ -233,6 +233,9 @@ class WorkerPool:
                     optimizer=engine.optimizer_name,
                     lr=engine.lr,
                     seed=engine.seed,
+                    # serving engines carry a weight-generation counter
+                    # (hot snapshot swap); training engines do not
+                    generation=getattr(engine, "generation", 0),
                     parent_pid=os.getpid(),
                 )
                 p = self._ctx.Process(
@@ -309,7 +312,15 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def run_infer(
-        self, node_ids: np.ndarray, sampler, *, seed: int, arena=None, transport=None
+        self,
+        node_ids: np.ndarray,
+        sampler,
+        *,
+        seed: int,
+        arena=None,
+        transport=None,
+        batch_mode: str = "per_node",
+        generation: int = 0,
     ) -> np.ndarray:
         """Forward-only predictions for ``node_ids`` over the active ranks.
 
@@ -318,7 +329,12 @@ class WorkerPool:
         reassembly), ships one :class:`InferPlan` per active rank and
         collects one result each.  Per-node determinism (the RNG is a
         pure function of ``(seed, node)``) makes the result independent
-        of the shard boundaries — bit-identical to inline inference.
+        of the shard boundaries — bit-identical to inline inference;
+        that holds for both batch modes (``"frontier"`` merges each
+        rank's chunk into one union forward without touching sampling
+        or per-request numerics).  ``generation`` is the served-weight
+        generation: workers that loaded an older one reload from the
+        shared ParamStore before forwarding (hot snapshot swap).
 
         ``arena`` (a :class:`~repro.shm.arena.BatchArena` with one slot
         per rank, owned by the caller) carries each rank's prediction
@@ -344,6 +360,8 @@ class WorkerPool:
                         seed=seed,
                         slot=rank,
                         arena_spec=arena.spec if arena is not None else None,
+                        batch_mode=batch_mode,
+                        generation=generation,
                     )
                 )
             results = collect_results(

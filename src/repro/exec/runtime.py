@@ -93,14 +93,18 @@ class InferPlan:
     """One forward-only serving batch for one persistent rank worker.
 
     The online-inference counterpart of :class:`EpochPlan`: no optimizer,
-    no collectives, no weight reload — the worker's model template
-    already holds the served weights (pickled at fork, or folded by the
-    last training epoch, which the parent mirrors).  ``node_ids`` is this
-    *rank's* chunk of the micro-batch; each node's prediction is computed
-    independently with an RNG derived purely from ``(seed, node)``
-    (:func:`repro.serve.engine.predict_nodes`), so pool predictions are
-    bit-identical to inline single-request inference regardless of how
-    requests were batched or sharded.
+    no collectives — the worker's model template holds the served
+    weights (pickled at fork) until a hot snapshot swap bumps
+    ``generation``, at which point the worker reloads them from the
+    shared :class:`~repro.shm.arena.ParamStore` (one memcpy; the pool is
+    never relaunched).  ``node_ids`` is this *rank's* chunk of the
+    micro-batch; each node is sampled with an RNG derived purely from
+    ``(seed, node)``, so pool predictions are bit-identical to inline
+    single-request inference regardless of how requests were batched or
+    sharded.  ``batch_mode`` picks the forward: ``"per_node"``
+    (:func:`repro.serve.engine.predict_nodes`) or ``"frontier"``
+    (:func:`repro.serve.frontier.predict_frontier`, one vectorised
+    forward over the merged frontiers — same bits, amortised overhead).
 
     Results return through a :class:`~repro.shm.arena.BatchArena` slot
     (``slot``; one per rank) when ``arena_spec`` is given and the rows
@@ -113,6 +117,10 @@ class InferPlan:
     seed: int
     slot: int = 0
     arena_spec: dict | None = None
+    batch_mode: str = "per_node"
+    #: served-weight generation; mismatch with the worker's loaded
+    #: generation triggers a ParamStore reload before the forward
+    generation: int = 0
 
 
 @dataclass
@@ -147,6 +155,9 @@ class WorkerInit:
     optimizer: str
     lr: float
     seed: int
+    #: served-weight generation baked into the pickled model — lets a
+    #: relaunched pool skip the first InferPlan's redundant reload
+    generation: int = 0
     #: the forking process's pid, captured at the fork site: the orphan
     #: watchdog compares against it, and reading getppid() in the child
     #: instead would record the *reaper's* pid if the parent died during
@@ -240,9 +251,12 @@ def _run_infer_plan(
 ) -> dict:
     """Serve one rank's chunk of a forward-only inference batch."""
     # lazy import: repro.serve imports this module's package at load time
-    from repro.serve.engine import predict_nodes
+    if plan.batch_mode == "frontier":
+        from repro.serve.frontier import predict_frontier as forward
+    else:
+        from repro.serve.engine import predict_nodes as forward
 
-    preds = predict_nodes(
+    preds = forward(
         model, graph, features, plan.sampler, plan.node_ids, seed=plan.seed
     )
     result = {"rank": rank, "status": "ok", "seq": plan.seq}
@@ -286,6 +300,7 @@ def persistent_worker_main(
     params = None
     arena = None
     arena_name = None
+    generation = init.generation  # weights currently held by the template
     parent_pid = init.parent_pid or os.getppid()
     world: ProcessWorld = worlds[init.world_size - 1]
     try:
@@ -309,6 +324,11 @@ def persistent_worker_main(
                 world = worlds[cmd.world_size - 1]
                 continue
             if isinstance(cmd, InferPlan):
+                if cmd.generation != generation:
+                    # hot snapshot swap: the parent republished weights
+                    # through the ParamStore before bumping the counter
+                    model_template.load_state_dict(params.load()["model"])
+                    generation = cmd.generation
                 if cmd.arena_spec is not None and arena_name != cmd.arena_spec["shm_name"]:
                     if arena is not None:
                         arena.close()

@@ -22,6 +22,7 @@ from repro.autograd.ops import (
     add,
     dropout as dropout_op,
     gather_rows,
+    matmul,
     mul,
     relu,
     scatter_add_rows,
@@ -57,12 +58,23 @@ class GATConv(Module):
             raise ValueError(
                 f"feature rows ({len(h_src.data)}) != block src nodes ({block.num_src})"
             )
-        z = self.linear(h_src)  # (num_src, F')
+        # merged (shared-frontier) blocks project per request segment so
+        # each request keeps its solo forward's exact BLAS geometry
+        z = self.linear(h_src, row_splits=block.src_splits)  # (num_src, F')
         # per-node attention halves, then per-edge logits
-        score_src = z @ self.attn_src  # (num_src, 1)
-        score_dst = z @ self.attn_dst
+        score_src = matmul(z, self.attn_src, row_splits=block.src_splits)  # (num_src, 1)
+        score_dst = matmul(z, self.attn_dst, row_splits=block.src_splits)
         e_src = gather_rows(score_src, block.edge_src).reshape(block.num_edges)
-        e_dst = gather_rows(score_dst, block.edge_dst).reshape(block.num_edges)
+        # a destination's score lives at its *source-row* position: the
+        # prefix for ordinary blocks (where that position IS edge_dst —
+        # skip the index composition on the training hot path), the
+        # per-request segment heads for merged blocks
+        dst_rows = (
+            block.edge_dst
+            if block.src_splits is None
+            else block.dst_positions[block.edge_dst]
+        )
+        e_dst = gather_rows(score_dst, dst_rows).reshape(block.num_edges)
         logits = leaky_relu(add(e_src, e_dst), self.slope)
         alpha = segment_softmax(logits, block.edge_dst, block.num_dst)
         messages = mul(gather_rows(z, block.edge_src), alpha.reshape((block.num_edges, 1)))

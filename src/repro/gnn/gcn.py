@@ -33,11 +33,13 @@ class GCNConv(Module):
         coeff = gcn_norm_coefficients(
             block.edge_src, block.edge_dst, block.num_src, block.num_dst
         )
-        # blocks are range-checked at construction (Block.__post_init__)
+        # blocks are range-checked at construction (Block.__post_init__);
+        # merged blocks compute the affine map per request segment so
+        # each request keeps its solo forward's exact BLAS geometry
         agg = aggregate_sum(
             h_src, block.edge_src, block.edge_dst, block.num_dst, coeff, validate=False
         )
-        return self.linear(agg)
+        return self.linear(agg, row_splits=block.dst_splits)
 
 
 class GCN(Module):

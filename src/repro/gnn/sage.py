@@ -35,12 +35,16 @@ class SAGEConv(Module):
             raise ValueError(
                 f"feature rows ({len(h_src.data)}) != block src nodes ({block.num_src})"
             )
-        h_self = gather_rows(h_src, np.arange(block.num_dst, dtype=np.int64))
+        # dst_positions is the prefix arange for ordinary blocks and the
+        # per-request prefixes for merged (shared-frontier) blocks
+        h_self = gather_rows(h_src, block.dst_positions)
         # blocks are range-checked at construction (Block.__post_init__)
         h_neigh = aggregate_mean(
             h_src, block.edge_src, block.edge_dst, block.num_dst, validate=False
         )
-        return self.linear(concat([h_self, h_neigh], axis=-1))
+        # merged blocks compute the affine map per request segment so
+        # each request keeps its solo forward's exact BLAS geometry
+        return self.linear(concat([h_self, h_neigh], axis=-1), row_splits=block.dst_splits)
 
 
 class GraphSAGE(Module):

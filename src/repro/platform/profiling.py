@@ -61,22 +61,28 @@ def _patched(profile: StepProfile):
     and aggregation modules bind ``gather_rows`` etc. at import time), so
     all dispatch paths are covered.
     """
+    import repro.autograd.module as module_mod
     import repro.gnn.aggregate as agg_mod
     import repro.gnn.gat as gat_mod
     import repro.gnn.sage as sage_mod
 
     categories = {"gather_rows": "gather", "scatter_add_rows": "gather", "matmul": "dense"}
+    # (module, attribute, ops-function it aliases): every import-time
+    # binding of a hot op must be patched — Linear binds matmul as
+    # ``ops_matmul`` and GAT imports it by name for the attention scores
     sites = [
-        (ops_mod, "gather_rows"),
-        (ops_mod, "scatter_add_rows"),
-        (ops_mod, "matmul"),
-        (agg_mod, "gather_rows"),
-        (agg_mod, "scatter_add_rows"),
-        (sage_mod, "gather_rows"),
-        (gat_mod, "gather_rows"),
-        (gat_mod, "scatter_add_rows"),
+        (ops_mod, "gather_rows", "gather_rows"),
+        (ops_mod, "scatter_add_rows", "scatter_add_rows"),
+        (ops_mod, "matmul", "matmul"),
+        (module_mod, "ops_matmul", "matmul"),
+        (agg_mod, "gather_rows", "gather_rows"),
+        (agg_mod, "scatter_add_rows", "scatter_add_rows"),
+        (sage_mod, "gather_rows", "gather_rows"),
+        (gat_mod, "gather_rows", "gather_rows"),
+        (gat_mod, "scatter_add_rows", "scatter_add_rows"),
+        (gat_mod, "matmul", "matmul"),
     ]
-    originals = [(mod, name, getattr(mod, name)) for mod, name in sites]
+    originals = [(mod, attr, getattr(mod, attr)) for mod, attr, _ in sites]
     base_fns = {name: getattr(ops_mod, name) for name in categories}
 
     def timed(name: str):
@@ -91,13 +97,13 @@ def _patched(profile: StepProfile):
         return wrapper
 
     wrappers = {name: timed(name) for name in categories}
-    for mod, name in sites:
-        setattr(mod, name, wrappers[name])
+    for mod, attr, name in sites:
+        setattr(mod, attr, wrappers[name])
     try:
         yield
     finally:
-        for mod, name, orig in originals:
-            setattr(mod, name, orig)
+        for mod, attr, orig in originals:
+            setattr(mod, attr, orig)
 
 
 def profile_training_step(

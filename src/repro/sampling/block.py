@@ -10,6 +10,20 @@ each destination node as ``h_src[:num_dst]`` — required by GraphSAGE's
 :class:`MiniBatch` bundles the ``L`` blocks of one training iteration plus
 the bookkeeping the workload profiler (Fig. 5/6) needs: total sampled
 edges and nodes.
+
+Merged (shared-frontier) blocks
+-------------------------------
+The serving runtime's frontier merger
+(:func:`repro.serve.frontier.merge_frontiers`) concatenates several
+independently-sampled blocks into one block-diagonal union.  In that
+layout the destination nodes are *not* a prefix of ``src_ids`` — each
+request keeps its own prefix inside its segment — so a merged block
+carries ``src_splits``/``dst_splits`` (the per-request segment offsets
+into the source and destination rows).  :attr:`Block.dst_positions`
+abstracts the difference: the position of each destination row within
+the source rows, ``arange(num_dst)`` for ordinary prefix blocks.  GNN
+layers index through it (and pass the splits to the segmented matmul),
+which is what lets one model forward serve both layouts bit-identically.
 """
 
 from __future__ import annotations
@@ -29,18 +43,29 @@ class Block:
     ----------
     src_ids:
         Global node ids of source nodes; the first ``num_dst`` entries are
-        the destination nodes (prefix convention).
+        the destination nodes (prefix convention), unless this is a merged
+        block (``src_splits`` set), where each request segment holds its
+        own destination prefix instead.
     num_dst:
         Number of destination nodes.
     edge_src, edge_dst:
         Local edge endpoints: ``edge_src[e]`` indexes ``src_ids``;
-        ``edge_dst[e]`` indexes the destination prefix.
+        ``edge_dst[e]`` indexes the destination numbering (the prefix for
+        ordinary blocks, the concatenated per-request prefixes for merged
+        ones).
+    src_splits, dst_splits:
+        Merged blocks only: per-request segment offsets into the source
+        rows and the destination rows (both ``len == requests + 1``,
+        starting at 0 and ending at ``num_src``/``num_dst``).  ``None``
+        for ordinary single-request blocks.
     """
 
     src_ids: np.ndarray
     num_dst: int
     edge_src: np.ndarray
     edge_dst: np.ndarray
+    src_splits: np.ndarray | None = None
+    dst_splits: np.ndarray | None = None
 
     def __post_init__(self):
         self.src_ids = np.asarray(self.src_ids, dtype=np.int64)
@@ -57,6 +82,28 @@ class Block:
                 raise ValueError("edge_src out of range")
             if self.edge_dst.min() < 0 or self.edge_dst.max() >= self.num_dst:
                 raise ValueError("edge_dst out of range")
+        if (self.src_splits is None) != (self.dst_splits is None):
+            raise ValueError("src_splits and dst_splits must be set together")
+        if self.src_splits is not None:
+            self.src_splits = np.asarray(self.src_splits, dtype=np.int64)
+            self.dst_splits = np.asarray(self.dst_splits, dtype=np.int64)
+            for name, splits, total in (
+                ("src_splits", self.src_splits, self.num_src),
+                ("dst_splits", self.dst_splits, self.num_dst),
+            ):
+                if (
+                    splits.ndim != 1
+                    or len(splits) < 2
+                    or splits[0] != 0
+                    or splits[-1] != total
+                    or np.any(np.diff(splits) < 0)
+                ):
+                    raise ValueError(f"{name} is not a monotone 0..{total} offset array")
+            if len(self.src_splits) != len(self.dst_splits):
+                raise ValueError("src_splits/dst_splits segment-count mismatch")
+            seg_dst = np.diff(self.dst_splits)
+            if np.any(seg_dst > np.diff(self.src_splits)):
+                raise ValueError("a segment has more destinations than sources")
 
     @property
     def num_src(self) -> int:
@@ -67,8 +114,35 @@ class Block:
         return len(self.edge_src)
 
     @property
+    def num_segments(self) -> int:
+        """Merged request segments (1 for an ordinary prefix block)."""
+        return 1 if self.src_splits is None else len(self.src_splits) - 1
+
+    @property
+    def dst_positions(self) -> np.ndarray:
+        """Position of each destination row within the source rows.
+
+        ``arange(num_dst)`` under the prefix convention; for merged
+        blocks, each request's destination rows sit at the head of its
+        own source segment.  GNN layers read destination features as
+        ``h_src[dst_positions]`` so the same forward covers both layouts.
+        """
+        if self.src_splits is None:
+            return np.arange(self.num_dst, dtype=np.int64)
+        return np.concatenate(
+            [
+                s + np.arange(d1 - d0, dtype=np.int64)
+                for s, d0, d1 in zip(
+                    self.src_splits[:-1], self.dst_splits[:-1], self.dst_splits[1:]
+                )
+            ]
+        ) if self.num_dst else np.empty(0, dtype=np.int64)
+
+    @property
     def dst_ids(self) -> np.ndarray:
-        return self.src_ids[: self.num_dst]
+        if self.src_splits is None:
+            return self.src_ids[: self.num_dst]
+        return self.src_ids[self.dst_positions]
 
     def validate_prefix(self) -> None:
         """Assert the destination-prefix convention (used by tests)."""

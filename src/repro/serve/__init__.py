@@ -10,15 +10,21 @@ coalescing per-node requests, an LRU
 :class:`~repro.serve.engine.InferenceEngine` that runs forward-only
 sampled inference inline or across the persistent
 :class:`~repro.exec.pool.WorkerPool`, and a synthetic Zipf/Poisson
-workload driver (:mod:`repro.serve.workload`) reporting throughput and
-tail latency.  The serving knobs (``workers``, ``max_batch``,
-``max_wait_ms``, ``cache_entries``) are searchable by the existing BO
+workload driver (:mod:`repro.serve.workload`) with admission control
+reporting throughput and tail latency.  Micro-batches forward either
+per node or through the shared-frontier merger
+(:mod:`repro.serve.frontier` — one vectorised forward per batch,
+bit-identical to per-node inference), live engines hot-swap snapshots
+via :meth:`InferenceEngine.reload` without relaunching their pool, and
+the serving knobs (``workers``, ``max_batch``, ``max_wait_ms``,
+``cache_entries``, ``batch_mode``) are searchable by the existing BO
 autotuner via :class:`repro.tuning.serving.ServingSpace`.
 """
 
 from repro.serve.batcher import BatchStats, MicroBatcher, Request
 from repro.serve.cache import CacheStats, EmbeddingCache
 from repro.serve.engine import InferenceEngine, predict_nodes
+from repro.serve.frontier import MergedFrontier, merge_frontiers, predict_frontier
 from repro.serve.snapshot import ModelSnapshot
 from repro.serve.workload import ServingReport, run_serving_workload, zipf_nodes
 
@@ -30,6 +36,9 @@ __all__ = [
     "EmbeddingCache",
     "InferenceEngine",
     "predict_nodes",
+    "MergedFrontier",
+    "merge_frontiers",
+    "predict_frontier",
     "ModelSnapshot",
     "ServingReport",
     "run_serving_workload",

@@ -44,6 +44,8 @@ class BatchStats:
     deadline_flushes: int = 0
     #: forced end-of-stream flushes (see :meth:`MicroBatcher.pop`)
     drain_flushes: int = 0
+    #: requests dropped by admission control (:meth:`MicroBatcher.shed_oldest`)
+    shed: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -76,6 +78,20 @@ class MicroBatcher:
 
     def submit(self, request: Request) -> None:
         self._pending.append(request)
+
+    def shed_oldest(self) -> Request:
+        """Drop and return the oldest pending request (admission control).
+
+        The shed-oldest policy: when a bounded queue overflows, the
+        request that has already waited longest — and is therefore the
+        most likely to miss its SLO anyway — is sacrificed for the
+        freshest arrival.  The caller owns the refusal (error response,
+        ``ServingReport.shed_count``); the batcher only counts it.
+        """
+        if not self._pending:
+            raise ValueError("shed_oldest() on an empty batcher")
+        self.stats.shed += 1
+        return self._pending.popleft()
 
     def next_deadline(self) -> float | None:
         """When the oldest pending request must flush (None when empty)."""

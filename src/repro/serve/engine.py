@@ -19,11 +19,16 @@ Determinism contract
 A node's prediction is a pure function of ``(weights, seed, node)``:
 each node is sampled with ``derive_rng(seed, "serve", node)`` and
 forwarded on its own sampled subgraph under
-:func:`repro.autograd.inference_mode`.  Batch composition and rank
-sharding therefore cannot change any prediction — pool mode is
-bit-identical to inline single-request inference, which is also what
-makes the LRU :class:`~repro.serve.cache.EmbeddingCache` exact rather
-than approximate.
+:func:`repro.autograd.inference_mode` — alone (``batch_mode="per_node"``)
+or inside a merged shared-frontier forward (``batch_mode="frontier"``,
+:mod:`repro.serve.frontier`) that preserves every request's numerics
+bit-for-bit.  Batch composition, batch mode and rank sharding therefore
+cannot change any prediction — pool mode is bit-identical to inline
+single-request inference, which is also what makes the LRU
+:class:`~repro.serve.cache.EmbeddingCache` exact rather than
+approximate, and what lets :meth:`InferenceEngine.reload` hot-swap
+weights into a live pool (generation-guarded ParamStore republish, no
+relaunch) with nothing but the cache to invalidate.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ from repro.autograd.tensor import Tensor, inference_mode
 from repro.exec.pool import WorkerPool
 from repro.graph.shm import SharedGraphStore
 from repro.serve.cache import EmbeddingCache
+from repro.serve.frontier import predict_frontier
 from repro.serve.snapshot import ModelSnapshot
 from repro.shm.arena import BatchArena, TransportStats
 from repro.utils.rng import derive_rng
@@ -92,6 +98,13 @@ class InferenceEngine:
     mode:
         ``"inline"`` (in-process) or ``"pool"`` (persistent worker pool
         over shared memory).
+    batch_mode:
+        How a micro-batch's missing nodes are forwarded: ``"per_node"``
+        (each node alone — the reference path) or ``"frontier"``
+        (shared-frontier batching: the per-node sampled frontiers are
+        merged into one union subgraph and forwarded together, see
+        :mod:`repro.serve.frontier`).  Bit-identical outputs either way;
+        frontier mode amortises the per-request forward overhead.
     workers:
         Pool mode: number of rank workers sharing each micro-batch.
     cache_entries:
@@ -125,6 +138,7 @@ class InferenceEngine:
     """
 
     MODES = ("inline", "pool")
+    BATCH_MODES = ("per_node", "frontier")
 
     def __init__(
         self,
@@ -132,6 +146,7 @@ class InferenceEngine:
         dataset,
         *,
         mode: str = "inline",
+        batch_mode: str = "per_node",
         workers: int = 1,
         cache_entries: int = 4096,
         pool: WorkerPool | None = None,
@@ -144,9 +159,14 @@ class InferenceEngine:
     ):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if batch_mode not in self.BATCH_MODES:
+            raise ValueError(
+                f"batch_mode must be one of {self.BATCH_MODES}, got {batch_mode!r}"
+            )
         self.snapshot = snapshot
         self.dataset = dataset
         self.mode = mode
+        self.batch_mode = batch_mode
         self.model = model if model is not None else snapshot.build_model()
         self.sampler = snapshot.build_sampler()
         self.seed = int(snapshot.seed if seed is None else seed)
@@ -154,6 +174,11 @@ class InferenceEngine:
         self.transport = TransportStats()
         self.features = Tensor(dataset.features)
         self.requests = 0
+        #: weight generation counter: bumped by every hot :meth:`reload`;
+        #: rides each InferPlan so pool workers reload from the shared
+        #: ParamStore exactly when the served weights changed
+        self.generation = 0
+        self._stale_pool_params = False
         self._closed = False
         # engine-shim fields the WorkerPool launch protocol reads; the
         # optimizer is inert (InferPlan never steps) but gives the
@@ -185,7 +210,14 @@ class InferenceEngine:
         if self._store is None or self._store.closed:
             self._store = SharedGraphStore.from_dataset(self.dataset)
             self._owns_store = True
-        self._pool.ensure(self, self._store)
+        if self._pool.ensure(self, self._store):
+            # a fresh launch pickles the current (post-reload) weights
+            # and seeds the ParamStore from them — nothing to republish
+            self._stale_pool_params = False
+        elif self._stale_pool_params:
+            # hot swap into a live pool: one ParamStore memcpy, no forks
+            self._pool.publish(self)
+            self._stale_pool_params = False
 
     def warm_up(self) -> None:
         """Pay the launch tax up front (pool fork + shm mapping).
@@ -234,7 +266,8 @@ class InferenceEngine:
 
     def _compute(self, miss_ids: np.ndarray) -> np.ndarray:
         if self.mode == "inline":
-            return predict_nodes(
+            forward = predict_frontier if self.batch_mode == "frontier" else predict_nodes
+            return forward(
                 self.model,
                 self.dataset.graph,
                 self.features,
@@ -249,7 +282,41 @@ class InferenceEngine:
             seed=self.seed,
             arena=self._arena,
             transport=self.transport,
+            batch_mode=self.batch_mode,
+            generation=self.generation,
         )
+
+    # ------------------------------------------------------------------
+    def reload(self, snapshot: ModelSnapshot) -> None:
+        """Hot-swap the served weights from ``snapshot``; no relaunch.
+
+        The snapshot must be parameter-compatible with the one being
+        served (same model topology — the frozen :class:`ParamStore`
+        layout and the pool's :func:`~repro.exec.pool.pool_signature`
+        both depend on it).  Weights are loaded into the live model
+        object in place, the prediction cache is invalidated (cached
+        rows belong to the old weights), and the generation counter is
+        bumped; pool mode republishes through the existing ParamStore
+        channel on the next batch — ``pool.launches`` stays flat.  The
+        serving RNG stream (``seed``) is deliberately left unchanged:
+        it is the engine's identity, not the snapshot's.
+        """
+        if self._closed:
+            raise ValueError("inference engine is closed")
+        current = self.model.state_dict()
+        if set(snapshot.state) != set(current) or any(
+            np.asarray(snapshot.state[k]).shape != current[k].shape for k in current
+        ):
+            raise ValueError(
+                "incompatible snapshot: parameter topology differs from the "
+                "served model (hot swap needs matching names and shapes)"
+            )
+        self.model.load_state_dict(snapshot.state)
+        self.snapshot = snapshot
+        self.sampler = snapshot.build_sampler()
+        self.cache.clear()
+        self.generation += 1
+        self._stale_pool_params = True
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -22,6 +22,13 @@ Two traffic shapes:
 
 Node popularity is Zipf-skewed (:func:`zipf_nodes`) so the prediction
 cache actually matters: a handful of hot nodes dominate the stream.
+
+Admission control: ``queue_limit`` bounds the pending queue with a
+shed-oldest policy (:meth:`~repro.serve.batcher.MicroBatcher.shed_oldest`).
+Past saturation an open loop would otherwise grow its queue — and every
+request's latency — without bound; with a limit, overflow arrivals push
+the longest-waiting request out, ``ServingReport.shed_count`` records
+the refusals, and the served tail stays bounded.
 """
 
 from __future__ import annotations
@@ -38,7 +45,13 @@ from repro.shm.arena import TransportStats
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["ServingReport", "zipf_nodes", "poisson_arrivals", "run_serving_workload"]
+__all__ = [
+    "ServingReport",
+    "zipf_nodes",
+    "poisson_arrivals",
+    "run_serving_workload",
+    "merge_reports",
+]
 
 
 def zipf_nodes(
@@ -73,7 +86,14 @@ def poisson_arrivals(num_requests: int, rate_rps: float, *, rng=None) -> np.ndar
 
 @dataclass
 class ServingReport:
-    """One workload run's outcome: throughput, tail latency, cache/arena."""
+    """One workload run's outcome: throughput, tail latency, cache/arena.
+
+    ``requests`` counts everything submitted; ``shed_count`` of those
+    were refused by admission control and carry ``NaN`` latencies — all
+    latency statistics and ``throughput_rps`` cover the *served*
+    requests only, while :meth:`slo_attainment` counts a shed request
+    as an SLO miss (the client got an error, not an answer).
+    """
 
     mode: str
     requests: int
@@ -90,14 +110,40 @@ class ServingReport:
     drain_flushes: int
     cache: CacheStats
     transport: TransportStats
-    #: per-request latencies (seconds, request-id order) for sweeps/tests
+    #: requests refused by the bounded queue's shed-oldest policy
+    shed_count: int = 0
+    #: peak pending-queue length observed after admission
+    max_queue: int = 0
+    #: per-request latencies (seconds, request-id order; NaN = shed)
     latencies_s: np.ndarray = field(repr=False, default=None)
 
+    @property
+    def served(self) -> int:
+        """Requests that actually received a prediction."""
+        return self.requests - self.shed_count
+
     def slo_attainment(self, slo_ms: float) -> float:
-        """Fraction of requests completed within ``slo_ms``."""
+        """Fraction of *all* requests completed within ``slo_ms``.
+
+        Shed requests count as misses: ``NaN <= slo`` is False.
+        """
         if self.latencies_s is None or not len(self.latencies_s):
             return 0.0
-        return float(np.mean(self.latencies_s * 1e3 <= slo_ms))
+        with np.errstate(invalid="ignore"):
+            return float(np.mean(self.latencies_s * 1e3 <= slo_ms))
+
+
+def _percentile_stats(served_lat_s: np.ndarray) -> tuple[float, float, float, float]:
+    """(mean, p50, p95, p99) in ms over the served latencies (0s if none)."""
+    if not len(served_lat_s):
+        return 0.0, 0.0, 0.0, 0.0
+    lat_ms = served_lat_s * 1e3
+    return (
+        float(lat_ms.mean()),
+        float(np.percentile(lat_ms, 50)),
+        float(np.percentile(lat_ms, 95)),
+        float(np.percentile(lat_ms, 99)),
+    )
 
 
 def run_serving_workload(
@@ -110,6 +156,7 @@ def run_serving_workload(
     max_wait_ms: float = 2.0,
     closed_loop: bool = False,
     concurrency: int = 8,
+    queue_limit: int | None = None,
     nodes: np.ndarray | None = None,
     seed: int = 0,
 ) -> ServingReport:
@@ -119,8 +166,12 @@ def run_serving_workload(
     validation split, falling back to all nodes when it is empty).  The
     run is single-server: batches execute back to back on the engine,
     exactly how the engine would sit behind one dispatch loop.
+    ``queue_limit`` bounds the pending queue (shed-oldest admission
+    control); ``None`` admits everything.
     """
     check_positive_int(num_requests, "num_requests")
+    if queue_limit is not None:
+        check_positive_int(queue_limit, "queue_limit")
     rng = derive_rng(seed, "serve-workload")
     if nodes is None:
         nodes = engine.dataset.val_idx
@@ -141,13 +192,37 @@ def run_serving_workload(
     batcher = MicroBatcher(max_batch, max_wait_ms)
     latencies = np.zeros(num_requests, dtype=np.float64)
     completed = 0
+    shed_count = 0
+    max_queue = 0
     service_total = 0.0
     now = 0.0
+
+    def admit(t_arr: float, idx: int) -> None:
+        """Submit one arrival, shedding the oldest on queue overflow."""
+        nonlocal completed, shed_count, max_queue, next_issue
+        batcher.submit(Request(idx, int(node_seq[idx]), t_arr))
+        if queue_limit is not None and len(batcher) > queue_limit:
+            victim = batcher.shed_oldest()
+            latencies[victim.id] = np.nan
+            shed_count += 1
+            completed += 1  # refused immediately — the slot is resolved
+            if closed_loop and next_issue < num_requests:
+                # the refused client sees its error at shed time and the
+                # next closed-loop request is issued right away — at the
+                # *front*: ``t_arr`` was just popped from the sorted head,
+                # so every remaining entry is >= it, and a tail append
+                # behind later completion-issued arrivals would break the
+                # deque's time ordering (and with it the shed-oldest and
+                # deadline accounting downstream)
+                arrivals.appendleft((t_arr, next_issue))
+                next_issue += 1
+        max_queue = max(max_queue, len(batcher))
+
     while completed < num_requests:
         # admit everything that has arrived by the server-free time
         while arrivals and arrivals[0][0] <= now:
             t_arr, idx = arrivals.popleft()
-            batcher.submit(Request(idx, int(node_seq[idx]), t_arr))
+            admit(t_arr, idx)
         if len(batcher) == 0:
             now = arrivals[0][0]
             continue
@@ -158,9 +233,13 @@ def run_serving_workload(
             flush_t = batcher.next_deadline()
             while arrivals and arrivals[0][0] < flush_t and len(batcher) < max_batch:
                 t_arr, idx = arrivals.popleft()
-                batcher.submit(Request(idx, int(node_seq[idx]), t_arr))
+                admit(t_arr, idx)
                 if len(batcher) >= max_batch:
                     flush_t = t_arr
+                else:
+                    # an overflow shed may have dropped the request whose
+                    # deadline we were waiting on — track the new oldest
+                    flush_t = batcher.next_deadline()
         batch = batcher.pop(max(now, flush_t))
         start = time.perf_counter()
         engine.predict([r.node for r in batch])
@@ -176,22 +255,64 @@ def run_serving_workload(
         now = done_t
 
     duration = max(now, 1e-12)
-    lat_ms = latencies * 1e3
+    served_lat = latencies[~np.isnan(latencies)]
+    mean_ms, p50, p95, p99 = _percentile_stats(served_lat)
     return ServingReport(
         mode=engine.mode,
         requests=num_requests,
         duration_s=float(duration),
         service_s=float(service_total),
-        throughput_rps=float(num_requests / duration),
-        mean_ms=float(lat_ms.mean()),
-        p50_ms=float(np.percentile(lat_ms, 50)),
-        p95_ms=float(np.percentile(lat_ms, 95)),
-        p99_ms=float(np.percentile(lat_ms, 99)),
+        throughput_rps=float(len(served_lat) / duration),
+        mean_ms=mean_ms,
+        p50_ms=p50,
+        p95_ms=p95,
+        p99_ms=p99,
         mean_batch=batcher.stats.mean_batch,
         full_flushes=batcher.stats.full_flushes,
         deadline_flushes=batcher.stats.deadline_flushes,
         drain_flushes=batcher.stats.drain_flushes,
         cache=engine.cache.stats,
         transport=engine.transport,
+        shed_count=shed_count,
+        max_queue=max_queue,
         latencies_s=latencies,
+    )
+
+
+def merge_reports(reports: list[ServingReport]) -> ServingReport:
+    """Aggregate sequential segment reports into one (hot-swap benches).
+
+    Counts and durations add; percentiles are recomputed over the
+    concatenated served latencies; cache/transport come from the last
+    segment (the engine's counters are cumulative across segments).
+    """
+    if not reports:
+        raise ValueError("merge_reports needs at least one report")
+    if len(reports) == 1:
+        return reports[0]
+    lats = np.concatenate([r.latencies_s for r in reports])
+    served_lat = lats[~np.isnan(lats)]
+    duration = sum(r.duration_s for r in reports)
+    mean_ms, p50, p95, p99 = _percentile_stats(served_lat)
+    batches = sum(r.full_flushes + r.deadline_flushes + r.drain_flushes for r in reports)
+    served = sum(r.served for r in reports)
+    return ServingReport(
+        mode=reports[-1].mode,
+        requests=sum(r.requests for r in reports),
+        duration_s=float(duration),
+        service_s=float(sum(r.service_s for r in reports)),
+        throughput_rps=float(served / max(duration, 1e-12)),
+        mean_ms=mean_ms,
+        p50_ms=p50,
+        p95_ms=p95,
+        p99_ms=p99,
+        mean_batch=float(served / batches) if batches else 0.0,
+        full_flushes=sum(r.full_flushes for r in reports),
+        deadline_flushes=sum(r.deadline_flushes for r in reports),
+        drain_flushes=sum(r.drain_flushes for r in reports),
+        cache=reports[-1].cache,
+        transport=reports[-1].transport,
+        shed_count=sum(r.shed_count for r in reports),
+        max_queue=max(r.max_queue for r in reports),
+        latencies_s=lats,
     )

@@ -105,3 +105,38 @@ class TestBurstyArrivals:
         assert [r.id for r in batch] == [0]
         assert b.stats.drain_flushes == 1
         assert len(b) == 0
+
+
+class TestShedOldest:
+    def test_shed_drops_head_and_counts(self):
+        b = MicroBatcher(8, max_wait_ms=5.0)
+        for i in range(3):
+            b.submit(req(i, i * 0.001))
+        victim = b.shed_oldest()
+        assert victim.id == 0  # oldest first
+        assert len(b) == 2
+        assert b.stats.shed == 1
+        # the survivors flush normally, in arrival order
+        assert [r.id for r in b.pop(0.0, drain=True)] == [1, 2]
+
+    def test_shed_moves_the_deadline(self):
+        b = MicroBatcher(8, max_wait_ms=1.0)  # 1 ms wait -> 0.001 s
+        b.submit(req(0, 0.0))
+        b.submit(req(1, 0.5))
+        assert b.next_deadline() == pytest.approx(0.001)
+        b.shed_oldest()
+        assert b.next_deadline() == pytest.approx(0.501)
+
+    def test_shed_empty_rejected(self):
+        b = MicroBatcher(4, max_wait_ms=1.0)
+        with pytest.raises(ValueError, match="empty"):
+            b.shed_oldest()
+
+    def test_shed_requests_never_enter_flush_stats(self):
+        b = MicroBatcher(2, max_wait_ms=1.0)
+        for i in range(3):
+            b.submit(req(i, 0.0))
+        b.shed_oldest()
+        batch = b.pop(0.0)
+        assert b.stats.requests == len(batch) == 2
+        assert b.stats.shed == 1

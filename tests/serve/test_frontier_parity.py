@@ -1,0 +1,221 @@
+"""Frontier-batched inference must be bit-identical to per-node forwards.
+
+The serving correctness battery for shared-frontier batching
+(:mod:`repro.serve.frontier`): a property-style sweep over models
+{GCN, SAGE, GAT} x samplers {neighbor, shadow} x batch sizes {1, 7, 64}
+asserting merged predictions equal per-node inline forwards *bitwise*,
+plus duplicate/overlapping request nodes, engine-level parity in inline
+and pool modes, and structural validation of the merged layout itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.gnn.models import build_model
+from repro.sampling.base import make_sampler
+from repro.serve.engine import InferenceEngine, predict_nodes
+from repro.serve.frontier import merge_frontiers, predict_frontier, validate_merged
+from repro.utils.rng import derive_rng
+
+MODELS = ("gcn", "sage", "gat")
+SAMPLERS = {
+    "neighbor": {"fanouts": [5, 5]},
+    "shadow": {"fanouts": (4, 3), "num_layers": 2},
+}
+BATCH_SIZES = (1, 7, 64)
+
+
+def make_pair(name, sampler_name, dataset, seed=3):
+    model = build_model(name, dataset.layer_dims(2), seed=seed)
+    sampler = make_sampler(sampler_name, **SAMPLERS[sampler_name])
+    return model, sampler
+
+
+def request_nodes(dataset, n):
+    nodes = dataset.val_idx
+    if len(nodes) < n:
+        nodes = np.arange(dataset.num_nodes, dtype=np.int64)
+    return nodes[:n]
+
+
+class TestFunctionParity:
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("sampler_name", sorted(SAMPLERS))
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_bit_identical_to_per_node(
+        self, tiny_dataset, model_name, sampler_name, batch_size
+    ):
+        model, sampler = make_pair(model_name, sampler_name, tiny_dataset)
+        nodes = request_nodes(tiny_dataset, batch_size)
+        features = Tensor(tiny_dataset.features)
+        solo = predict_nodes(model, tiny_dataset.graph, features, sampler, nodes, seed=0)
+        merged = predict_frontier(
+            model, tiny_dataset.graph, features, sampler, nodes, seed=0
+        )
+        np.testing.assert_array_equal(merged, solo)
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_random_request_subsets(self, tiny_dataset, model_name):
+        """Property-style: arbitrary request subsets in arbitrary order
+        never change a node's prediction."""
+        model, sampler = make_pair(model_name, "neighbor", tiny_dataset)
+        features = Tensor(tiny_dataset.features)
+        catalog = request_nodes(tiny_dataset, 64)
+        solo = predict_nodes(model, tiny_dataset.graph, features, sampler, catalog, seed=0)
+        by_node = {int(n): solo[i] for i, n in enumerate(catalog)}
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            subset = rng.permutation(catalog)[: int(rng.integers(1, len(catalog) + 1))]
+            merged = predict_frontier(
+                model, tiny_dataset.graph, features, sampler, subset, seed=0
+            )
+            for i, n in enumerate(subset):
+                np.testing.assert_array_equal(merged[i], by_node[int(n)])
+
+    def test_empty_request(self, tiny_dataset):
+        model, sampler = make_pair("sage", "neighbor", tiny_dataset)
+        out = predict_frontier(
+            model, tiny_dataset.graph, Tensor(tiny_dataset.features), sampler,
+            np.array([], dtype=np.int64), seed=0,
+        )
+        assert out.shape == (0, 0)
+
+    def test_training_flag_and_dropout_counter_untouched(self, tiny_dataset):
+        model, sampler = make_pair("sage", "neighbor", tiny_dataset)
+        assert model.training
+        before = model.extra_state_dict()
+        predict_frontier(
+            model, tiny_dataset.graph, Tensor(tiny_dataset.features), sampler,
+            request_nodes(tiny_dataset, 4), seed=0,
+        )
+        assert model.training
+        assert model.extra_state_dict() == before
+
+
+class TestMergedStructure:
+    @pytest.mark.parametrize("sampler_name", sorted(SAMPLERS))
+    def test_merge_round_trips_every_request(self, tiny_dataset, sampler_name):
+        sampler = make_sampler(sampler_name, **SAMPLERS[sampler_name])
+        nodes = request_nodes(tiny_dataset, 9)
+        batches = [
+            sampler.sample(
+                tiny_dataset.graph,
+                np.asarray([n], dtype=np.int64),
+                rng=derive_rng(0, "serve", int(n)),
+            )
+            for n in nodes
+        ]
+        merged = merge_frontiers(batches)
+        validate_merged(merged, batches)
+        assert merged.num_requests == len(batches)
+        np.testing.assert_array_equal(merged.seeds, nodes)
+        np.testing.assert_array_equal(merged.blocks[-1].dst_ids, nodes)
+        # no cross-request dedup: rows add up exactly
+        for layer, blk in enumerate(merged.blocks):
+            assert blk.num_src == sum(mb.blocks[layer].num_src for mb in batches)
+            assert blk.num_edges == sum(mb.blocks[layer].num_edges for mb in batches)
+
+    def test_merge_rejects_bad_input(self, tiny_dataset):
+        sampler = make_sampler("neighbor", fanouts=[5, 5])
+        short = make_sampler("neighbor", fanouts=[5])
+        n = int(request_nodes(tiny_dataset, 1)[0])
+        a = sampler.sample(tiny_dataset.graph, np.asarray([n]), rng=derive_rng(0, "s", n))
+        b = short.sample(tiny_dataset.graph, np.asarray([n]), rng=derive_rng(0, "s", n))
+        with pytest.raises(ValueError, match="at least one"):
+            merge_frontiers([])
+        with pytest.raises(ValueError, match="same number of layers"):
+            merge_frontiers([a, b])
+
+    def test_merged_block_split_validation(self, tiny_dataset):
+        """Block rejects malformed segment offsets outright."""
+        from repro.sampling.block import Block
+
+        with pytest.raises(ValueError, match="set together"):
+            Block(
+                src_ids=np.arange(3), num_dst=1,
+                edge_src=np.array([2]), edge_dst=np.array([0]),
+                src_splits=np.array([0, 3]),
+            )
+        with pytest.raises(ValueError, match="monotone"):
+            Block(
+                src_ids=np.arange(3), num_dst=1,
+                edge_src=np.array([2]), edge_dst=np.array([0]),
+                src_splits=np.array([0, 2]), dst_splits=np.array([0, 1]),
+            )
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_inline_frontier_engine_matches_per_node(
+        self, tiny_dataset, trained_snapshot, batch_size
+    ):
+        nodes = request_nodes(tiny_dataset, batch_size)
+        with InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0) as solo:
+            expected = solo.predict(nodes)
+        with InferenceEngine(
+            trained_snapshot, tiny_dataset, batch_mode="frontier", cache_entries=0
+        ) as eng:
+            np.testing.assert_array_equal(eng.predict(nodes), expected)
+
+    def test_duplicate_and_overlapping_requests(self, tiny_dataset, trained_snapshot):
+        """Duplicates inside one batch and across batches: one row each,
+        all equal, computed once thanks to the engine's dedup."""
+        nodes = request_nodes(tiny_dataset, 4)
+        n0, n1 = int(nodes[0]), int(nodes[1])
+        request = [n0, n1, n0, n0, n1]
+        with InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0) as solo:
+            expected = solo.predict(request)
+            expected_follow_up = solo.predict(nodes)
+        with InferenceEngine(
+            trained_snapshot, tiny_dataset, batch_mode="frontier", cache_entries=64
+        ) as eng:
+            got = eng.predict(request)
+            np.testing.assert_array_equal(got, expected)
+            np.testing.assert_array_equal(got[0], got[2])
+            # overlapping follow-up batch: cache hits + fresh merges agree
+            np.testing.assert_array_equal(eng.predict(nodes), expected_follow_up)
+
+    def test_frontier_cache_interaction_exact(self, tiny_dataset, trained_snapshot):
+        with InferenceEngine(
+            trained_snapshot, tiny_dataset, batch_mode="frontier", cache_entries=64
+        ) as eng:
+            nodes = request_nodes(tiny_dataset, 6)
+            first = eng.predict(nodes)
+            second = eng.predict(nodes)
+            np.testing.assert_array_equal(first, second)
+            assert eng.cache.stats.hits == 6
+
+    def test_bad_batch_mode_rejected(self, tiny_dataset, trained_snapshot):
+        with pytest.raises(ValueError, match="batch_mode"):
+            InferenceEngine(trained_snapshot, tiny_dataset, batch_mode="mega")
+
+
+class TestPoolParity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_pool_frontier_matches_inline_per_node(
+        self, tiny_dataset, trained_snapshot, workers
+    ):
+        nodes = request_nodes(tiny_dataset, 10)
+        with InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0) as solo:
+            expected = solo.predict(nodes)
+        with InferenceEngine(
+            trained_snapshot, tiny_dataset, mode="pool", batch_mode="frontier",
+            workers=workers, cache_entries=0, timeout=30.0,
+        ) as pooled:
+            got = pooled.predict(nodes)
+            np.testing.assert_array_equal(got, expected)
+            assert pooled.transport.arena_hits > 0
+
+    def test_pool_frontier_duplicates_and_shards(self, tiny_dataset, trained_snapshot):
+        """Sharding across ranks + frontier merge per rank cannot change
+        any prediction, whatever the request mix."""
+        nodes = request_nodes(tiny_dataset, 7)
+        request = list(nodes) + [int(nodes[0]), int(nodes[3])]
+        with InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0) as solo:
+            expected = solo.predict(request)
+        with InferenceEngine(
+            trained_snapshot, tiny_dataset, mode="pool", batch_mode="frontier",
+            workers=2, cache_entries=0, timeout=30.0,
+        ) as pooled:
+            np.testing.assert_array_equal(pooled.predict(request), expected)

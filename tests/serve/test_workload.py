@@ -1,10 +1,17 @@
 """Workload generators and the virtual-clock serving driver."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.serve.engine import InferenceEngine
-from repro.serve.workload import poisson_arrivals, run_serving_workload, zipf_nodes
+from repro.serve.workload import (
+    merge_reports,
+    poisson_arrivals,
+    run_serving_workload,
+    zipf_nodes,
+)
 from repro.utils.rng import derive_rng
 
 
@@ -109,3 +116,151 @@ class TestDriver:
         )
         assert report.mean_batch > 1.5
         assert report.full_flushes > 0
+
+
+class SlowFakeEngine:
+    """Minimal engine double with a fixed real service time per batch —
+    saturates any open-loop rate deterministically."""
+
+    mode = "fake"
+
+    def __init__(self, dataset, service_s=0.0005):
+        self.dataset = dataset
+        self.service_s = service_s
+        from repro.serve.cache import EmbeddingCache
+        from repro.shm.arena import TransportStats
+
+        self.cache = EmbeddingCache(0)
+        self.transport = TransportStats()
+        self.predicted: list[int] = []
+
+    def predict(self, node_ids):
+        time.sleep(self.service_s)
+        self.predicted.extend(int(n) for n in node_ids)
+        return np.zeros((len(node_ids), 2), dtype=np.float32)
+
+
+class TestAdmissionControl:
+    def overload_report(self, tiny_dataset, queue_limit, num_requests=400):
+        eng = SlowFakeEngine(tiny_dataset)
+        return run_serving_workload(
+            eng, num_requests=num_requests, rate_rps=1e6, zipf_alpha=0.0,
+            max_batch=4, max_wait_ms=1.0, queue_limit=queue_limit, seed=3,
+        ), eng
+
+    def test_queue_bounded_past_saturation(self, tiny_dataset):
+        """Arrivals at 1M rps against a ~2ms/batch server: without a
+        limit the queue grows without bound; with one it never exceeds
+        the bound and overflow requests are shed, oldest first."""
+        unbounded, _ = self.overload_report(tiny_dataset, queue_limit=None)
+        bounded, eng = self.overload_report(tiny_dataset, queue_limit=16)
+        assert unbounded.max_queue > 16  # saturation really happened
+        assert unbounded.shed_count == 0
+        assert bounded.max_queue <= 16
+        assert bounded.shed_count > 0
+        assert bounded.served == bounded.requests - bounded.shed_count
+        assert len(eng.predicted) == bounded.served
+
+    def test_every_request_resolved(self, tiny_dataset):
+        report, _ = self.overload_report(tiny_dataset, queue_limit=8)
+        assert len(report.latencies_s) == report.requests
+        shed_mask = np.isnan(report.latencies_s)
+        assert int(shed_mask.sum()) == report.shed_count
+        assert np.all(report.latencies_s[~shed_mask] > 0)
+
+    def test_shedding_caps_served_tail_latency(self, tiny_dataset):
+        """The point of admission control: the served tail stays bounded
+        while the unbounded queue's tail grows with the backlog."""
+        unbounded, _ = self.overload_report(tiny_dataset, queue_limit=None)
+        bounded, _ = self.overload_report(tiny_dataset, queue_limit=8)
+        assert bounded.p99_ms < unbounded.p99_ms
+
+    def test_shed_counts_as_slo_miss(self, tiny_dataset):
+        report, _ = self.overload_report(tiny_dataset, queue_limit=8)
+        assert report.shed_count > 0
+        # even an infinite SLO cannot reach 1.0 once requests were refused
+        attainment = report.slo_attainment(1e12)
+        assert attainment == pytest.approx(report.served / report.requests)
+
+    def test_closed_loop_sheds_and_completes(self, tiny_dataset):
+        eng = SlowFakeEngine(tiny_dataset)
+        report = run_serving_workload(
+            eng, num_requests=60, closed_loop=True, concurrency=12,
+            max_batch=2, max_wait_ms=0.5, queue_limit=4, seed=0,
+        )
+        assert report.requests == 60
+        assert report.served + report.shed_count == 60
+        assert report.max_queue <= 4
+
+    def test_closed_loop_shed_keeps_arrival_order(self, tiny_dataset, monkeypatch):
+        """Invariant guard: requests enter the batcher in nondecreasing
+        arrival order even under shed-heavy closed-loop traffic — a
+        shed's replacement re-enters at the sorted *head* of the arrival
+        queue (it carries the just-popped head's timestamp), so
+        shed-oldest and the deadline accounting always see the true
+        oldest request."""
+        from repro.serve.batcher import MicroBatcher
+
+        orig_submit = MicroBatcher.submit
+        last_arrival = [-np.inf]
+
+        def checked(self, request):
+            assert request.arrival >= last_arrival[0], "out-of-order submit"
+            last_arrival[0] = request.arrival
+            return orig_submit(self, request)
+
+        monkeypatch.setattr(MicroBatcher, "submit", checked)
+        eng = SlowFakeEngine(tiny_dataset)
+        report = run_serving_workload(
+            eng, num_requests=80, closed_loop=True, concurrency=16,
+            max_batch=2, max_wait_ms=0.5, queue_limit=3, seed=1,
+        )
+        assert report.shed_count > 0  # the scenario actually triggered
+
+    def test_queue_limit_validated(self, tiny_dataset):
+        eng = SlowFakeEngine(tiny_dataset)
+        with pytest.raises(ValueError, match="queue_limit"):
+            run_serving_workload(eng, num_requests=4, queue_limit=0)
+
+    def test_no_shedding_below_saturation(self, tiny_dataset, trained_snapshot):
+        """A generous limit on a light workload is invisible — same
+        latencies as the unbounded run."""
+        def run():
+            eng = InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0)
+            return run_serving_workload(
+                eng, num_requests=48, rate_rps=500.0, max_batch=4,
+                max_wait_ms=1.0, queue_limit=1024, seed=5,
+            )
+
+        report = run()
+        assert report.shed_count == 0
+        assert report.served == 48
+
+
+class TestMergeReports:
+    def test_merge_aggregates_segments(self, tiny_dataset, trained_snapshot):
+        eng = InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0)
+        reports = [
+            run_serving_workload(
+                eng, num_requests=32, rate_rps=2000.0, max_batch=4,
+                max_wait_ms=1.0, seed=s,
+            )
+            for s in (0, 1)
+        ]
+        merged = merge_reports(reports)
+        assert merged.requests == 64
+        assert merged.duration_s == pytest.approx(sum(r.duration_s for r in reports))
+        assert merged.full_flushes == sum(r.full_flushes for r in reports)
+        assert len(merged.latencies_s) == 64
+        assert min(r.p50_ms for r in reports) <= merged.p50_ms <= max(
+            r.p50_ms for r in reports
+        )
+
+    def test_merge_single_and_empty(self, tiny_dataset, trained_snapshot):
+        eng = InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0)
+        report = run_serving_workload(
+            eng, num_requests=8, rate_rps=2000.0, max_batch=4, max_wait_ms=1.0,
+        )
+        assert merge_reports([report]) is report
+        with pytest.raises(ValueError, match="at least one"):
+            merge_reports([])

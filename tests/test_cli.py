@@ -131,9 +131,42 @@ class TestServeBench:
         ) == 0
         assert "closed(c=4)" in capsys.readouterr().out
 
+    def test_frontier_batch_mode_smoke(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "32", "--rate", "5000",
+             "--max-batch", "8", "--batch-mode", "frontier"]
+        ) == 0
+        assert "mode=inline/frontier" in capsys.readouterr().out
+
+    def test_queue_limit_reports_shed(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "24",
+             "--queue-limit", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shed (queue limit)" in out and "max queue" in out
+
+    def test_swaps_report_flat_launches(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "30", "--mode", "pool",
+             "--serve-workers", "2", "--timeout", "30", "--swaps", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "swap 1: generation=1, launches=1" in out
+        assert "swap 2: generation=2, launches=1" in out
+
     def test_bad_mode_fails_in_parser(self):
         with pytest.raises(SystemExit):
             main(["serve-bench", "--mode", "thread"])
+
+    def test_bad_batch_mode_fails_in_parser(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--batch-mode", "mega"])
+
+    def test_zero_queue_limit_fails_in_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--queue-limit", "0"])
+        assert "positive" in capsys.readouterr().err
 
     def test_negative_cache_fails_in_parser(self, capsys):
         with pytest.raises(SystemExit):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.autotuner import OnlineAutoTuner
-from repro.tuning.serving import ServingSpace, slo_objective
+from repro.tuning.serving import BATCH_MODES, ServingSpace, slo_objective
 
 
 class FakeReport:
@@ -19,15 +19,29 @@ class TestSpace:
             workers=(1, 2), max_batches=(1, 4), max_waits_ms=(0.0, 2.0),
             cache_sizes=(0, 128),
         )
-        assert len(space) == 16
-        assert (2, 4, 2.0, 128) in space
-        assert (3, 4, 2.0, 128) not in space
-        assert space.configs[space.index((1, 4, 0.0, 128))] == (1, 4, 0.0, 128)
+        assert len(space) == 32  # 2*2*2*2 numeric points x 2 batch modes
+        assert (2, 4, 2.0, 128, "frontier") in space
+        assert (2, 4, 2.0, 128, "per_node") in space
+        assert (3, 4, 2.0, 128, "frontier") not in space
+        cfg = (1, 4, 0.0, 128, "per_node")
+        assert space.configs[space.index(cfg)] == cfg
 
     def test_axes_deduped_and_sorted(self):
-        space = ServingSpace(workers=(2, 1, 2), max_batches=(8, 1))
+        space = ServingSpace(
+            workers=(2, 1, 2), max_batches=(8, 1),
+            batch_modes=("frontier", "per_node", "frontier"),
+        )
         assert space.workers == (1, 2)
         assert space.max_batches == (1, 8)
+        # canonical categorical order, deduped
+        assert space.batch_modes == BATCH_MODES
+
+    def test_single_batch_mode_axis(self):
+        space = ServingSpace(
+            workers=(1,), max_batches=(1,), max_waits_ms=(0.0,),
+            cache_sizes=(0,), batch_modes=("frontier",),
+        )
+        assert space.configs == [(1, 1, 0.0, 0, "frontier")]
 
     def test_zero_only_allowed_where_meaningful(self):
         ServingSpace(max_waits_ms=(0.0,), cache_sizes=(0,))  # fine
@@ -35,29 +49,38 @@ class TestSpace:
             ServingSpace(workers=(0, 1))
         with pytest.raises(ValueError, match="max_batches"):
             ServingSpace(max_batches=(0,))
+        with pytest.raises(ValueError, match="batch_modes"):
+            ServingSpace(batch_modes=())
+        with pytest.raises(ValueError, match="batch_modes"):
+            ServingSpace(batch_modes=("per_node", "warp"))
 
     def test_features_normalised_unit_cube(self):
         space = ServingSpace()
         feats = space.features()
-        assert feats.shape == (len(space), 4)
+        assert feats.shape == (len(space), 5)
         assert feats.min() >= 0.0 and feats.max() <= 1.0
         # distinct configs map to distinct feature rows
         assert len({tuple(r) for r in np.round(feats, 12)}) == len(space)
+        # the categorical axis spans {0, 1} when both modes are present
+        assert set(feats[:, 4]) == {0.0, 1.0}
 
     def test_neighbors_single_axis_steps(self):
         space = ServingSpace(
             workers=(1, 2), max_batches=(1, 2, 4), max_waits_ms=(1.0, 2.0),
             cache_sizes=(0, 64),
         )
-        cfg = (1, 2, 1.0, 0)
+        cfg = (1, 2, 1.0, 0, "per_node")
         neigh = space.neighbors(cfg)
-        assert (2, 2, 1.0, 0) in neigh
-        assert (1, 1, 1.0, 0) in neigh and (1, 4, 1.0, 0) in neigh
-        assert (1, 2, 2.0, 0) in neigh
-        assert (1, 2, 1.0, 64) in neigh
+        assert (2, 2, 1.0, 0, "per_node") in neigh
+        assert (1, 1, 1.0, 0, "per_node") in neigh
+        assert (1, 4, 1.0, 0, "per_node") in neigh
+        assert (1, 2, 2.0, 0, "per_node") in neigh
+        assert (1, 2, 1.0, 64, "per_node") in neigh
+        # the batch-mode axis is a first-class annealing move
+        assert (1, 2, 1.0, 0, "frontier") in neigh
         assert all(sum(a != b for a, b in zip(n, cfg)) == 1 for n in neigh)
         with pytest.raises(KeyError):
-            space.neighbors((9, 9, 9.0, 9))
+            space.neighbors((9, 9, 9.0, 9, "per_node"))
 
     def test_random_config_in_space(self):
         space = ServingSpace()
@@ -97,19 +120,24 @@ class TestSloObjective:
 
 class TestTunerIntegration:
     def test_bo_autotuner_drives_serving_space(self):
-        """The existing OnlineAutoTuner searches the serving space
-        unchanged and recovers a known-good region of a synthetic
-        latency model."""
+        """The existing OnlineAutoTuner searches the serving space —
+        batch-mode axis included — unchanged and recovers a known-good
+        region of a synthetic latency model."""
         space = ServingSpace(
             workers=(1, 2), max_batches=(1, 4, 16), max_waits_ms=(0.5, 8.0),
             cache_sizes=(0, 1024),
         )
 
         def objective(cfg):
-            workers, max_batch, wait_ms, cache = cfg
+            workers, max_batch, wait_ms, cache, batch_mode = cfg
             # synthetic but shaped like serving: batching + cache raise
-            # throughput, waiting raises p99
-            throughput = 50.0 * workers * np.log2(max_batch + 1) * (1.5 if cache else 1.0)
+            # throughput — frontier batching more so (amortised forward)
+            # but only once real batches form
+            frontier_gain = 1.5 if (batch_mode == "frontier" and max_batch > 1) else 1.0
+            throughput = (
+                50.0 * workers * np.log2(max_batch + 1)
+                * (1.5 if cache else 1.0) * frontier_gain
+            )
             p99 = 2.0 + wait_ms + 0.3 * max_batch
             return slo_objective(
                 FakeReport(p99_ms=p99, throughput_rps=throughput), slo_ms=10.0
@@ -122,3 +150,5 @@ class TestTunerIntegration:
         assert result.best_observed == pytest.approx(min(scores.values()))
         # the exhaustive-budget search must find the optimum's score
         assert objective(result.best_config) == pytest.approx(min(scores.values()))
+        # and the synthetic optimum indeed uses frontier batching
+        assert result.best_config[4] == "frontier"

@@ -37,6 +37,32 @@ def bench_shadow_sampling(benchmark):
     assert mb.total_edges > 0
 
 
+def bench_batched_frontier_sampling(benchmark):
+    """The PR 6 serving-hot-path kernel: one fused multi-seed pass
+    drawing a whole micro-batch's frontiers (32 single-node requests),
+    asserted bit-identical to the looped sample-then-merge reference."""
+    from repro.sampling.base import Sampler
+    from repro.sampling.batch import merge_frontiers
+
+    ds = _dataset("ogbn-products", 0)
+    sampler = NeighborSampler([15, 10, 5])
+    nodes = ds.train_idx[:32]
+    batches = [nodes[i : i + 1] for i in range(len(nodes))]
+
+    def rngs():
+        return [derive_rng(0, "serve", int(n)) for n in nodes]
+
+    looped = Sampler.sample_merged(sampler, ds.graph, batches, rngs())
+    fused = benchmark(lambda: sampler.sample_merged(ds.graph, batches, rngs()))
+    assert len(fused.blocks) == len(looped.blocks)
+    for a, b in zip(looped.blocks, fused.blocks):
+        np.testing.assert_array_equal(a.src_ids, b.src_ids)
+        np.testing.assert_array_equal(a.edge_src, b.edge_src)
+        np.testing.assert_array_equal(a.edge_dst, b.edge_dst)
+        np.testing.assert_array_equal(a.src_splits, b.src_splits)
+        np.testing.assert_array_equal(a.dst_splits, b.dst_splits)
+
+
 def bench_segment_aggregation(benchmark):
     rng = np.random.default_rng(0)
     h = Tensor(rng.standard_normal((20_000, 128)).astype(np.float32))

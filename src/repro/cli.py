@@ -312,6 +312,10 @@ def cmd_serve_bench(args) -> str:
         ["cache hit rate", f"{report.cache.hit_rate:.3f}"],
         ["cache hits/misses/evictions",
          f"{report.cache.hits}/{report.cache.misses}/{report.cache.evictions}"],
+        ["service sample/merge/forward/cache ms",
+         f"{report.sample_ms:.1f}/{report.merge_ms:.1f}"
+         f"/{report.forward_ms:.1f}/{report.cache_ms:.1f}"],
+        ["sampling share", f"{report.sampling_share:.3f}"],
     ]
     if args.queue_limit is not None:
         rows.append(["shed (queue limit)", f"{report.shed_count} (max queue {report.max_queue})"])

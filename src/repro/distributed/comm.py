@@ -21,6 +21,7 @@ from __future__ import annotations
 import pickle
 import struct
 import threading
+import time
 from multiprocessing import shared_memory
 from typing import Sequence
 
@@ -33,6 +34,7 @@ __all__ = [
     "SingleProcessComm",
     "ThreadWorld",
     "ThreadCommunicator",
+    "ResizableBarrier",
     "ProcessWorld",
     "ProcessCommunicator",
 ]
@@ -188,6 +190,107 @@ class ThreadCommunicator(Communicator):
 _HEADER_BYTES = 64  # int64 contribution counter, padded to a cache line
 
 
+class ResizableBarrier:
+    """Cross-process reusable barrier whose party count can change.
+
+    ``multiprocessing.Barrier`` fixes its party count at construction,
+    which forced the persistent worker pool to pre-create one world per
+    candidate size before forking (locks/barriers only travel by
+    inheritance).  This barrier keeps its state — ``[parties, count,
+    generation, broken]`` — in a shared ``RawArray`` guarded by one
+    condition variable, so the *parent* can :meth:`resize` the party
+    count between generations and every forked worker sees the change
+    through the shared state: one barrier, one world, any active size.
+
+    Semantics mirror ``threading.Barrier`` where they overlap:
+    :meth:`wait` returns the rank's arrival index, a timeout or
+    :meth:`abort` breaks the barrier permanently
+    (``threading.BrokenBarrierError`` for every current and future
+    waiter), and generations cycle so the barrier is reusable.
+    :meth:`resize` is only legal while no rank is waiting — the pool
+    guarantees that by resizing strictly between synchronous
+    collectives (the Rebind command rides the FIFO ahead of the next
+    plan).
+    """
+
+    def __init__(self, parties: int, *, ctx=None):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        ctx = ctx if ctx is not None else mp.get_context()
+        self._cond = ctx.Condition(ctx.Lock())
+        self._state = ctx.RawArray("q", 4)  # [parties, count, generation, broken]
+        self._state[0] = int(parties)
+
+    @property
+    def parties(self) -> int:
+        return int(self._state[0])
+
+    @property
+    def broken(self) -> bool:
+        return bool(self._state[3])
+
+    def wait(self, timeout: float | None = None) -> int:
+        """Rendezvous with the other ``parties - 1`` ranks.
+
+        Returns this rank's arrival index (0..parties-1, in arrival
+        order — index 0 is *some* rank, exactly one per generation).
+        A rank that times out breaks the barrier for everyone.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._state[3]:
+                raise threading.BrokenBarrierError
+            idx = int(self._state[1])
+            self._state[1] = idx + 1
+            if idx + 1 == self._state[0]:
+                # last arriver opens the next generation
+                self._state[1] = 0
+                self._state[2] += 1
+                self._cond.notify_all()
+                return idx
+            gen = int(self._state[2])
+            while self._state[2] == gen:
+                if self._state[3]:
+                    raise threading.BrokenBarrierError
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self._state[3] = 1
+                    self._cond.notify_all()
+                    raise threading.BrokenBarrierError
+                self._cond.wait(remaining)
+            if self._state[3]:
+                raise threading.BrokenBarrierError
+            return idx
+
+    def abort(self) -> None:
+        """Break the barrier permanently; wakes every waiter.
+
+        The flag write does not require the lock (racing waiters check
+        it on wake, and their own timeouts bound the wait), so a peer
+        that died *holding* the condition's lock cannot deadlock the
+        aborter — we only take the lock, with a bound, to notify.
+        """
+        got = self._cond.acquire(timeout=1.0)
+        try:
+            self._state[3] = 1
+            if got:
+                self._cond.notify_all()
+        finally:
+            if got:
+                self._cond.release()
+
+    def resize(self, parties: int) -> None:
+        """Change the party count; only legal with no rank waiting."""
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        with self._cond:
+            if self._state[3]:
+                raise RuntimeError("cannot resize a broken barrier")
+            if self._state[1] != 0:
+                raise RuntimeError("cannot resize while ranks are waiting")
+            self._state[0] = int(parties)
+
+
 class ProcessWorld:
     """Shared rendezvous state for a group of OS-process ranks.
 
@@ -218,23 +321,19 @@ class ProcessWorld:
     A world is built to be **reused across epochs**: the persistent
     worker pool creates one world per launch and drives every epoch's
     collectives through it (the barrier cycles naturally; the shared
-    region is re-zeroed by the counter protocol).  A change of world
-    size — the tuner rebinding ``n`` — requires a new world, and an
-    :meth:`abort` poisons the barrier permanently by design: after a
-    failure the owning pool tears the world down rather than trusting
-    half-finished collective state (check :attr:`broken`).
+    region is re-zeroed by the counter protocol).  An :meth:`abort`
+    poisons the barrier permanently by design: after a failure the
+    owning pool tears the world down rather than trusting half-finished
+    collective state (check :attr:`broken`).
 
-    ``segment_from`` builds a *sibling* world that reuses another
-    world's data segment instead of allocating its own: same capacity
-    and slot layout, fresh lock/barrier sized for this ``world_size``.
-    The persistent pool pre-creates one world per candidate size (locks
-    and barriers only travel by fork inheritance, so they must exist
-    before the workers are forked) — siblings keep that from costing
-    ``O(n · capacity)`` shared memory, which is safe because the pool
-    only ever drives collectives through one world at a time and the
-    counter protocol leaves the region clean between epochs.  Siblings
-    do not own the segment: the primary world's :meth:`unlink` retires
-    it.
+    The barrier is a :class:`ResizableBarrier`, so **one** world serves
+    every active size the pool rebinds to: the parent calls
+    :meth:`resize` (shared party count + its own ``world_size``)
+    strictly between collectives, and each worker applies the matching
+    :meth:`rebind` (local ``world_size`` only — the shared barrier
+    state already changed) when its Rebind command arrives.  Growth is
+    bounded by the creation size (:attr:`max_world_size`): the
+    gather-slot region is laid out once, at creation.
     """
 
     def __init__(
@@ -245,7 +344,6 @@ class ProcessWorld:
         slot_bytes: int = 1 << 20,
         ctx=None,
         timeout: float = 120.0,
-        segment_from: "ProcessWorld | None" = None,
     ):
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
@@ -253,33 +351,18 @@ class ProcessWorld:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         ctx = ctx if ctx is not None else mp.get_context()
         self.world_size = int(world_size)
+        #: the creation size — the resize ceiling and slot-region layout
+        self.max_world_size = int(world_size)
         self.capacity = int(capacity)
         self.slot_bytes = int(slot_bytes)
         self.timeout = float(timeout)
-        if segment_from is not None:
-            if (
-                self.capacity != segment_from.capacity
-                or self.slot_bytes != segment_from.slot_bytes
-                or self.world_size > segment_from.world_size
-            ):
-                raise ValueError(
-                    "sibling world must match the segment owner's capacity/"
-                    "slot_bytes and not exceed its world size"
-                )
-            # same no-unregister attach semantics as __setstate__ below
-            from repro.shm.arena import attach_segment
-
-            self._shm = attach_segment(segment_from._shm.name)
-            self._owner = False
-        else:
-            size = _HEADER_BYTES + 8 * self.capacity + self.world_size * self.slot_bytes
-            self._shm = shared_memory.SharedMemory(create=True, size=size)
-            self._owner = True
+        size = _HEADER_BYTES + 8 * self.capacity + self.max_world_size * self.slot_bytes
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._owner = True
         self._closed = False
         self._lock = ctx.Lock()
-        self._barrier = ctx.Barrier(self.world_size)
-        if self._owner:
-            self._counter()[0] = 0
+        self._barrier = ResizableBarrier(self.world_size, ctx=ctx)
+        self._counter()[0] = 0
 
     # -- shared views (recomputed per process; views don't survive pickling)
     def _counter(self) -> np.ndarray:
@@ -298,6 +381,7 @@ class ProcessWorld:
     def __getstate__(self):
         return {
             "world_size": self.world_size,
+            "max_world_size": self.max_world_size,
             "capacity": self.capacity,
             "slot_bytes": self.slot_bytes,
             "timeout": self.timeout,
@@ -308,6 +392,7 @@ class ProcessWorld:
 
     def __setstate__(self, state):
         self.world_size = state["world_size"]
+        self.max_world_size = state["max_world_size"]
         self.capacity = state["capacity"]
         self.slot_bytes = state["slot_bytes"]
         self.timeout = state["timeout"]
@@ -341,6 +426,36 @@ class ProcessWorld:
             return bool(self._barrier.broken)
         except Exception:  # pragma: no cover - manager/ctx quirks
             return True
+
+    def resize(self, world_size: int) -> None:
+        """Parent-side size change: shared barrier parties + local size.
+
+        Only legal strictly between collectives (no rank waiting) and
+        within the creation size — gather slots for ranks beyond
+        :attr:`max_world_size` were never laid out.  Workers pick the
+        change up via :meth:`rebind` when their Rebind command arrives;
+        until then they are parked in the idle loop, not in a
+        collective, so the ordering is safe.
+        """
+        if not 1 <= world_size <= self.max_world_size:
+            raise ValueError(
+                f"world_size must be in [1, {self.max_world_size}], got {world_size}"
+            )
+        self._barrier.resize(world_size)
+        self.world_size = int(world_size)
+
+    def rebind(self, world_size: int) -> None:
+        """Worker-side size change: local bookkeeping only.
+
+        The shared barrier was already resized by the parent's
+        :meth:`resize`; the worker just updates the ``world_size`` its
+        communicators divide by and range-check against.
+        """
+        if not 1 <= world_size <= self.max_world_size:
+            raise ValueError(
+                f"world_size must be in [1, {self.max_world_size}], got {world_size}"
+            )
+        self.world_size = int(world_size)
 
     def communicator(self, rank: int) -> "ProcessCommunicator":
         if not 0 <= rank < self.world_size:

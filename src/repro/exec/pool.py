@@ -14,14 +14,16 @@ tuner re-launches training with a new configuration every search epoch
 (paper Listing 3), and as long as the new engine's :meth:`signature`
 matches (same ``n``, dataset, parameter topology, optimizer, seed), the
 existing workers keep serving.  A *smaller* ``n`` (same everything else)
-does not relaunch either: the pool pre-creates one
-:class:`~repro.distributed.comm.ProcessWorld` per candidate size at fork
-time (mp locks/barriers only travel by inheritance), sends the active
-ranks a :class:`~repro.exec.runtime.Rebind` and **parks** the surplus
-workers idle — they keep their fork image and rejoin instantly when
-``n`` grows back.  Only growing beyond the forked worker count — or any
-other signature change — triggers a clean relaunch: the old
-worlds/params/workers are reaped and fresh ones bound.
+does not relaunch either: the pool's single
+:class:`~repro.distributed.comm.ProcessWorld` rides a
+:class:`~repro.distributed.comm.ResizableBarrier` (created before the
+fork — mp locks/condvars only travel by inheritance), so the parent
+re-counts the shared barrier, sends the active ranks a
+:class:`~repro.exec.runtime.Rebind` and **parks** the surplus workers
+idle — they keep their fork image and rejoin instantly when ``n`` grows
+back.  Only growing beyond the forked worker count — or any other
+signature change — triggers a clean relaunch: the old
+world/params/workers are reaped and fresh ones bound.
 
 Beyond training epochs the pool also serves forward-only inference
 batches (:meth:`WorkerPool.run_infer`): the serving runtime
@@ -100,11 +102,11 @@ class WorkerPool:
     def __init__(self, ctx, *, timeout: float = 120.0):
         self._ctx = ctx
         self.timeout = float(timeout)
-        #: one pre-created world per candidate size: ``worlds[k - 1]``
-        #: serves ``k`` ranks.  All of them must exist before the fork —
-        #: mp locks/barriers only travel by inheritance — which is what
-        #: makes shrink-without-relaunch possible at all.
-        self.worlds: list[ProcessWorld] = []
+        #: the pool's single world, created before the fork (mp locks /
+        #: condvars only travel by inheritance) and sized for the full
+        #: forked worker count; its resizable barrier is re-counted on
+        #: every shrink/grow instead of pre-creating one world per size.
+        self.world: ProcessWorld | None = None
         self.active_n = 0
         self.params: ParamStore | None = None
         self.procs: list = []
@@ -124,11 +126,6 @@ class WorkerPool:
         self._infer_seq = 0
 
     # ------------------------------------------------------------------
-    @property
-    def world(self) -> ProcessWorld | None:
-        """The world the active ranks currently collect over."""
-        return self.worlds[self.active_n - 1] if self.worlds else None
-
     @property
     def parked(self) -> int:
         """Diagnostic: forked workers currently idle beyond ``active_n``."""
@@ -184,12 +181,16 @@ class WorkerPool:
     def _resize(self, n: int, sig: tuple) -> None:
         """Repoint the pool at ``n`` active ranks without re-forking.
 
-        Every newly-active rank gets a :class:`Rebind` onto the
-        pre-created size-``n`` world (command queues are FIFO, so the
-        rebind lands before any subsequent epoch/inference command);
-        ranks beyond ``n`` simply stop receiving commands — parked, not
-        reaped, keeping their fork image warm for a later grow.
+        The shared barrier is re-counted first
+        (:meth:`~repro.distributed.comm.ProcessWorld.resize` — legal
+        because no rank is inside a collective between synchronous
+        calls), then every newly-active rank gets a :class:`Rebind`
+        (command queues are FIFO, so the rebind lands before any
+        subsequent epoch/inference command); ranks beyond ``n`` simply
+        stop receiving commands — parked, not reaped, keeping their
+        fork image warm for a later grow.
         """
+        self.world.resize(n)
         for rank in range(n):
             self._cmd_qs[rank].put(Rebind(world_size=n))
         self.active_n = n
@@ -198,19 +199,11 @@ class WorkerPool:
     def _launch(self, engine, store, sig: tuple) -> None:
         n = engine.n
         capacity = max(1, sum(p.size for p in engine.replicas[0].parameters()))
-        # one world per candidate size, created *before* the fork so
-        # every worker inherits all of them — the substrate a later
-        # shrink's Rebind switches to without re-forking anyone.  Only
-        # the size-n world owns a data segment; the smaller sizes are
-        # siblings over the same region (fresh barrier/lock each), so
-        # the whole ladder costs one segment, not n.
-        primary = ProcessWorld(n, capacity, ctx=self._ctx, timeout=self.timeout)
-        self.worlds = [
-            ProcessWorld(
-                k, capacity, ctx=self._ctx, timeout=self.timeout, segment_from=primary
-            )
-            for k in range(1, n)
-        ] + [primary]
+        # one world, created *before* the fork so every worker inherits
+        # it; its resizable barrier is the substrate a later shrink's
+        # Rebind re-counts without re-forking anyone.  One segment, one
+        # barrier — not a per-size ladder.
+        self.world = ProcessWorld(n, capacity, ctx=self._ctx, timeout=self.timeout)
         self.active_n = n
         self.params = ParamStore.create(
             {
@@ -220,7 +213,6 @@ class WorkerPool:
         )
         self._cmd_qs = [self._ctx.Queue() for _ in range(n)]
         self._result_q = self._ctx.Queue()
-        worlds = tuple(self.worlds)
         procs = []
         try:
             for rank in range(n):
@@ -240,7 +232,7 @@ class WorkerPool:
                 )
                 p = self._ctx.Process(
                     target=persistent_worker_main,
-                    args=(init, worlds, self._cmd_qs[rank], self._result_q),
+                    args=(init, self.world, self._cmd_qs[rank], self._result_q),
                     daemon=True,
                 )
                 p.start()
@@ -321,6 +313,7 @@ class WorkerPool:
         transport=None,
         batch_mode: str = "per_node",
         generation: int = 0,
+        phases=None,
     ) -> np.ndarray:
         """Forward-only predictions for ``node_ids`` over the active ranks.
 
@@ -341,8 +334,11 @@ class WorkerPool:
         rows as a raw shared-memory copy; oversized rows fall back to
         queue pickling.  ``transport`` (a
         :class:`~repro.shm.arena.TransportStats`) records which path was
-        taken.  Failure semantics match :meth:`run_epoch`: any broken
-        batch tears the pool down before the error propagates.
+        taken.  ``phases`` (a :class:`~repro.utils.phases.PhaseStats`)
+        accumulates every rank's sample/merge/forward counters — the
+        ranks run concurrently, so the sums are aggregate CPU time, not
+        wall clock.  Failure semantics match :meth:`run_epoch`: any
+        broken batch tears the pool down before the error propagates.
         """
         if not self.alive:
             raise RuntimeError("worker pool is not running (call ensure first)")
@@ -376,6 +372,8 @@ class WorkerPool:
             parts = []
             for rank in range(n):
                 item = results[rank]
+                if phases is not None and "phases" in item:
+                    phases.add(item["phases"])
                 if "layouts" in item:
                     (preds,) = arena.read(rank, item["layouts"])
                     if transport is not None:
@@ -404,14 +402,9 @@ class WorkerPool:
                     pass
         self._cmd_qs = []
         self._result_q = None
-        for world in self.worlds:
-            # siblings share the primary world's segment: close their
-            # mappings; the single owner unlinks the name
-            if world._owner:
-                world.unlink()
-            else:
-                world.close()
-        self.worlds = []
+        if self.world is not None:
+            self.world.unlink()
+            self.world = None
         self.active_n = 0
         if self.params is not None:
             self.params.unlink()

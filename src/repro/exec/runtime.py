@@ -129,10 +129,11 @@ class Rebind:
 
     Sent by :meth:`repro.exec.pool.WorkerPool.ensure` when the engine's
     ``n`` shrinks (or grows back) within the pool's forked worker count:
-    the recipient swaps its active :class:`ProcessWorld` for the
-    pre-created world of ``world_size`` ranks and keeps serving — no
-    re-fork, no re-pickle.  Ranks beyond ``world_size`` are simply never
-    commanded again until a later rebind: they park in the idle loop.
+    the recipient adopts the new size on the pool's single
+    :class:`ProcessWorld` (whose shared resizable barrier the parent
+    already re-counted) and keeps serving — no re-fork, no re-pickle.
+    Ranks beyond ``world_size`` are simply never commanded again until
+    a later rebind: they park in the idle loop.
     """
 
     world_size: int
@@ -249,17 +250,28 @@ def _run_epoch_steps(
 def _run_infer_plan(
     plan: InferPlan, *, rank: int, graph, features: Tensor, model, arena
 ) -> dict:
-    """Serve one rank's chunk of a forward-only inference batch."""
+    """Serve one rank's chunk of a forward-only inference batch.
+
+    The result carries this rank's phase timing split as a plain tuple
+    (``result["phases"]``); the parent folds the tuples of all ranks
+    into the engine's :class:`~repro.utils.phases.PhaseStats`.
+    """
     # lazy import: repro.serve imports this module's package at load time
     if plan.batch_mode == "frontier":
         from repro.serve.frontier import predict_frontier as forward
     else:
         from repro.serve.engine import predict_nodes as forward
+    from repro.utils.phases import PhaseStats
 
+    phases = PhaseStats()
     preds = forward(
-        model, graph, features, plan.sampler, plan.node_ids, seed=plan.seed
+        model, graph, features, plan.sampler, plan.node_ids,
+        seed=plan.seed, phases=phases,
     )
-    result = {"rank": rank, "status": "ok", "seq": plan.seq}
+    result = {
+        "rank": rank, "status": "ok", "seq": plan.seq,
+        "phases": phases.snapshot(),
+    }
     if arena is not None and preds.size:
         layouts = arena.write(plan.slot, [preds])
         if layouts is not None:
@@ -270,7 +282,7 @@ def _run_infer_plan(
 
 
 def persistent_worker_main(
-    init: WorkerInit, worlds: tuple, cmd_q, result_q
+    init: WorkerInit, world: ProcessWorld, cmd_q, result_q
 ) -> None:
     """Entry point of one long-lived rank process.
 
@@ -280,14 +292,18 @@ def persistent_worker_main(
     treats a failed epoch as fatal and relaunches on the next one, which
     matches the respawn backend's fresh-processes-per-epoch semantics.
 
-    ``worlds`` holds one pre-created :class:`ProcessWorld` per candidate
-    world size (``worlds[k - 1]`` serves ``k`` ranks); the worker starts
-    on ``worlds[init.world_size - 1]`` and a :class:`Rebind` command
-    switches it — that is what lets the pool shrink/grow within its
-    forked worker count without re-forking anyone (mp locks/barriers
-    only travel by inheritance, so every size's world must exist before
-    the fork).  :class:`InferPlan` commands run a forward-only serving
-    batch: no collectives, no optimizer, results via arena slot or queue.
+    ``world`` is the pool's **single** :class:`ProcessWorld`, shared by
+    every forked worker at every active size: its
+    :class:`~repro.distributed.comm.ResizableBarrier` lets the parent
+    resize the shared party count, and a :class:`Rebind` command makes
+    this worker adopt the new size locally
+    (:meth:`~repro.distributed.comm.ProcessWorld.rebind`) — that is what
+    lets the pool shrink/grow within its forked worker count without
+    re-forking anyone or pre-creating one world per candidate size.
+    Ranks beyond the active size are simply never commanded: they park
+    in the idle loop.  :class:`InferPlan` commands run a forward-only
+    serving batch: no collectives, no optimizer, results via arena slot
+    or queue.
 
     Orphan watchdog: a SIGKILL'd parent can never send the stop
     sentinel, and a long-lived worker parked in ``get()`` would outlive
@@ -302,7 +318,7 @@ def persistent_worker_main(
     arena_name = None
     generation = init.generation  # weights currently held by the template
     parent_pid = init.parent_pid or os.getppid()
-    world: ProcessWorld = worlds[init.world_size - 1]
+    world.rebind(init.world_size)
     try:
         store = SharedGraphStore.attach(init.store_spec)
         params = ParamStore.attach(init.param_spec)
@@ -321,7 +337,7 @@ def persistent_worker_main(
             if cmd is None:
                 return
             if isinstance(cmd, Rebind):
-                world = worlds[cmd.world_size - 1]
+                world.rebind(cmd.world_size)
                 continue
             if isinstance(cmd, InferPlan):
                 if cmd.generation != generation:

@@ -200,6 +200,14 @@ class PrefetchingLoader:
         fit a slot return as raw shared-memory copies instead of queue
         pickles; larger ones fall back to pickling.  ``None`` disables
         the arena entirely (pure pickle transport).
+    span:
+        Thread-mode batching of the sampling work itself: each worker
+        job draws ``span`` consecutive steps in one fused
+        :meth:`~repro.sampling.dataloader.NodeDataLoader.sample_batch_span`
+        call (vectorised multi-seed sampling) and the loader yields the
+        recovered per-step batches in order — bit-identical to
+        ``span=1``, fewer passes over the sampling kernels.  Process
+        mode ships one step per task message and rejects ``span > 1``.
 
     The process pool and its shared-memory graph segments persist across
     epochs; call :meth:`close` (or use the loader as a context manager)
@@ -219,9 +227,16 @@ class PrefetchingLoader:
         start_method: str | None = None,
         timeout: float = 120.0,
         arena_slot_bytes: int | None = 1 << 22,
+        span: int = 1,
     ):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.span = check_positive_int(span, "span")
+        if mode == "process" and self.span > 1:
+            raise ValueError(
+                "span > 1 is a thread-mode knob (process workers receive one "
+                "step per task message)"
+            )
         self.loader = loader
         self.num_workers = check_positive_int(
             loader.num_workers if num_workers is None else num_workers, "num_workers"
@@ -285,20 +300,36 @@ class PrefetchingLoader:
 
     def _iter_thread(self) -> Iterator[MiniBatch]:
         loader = self.loader
+        all_seeds = loader.batch_seeds()
 
-        def make_job(step: int, seeds: np.ndarray):
-            return lambda: loader.sample_batch(step, seeds)
+        if self.span == 1:
+            def make_job(step: int, seeds: np.ndarray):
+                return lambda: loader.sample_batch(step, seeds)
+
+            jobs = [make_job(step, seeds) for step, seeds in enumerate(all_seeds)]
+        else:
+            def make_span_job(start: int, seeds_list: list[np.ndarray]):
+                return lambda: loader.sample_batch_span(start, seeds_list)
+
+            jobs = [
+                make_span_job(start, all_seeds[start : start + self.span])
+                for start in range(0, len(all_seeds), self.span)
+            ]
 
         cores = self.sampling_cores
         prefetcher = OrderedPrefetcher(
-            [make_job(step, seeds) for step, seeds in enumerate(loader.batch_seeds())],
+            jobs,
             num_workers=self.num_workers,
             queue_depth=self.queue_depth,
             worker_init=(lambda: apply_binding(cores)) if cores else None,
             name="loader-prefetch",
         )
         try:
-            yield from prefetcher
+            if self.span == 1:
+                yield from prefetcher
+            else:
+                for span_batches in prefetcher:
+                    yield from span_batches
         finally:
             prefetcher.close()
             self._fold_stats(prefetcher.stats)

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import time
+from typing import Callable, Dict, Sequence
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.sampling.batch import MergedFrontier, check_seed_batches, merge_frontiers
 from repro.sampling.block import MiniBatch
 
 __all__ = ["Sampler", "SAMPLER_REGISTRY", "make_sampler", "register_sampler"]
@@ -26,6 +28,39 @@ class Sampler:
 
     def sample(self, graph: CSRGraph, seeds: np.ndarray, *, rng=None) -> MiniBatch:
         raise NotImplementedError
+
+    def sample_merged(
+        self,
+        graph: CSRGraph,
+        seed_batches: Sequence[np.ndarray],
+        rngs: Sequence[np.random.Generator],
+        *,
+        phases=None,
+    ) -> MergedFrontier:
+        """Sample one independent request segment per seed batch, merged.
+
+        Segment ``k`` draws exactly what ``self.sample(graph,
+        seed_batches[k], rng=rngs[k])`` would — each from its own
+        generator — and the segments are concatenated block-diagonally
+        (:func:`~repro.sampling.batch.merge_frontiers`).  This default
+        is the looped reference; samplers with a vectorised multi-seed
+        kernel (neighbor, shadow) override it with a fused, bit-identical
+        implementation.  ``phases`` (a
+        :class:`~repro.utils.phases.PhaseStats`) splits the time spent
+        drawing frontiers from the time assembling the merged layout.
+        """
+        seed_batches = check_seed_batches(seed_batches, rngs)
+        start = time.perf_counter()
+        batches = [
+            self.sample(graph, seeds, rng=rng)
+            for seeds, rng in zip(seed_batches, rngs)
+        ]
+        mid = time.perf_counter()
+        merged = merge_frontiers(batches)
+        if phases is not None:
+            phases.sample_s += mid - start
+            phases.merge_s += time.perf_counter() - mid
+        return merged
 
     @property
     def name(self) -> str:

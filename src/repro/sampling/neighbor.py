@@ -11,14 +11,38 @@ The whole per-layer step is vectorised: neighbour lists for the entire
 frontier are gathered at once with :meth:`CSRGraph.gather_neighbors`, and
 the without-replacement choice is made with a single vectorised
 random-key-sort trick instead of a per-node ``rng.choice`` loop.
+
+RNG draw-order contract
+-----------------------
+The per-call draw pattern is load-bearing: serving caches and the
+pool/inline parity guarantee both assume a node's sampled frontier is a
+pure function of its RNG stream.  Per layer, :func:`sample_neighbors_uniform`
+makes exactly **one** ``rng.random(deg_sum)`` call over all candidate
+edges of the frontier — candidates ordered by frontier position, each
+node's candidates in CSR adjacency order — and **no call at all** when
+the frontier has zero candidates.  The fused multi-request path
+(:meth:`NeighborSampler.sample_merged`) reproduces this stream-for-stream
+(:func:`repro.sampling.batch.draw_segment_keys`), which is what makes it
+bit-identical to looping :meth:`NeighborSampler.sample` per request.
+Any change to the draw pattern here must be mirrored there.
 """
 
 from __future__ import annotations
+
+import time
+from typing import Sequence
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.sampling.base import Sampler, register_sampler
+from repro.sampling.batch import (
+    MergedFrontier,
+    build_merged_block,
+    check_seed_batches,
+    draw_segment_keys,
+    select_by_keys,
+)
 from repro.sampling.block import Block, MiniBatch
 from repro.utils.rng import as_generator
 
@@ -34,27 +58,22 @@ def sample_neighbors_uniform(
     ``dst_pos[e]`` is the position in ``nodes`` the edge points to.
 
     Implementation: gather all candidate edges, assign each a uniform
-    random key, sort keys *within each destination segment*, and keep the
-    first ``min(fanout, deg)`` of each segment.  This is an exact uniform
-    without-replacement sample and runs in ``O(E_frontier log)`` with no
-    Python-level loop.
+    random key with one ``rng.random(deg_sum)`` call (none when there are
+    no candidates — see the module docstring's draw-order contract), sort
+    keys *within each destination segment*, and keep the first
+    ``min(fanout, deg)`` of each segment
+    (:func:`repro.sampling.batch.select_by_keys`).  This is an exact
+    uniform without-replacement sample and runs in ``O(E_frontier log)``
+    with no Python-level loop.
     """
     if fanout < 1:
         raise ValueError(f"fanout must be >= 1, got {fanout}")
     nodes = np.asarray(nodes, dtype=np.int64)
     srcs, offsets = graph.gather_neighbors(nodes)
-    degs = np.diff(offsets)
     if len(srcs) == 0:
         return srcs, np.empty(0, dtype=np.int64)
-    seg_ids = np.repeat(np.arange(len(nodes), dtype=np.int64), degs)
     keys = rng.random(len(srcs))
-    # sort by (segment, key): stable segment grouping with random order inside
-    order = np.lexsort((keys, seg_ids))
-    srcs_sorted = srcs[order]
-    # rank of each edge within its segment after the random sort
-    ranks = np.arange(len(srcs)) - np.repeat(offsets[:-1], degs)
-    keep = ranks < np.minimum(degs, fanout)[seg_ids]
-    return srcs_sorted[keep], seg_ids[keep]
+    return select_by_keys(srcs, offsets, fanout, keys)
 
 
 def _build_block(
@@ -115,3 +134,61 @@ class NeighborSampler(Sampler):
             frontier = block.src_ids
         blocks.reverse()
         return MiniBatch(seeds=seeds, blocks=blocks)
+
+    def sample_merged(
+        self,
+        graph: CSRGraph,
+        seed_batches: Sequence[np.ndarray],
+        rngs: Sequence[np.random.Generator],
+        *,
+        phases=None,
+    ) -> MergedFrontier:
+        """Fused multi-request sampling: one NumPy pass per layer.
+
+        Bit-identical to ``merge_frontiers([self.sample(graph, s, rng=r)
+        for s, r in zip(seed_batches, rngs)])`` — each segment's raw
+        uniform draws come from its own generator in the exact looped
+        order (module docstring) — but the gather, the random-key sort
+        and the block assembly each run once over the concatenated
+        frontier instead of once per request.
+        """
+        if type(self).sample is not NeighborSampler.sample:
+            # a subclass customised the per-request path; the fused
+            # kernel cannot promise bit-identity to it — loop instead
+            return super().sample_merged(graph, seed_batches, rngs, phases=phases)
+        seed_batches = check_seed_batches(seed_batches, rngs)
+        request_rows = np.zeros(len(seed_batches) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in seed_batches], out=request_rows[1:])
+        frontier = np.concatenate(seed_batches)
+        splits = request_rows
+        blocks: list[Block] = []
+        sample_s = 0.0
+        merge_s = 0.0
+        for fanout in self.fanouts:
+            start = time.perf_counter()
+            srcs, offsets = graph.gather_neighbors(frontier)
+            seg_counts = offsets[splits[1:]] - offsets[splits[:-1]]
+            keys = draw_segment_keys(rngs, seg_counts)
+            if len(srcs):
+                src_global, dst_pos = select_by_keys(srcs, offsets, fanout, keys)
+            else:
+                src_global, dst_pos = srcs, np.empty(0, dtype=np.int64)
+            mid = time.perf_counter()
+            block = build_merged_block(
+                frontier, splits, src_global, dst_pos, graph.num_nodes
+            )
+            blocks.append(block)
+            frontier = block.src_ids
+            splits = block.src_splits
+            end = time.perf_counter()
+            sample_s += mid - start
+            merge_s += end - mid
+        blocks.reverse()
+        if phases is not None:
+            phases.sample_s += sample_s
+            phases.merge_s += merge_s
+        return MergedFrontier(
+            blocks=blocks,
+            seeds=np.concatenate(seed_batches),
+            request_rows=request_rows,
+        )

@@ -34,6 +34,7 @@ relaunch) with nothing but the cache to invalidate.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 
 import numpy as np
 
@@ -43,16 +44,19 @@ from repro.autograd.tensor import Tensor, inference_mode
 from repro.exec.pool import WorkerPool
 from repro.graph.shm import SharedGraphStore
 from repro.serve.cache import EmbeddingCache
-from repro.serve.frontier import predict_frontier
+from repro.serve.frontier import empty_predictions, predict_frontier
 from repro.serve.snapshot import ModelSnapshot
 from repro.shm.arena import BatchArena, TransportStats
+from repro.utils.phases import PhaseStats
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
 __all__ = ["InferenceEngine", "predict_nodes"]
 
 
-def predict_nodes(model, graph, features: Tensor, sampler, node_ids, *, seed: int) -> np.ndarray:
+def predict_nodes(
+    model, graph, features: Tensor, sampler, node_ids, *, seed: int, phases=None
+) -> np.ndarray:
     """Deterministic per-node predictions; the one serving forward path.
 
     Every node is sampled independently with the RNG stream
@@ -62,26 +66,35 @@ def predict_nodes(model, graph, features: Tensor, sampler, node_ids, *, seed: in
     two modes bit-identical by construction.  Runs the model in eval
     mode under :func:`~repro.autograd.tensor.inference_mode` (no tape,
     no dropout, dropout counters untouched) and restores the training
-    flag afterwards.
+    flag afterwards.  ``phases`` (a
+    :class:`~repro.utils.phases.PhaseStats`) splits per-node sampling
+    from forward time.
     """
     node_ids = np.asarray(node_ids, dtype=np.int64)
+    if node_ids.size == 0:
+        # empty requests still report the model's output width so
+        # callers can stack/concatenate results unconditionally
+        return empty_predictions(model)
     was_training = model.training
     model.eval()
     rows: list[np.ndarray] = []
     try:
         with inference_mode():
             for node in node_ids:
+                start = time.perf_counter()
                 batch = sampler.sample(
                     graph,
                     np.asarray([node], dtype=np.int64),
                     rng=derive_rng(seed, "serve", int(node)),
                 )
+                mid = time.perf_counter()
                 x = gather_rows(features, batch.input_ids)
                 rows.append(model(batch.blocks, x).data[0].copy())
+                if phases is not None:
+                    phases.sample_s += mid - start
+                    phases.forward_s += time.perf_counter() - mid
     finally:
         model.train(was_training)
-    if not rows:
-        return np.zeros((0, 0), dtype=np.float32)
     return np.stack(rows)
 
 
@@ -174,6 +187,12 @@ class InferenceEngine:
         self.transport = TransportStats()
         self.features = Tensor(dataset.features)
         self.requests = 0
+        #: cumulative per-phase service-time breakdown
+        #: (sample/merge/forward/cache).  In pool mode the sample/merge/
+        #: forward counters sum across concurrent ranks, i.e. aggregate
+        #: CPU seconds rather than wall clock — phase *shares* remain
+        #: meaningful either way.
+        self.phases = PhaseStats()
         #: weight generation counter: bumped by every hot :meth:`reload`;
         #: rides each InferPlan so pool workers reload from the shared
         #: ParamStore exactly when the served weights changed
@@ -244,6 +263,7 @@ class InferenceEngine:
         if node_ids.size == 0:
             return np.zeros((0, self.snapshot.out_dim), dtype=np.float32)
         self.requests += len(node_ids)
+        start = time.perf_counter()
         rows: dict[int, np.ndarray] = {}
         missing: list[int] = []
         seen: set[int] = set()
@@ -257,11 +277,14 @@ class InferenceEngine:
                 missing.append(node)
             else:
                 rows[node] = row
+        self.phases.cache_s += time.perf_counter() - start
         if missing:
             preds = self._compute(np.asarray(missing, dtype=np.int64))
+            start = time.perf_counter()
             for node, row in zip(missing, preds):
                 self.cache.put(node, row)
                 rows[node] = row
+            self.phases.cache_s += time.perf_counter() - start
         return np.stack([rows[int(node)] for node in node_ids])
 
     def _compute(self, miss_ids: np.ndarray) -> np.ndarray:
@@ -274,6 +297,7 @@ class InferenceEngine:
                 self.sampler,
                 miss_ids,
                 seed=self.seed,
+                phases=self.phases,
             )
         self._ensure_pool()
         return self._pool.run_infer(
@@ -284,6 +308,7 @@ class InferenceEngine:
             transport=self.transport,
             batch_mode=self.batch_mode,
             generation=self.generation,
+            phases=self.phases,
         )
 
     # ------------------------------------------------------------------

@@ -3,11 +3,14 @@
 The per-node serving path (:func:`repro.serve.engine.predict_nodes`)
 forwards every request alone — bit-exact and cache-friendly, but each
 request pays the full Python/op overhead of an ``L``-layer forward on a
-tiny graph.  The frontier merger amortises that: the per-node sampled
+tiny graph.  The frontier path amortises that twice over: the per-node
 frontiers (each still drawn from its own ``derive_rng(seed, "serve",
-node)`` stream, so *sampling is unchanged*) are concatenated into one
-block-diagonal union per layer, and the whole micro-batch runs through a
-single model forward.
+node)`` stream, so *the sampled subgraphs are unchanged*) are produced
+by one fused multi-seed sampling pass
+(:meth:`~repro.sampling.base.Sampler.sample_merged`, vectorised for the
+neighbor/shadow samplers in :mod:`repro.sampling.batch`) that emits the
+block-diagonal union per layer directly, and the whole micro-batch then
+runs through a single model forward.
 
 Numerics contract
 -----------------
@@ -20,6 +23,11 @@ construction rather than by tolerance:
   destination row therefore aggregates exactly the neighbour multiset
   its solo forward would have, through per-request segment offsets into
   the merged edge list (``Block.src_splits`` / ``dst_splits``);
+* the fused sampler consumes each node's RNG stream in the exact
+  per-node draw order (one ``rng.random(deg_sum)`` per node per layer —
+  the draw-order contract in :mod:`repro.sampling.batch`), so the
+  sampled frontiers themselves are bit-identical to looped per-node
+  sampling;
 * scatter/gather/segment reductions (:mod:`repro.gnn.aggregate`,
   :func:`repro.gnn.segment.segment_softmax`) accumulate per destination
   row in edge order, and merged edges stay request-contiguous in their
@@ -30,169 +38,77 @@ construction rather than by tolerance:
   big product would *not* be bit-stable — BLAS picks different kernels
   and accumulation orders for different row counts.
 
-What remains shared is everything Python: one op graph per layer instead
-of one per request, one feature gather, one scatter-add over the union
-edge list.  ``bench_fig10_frontier_batching`` records the resulting
-service-time reduction.
+What remains shared is everything Python: one sampling pass and one op
+graph per layer instead of one per request, one feature gather, one
+scatter-add over the union edge list.
+``bench_fig10_frontier_batching`` records the resulting service-time
+reduction and its per-phase breakdown.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
 
 import numpy as np
 
 from repro.autograd.ops import gather_rows
 from repro.autograd.tensor import Tensor, inference_mode
-from repro.sampling.block import Block, MiniBatch
+from repro.sampling.batch import MergedFrontier, merge_frontiers, validate_merged
 from repro.utils.rng import derive_rng
 
-__all__ = ["MergedFrontier", "merge_frontiers", "validate_merged", "predict_frontier"]
+__all__ = [
+    "MergedFrontier",
+    "merge_frontiers",
+    "validate_merged",
+    "predict_frontier",
+    "empty_predictions",
+]
 
 
-@dataclass
-class MergedFrontier:
-    """One micro-batch's union subgraph plus its per-request bookkeeping.
+def empty_predictions(model) -> np.ndarray:
+    """The ``(0, out_dim)`` result an empty serving request maps to.
 
-    ``blocks`` satisfy the model-forward chain exactly like a single
-    request's blocks do (layer ``l``'s merged destination rows are layer
-    ``l+1``'s merged source rows); ``request_rows`` maps request ``k`` to
-    its output-row range ``[request_rows[k], request_rows[k + 1])`` of
-    the final layer — one row per request for single-node serving.
+    The empty-input shape must match a non-empty request's output width
+    so callers can concatenate/stack results unconditionally; every
+    model exposes its layer widths as ``model.dims``.
     """
-
-    blocks: list[Block]
-    seeds: np.ndarray
-    request_rows: np.ndarray
-
-    @property
-    def num_requests(self) -> int:
-        return len(self.request_rows) - 1
-
-    @property
-    def input_ids(self) -> np.ndarray:
-        """Global ids whose raw features feed the first merged layer."""
-        return self.blocks[0].src_ids
-
-    @property
-    def total_src_nodes(self) -> int:
-        return sum(b.num_src for b in self.blocks)
-
-
-def merge_frontiers(batches: list[MiniBatch]) -> MergedFrontier:
-    """Concatenate per-request :class:`MiniBatch` frontiers block-diagonally.
-
-    Layer ``l``'s merged block is the disjoint union of every request's
-    layer-``l`` block: source/destination rows are request-concatenated,
-    local edge endpoints are shifted by their request's segment offset,
-    and the segment offsets ride along as ``src_splits``/``dst_splits``
-    so the GNN layers can keep per-request BLAS geometry.  Requests stay
-    fully independent inside the merge — no rows are shared — which is
-    exactly what preserves per-node numerics (see the module docstring).
-    """
-    if not batches:
-        raise ValueError("merge_frontiers needs at least one MiniBatch")
-    num_layers = batches[0].num_layers
-    if any(mb.num_layers != num_layers for mb in batches):
-        raise ValueError("all requests must have the same number of layers")
-    merged_blocks: list[Block] = []
-    for layer in range(num_layers):
-        blocks = [mb.blocks[layer] for mb in batches]
-        src_splits = np.zeros(len(blocks) + 1, dtype=np.int64)
-        np.cumsum([b.num_src for b in blocks], out=src_splits[1:])
-        dst_splits = np.zeros(len(blocks) + 1, dtype=np.int64)
-        np.cumsum([b.num_dst for b in blocks], out=dst_splits[1:])
-        merged_blocks.append(
-            Block(
-                src_ids=np.concatenate([b.src_ids for b in blocks]),
-                num_dst=int(dst_splits[-1]),
-                edge_src=np.concatenate(
-                    [b.edge_src + off for b, off in zip(blocks, src_splits[:-1])]
-                ),
-                edge_dst=np.concatenate(
-                    [b.edge_dst + off for b, off in zip(blocks, dst_splits[:-1])]
-                ),
-                src_splits=src_splits,
-                dst_splits=dst_splits,
-            )
-        )
-    request_rows = np.zeros(len(batches) + 1, dtype=np.int64)
-    np.cumsum([len(mb.seeds) for mb in batches], out=request_rows[1:])
-    return MergedFrontier(
-        blocks=merged_blocks,
-        seeds=np.concatenate([mb.seeds for mb in batches]),
-        request_rows=request_rows,
-    )
-
-
-def validate_merged(merged: MergedFrontier, batches: list[MiniBatch]) -> None:
-    """Assert the merged layout maps back onto every solo frontier.
-
-    The debugging/test-battery counterpart of :func:`merge_frontiers`:
-    for each request segment and layer, the sliced-out rows and
-    offset-corrected edges must equal the request's own block, and the
-    layer chain (merged destinations == next layer's merged sources)
-    must hold.  Raises ``AssertionError`` on any violation.
-    """
-    assert merged.num_requests == len(batches)
-    for layer, blk in enumerate(merged.blocks):
-        assert blk.num_segments == len(batches)
-        # per-request segment round-trip
-        edge_seg = np.searchsorted(blk.src_splits, blk.edge_src, side="right") - 1
-        for k, mb in enumerate(batches):
-            solo = mb.blocks[layer]
-            s0, s1 = blk.src_splits[k], blk.src_splits[k + 1]
-            d0, d1 = blk.dst_splits[k], blk.dst_splits[k + 1]
-            assert s1 - s0 == solo.num_src and d1 - d0 == solo.num_dst
-            assert np.array_equal(blk.src_ids[s0:s1], solo.src_ids)
-            mask = edge_seg == k
-            assert int(mask.sum()) == solo.num_edges
-            assert np.array_equal(blk.edge_src[mask] - s0, solo.edge_src)
-            assert np.array_equal(blk.edge_dst[mask] - d0, solo.edge_dst)
-            # edges stay request-contiguous in original order: identical
-            # per-row accumulation order in every scatter reduction
-            idx = np.flatnonzero(mask)
-            assert len(idx) == 0 or np.array_equal(
-                idx, np.arange(idx[0], idx[0] + len(idx))
-            )
-        assert np.array_equal(
-            blk.dst_ids, np.concatenate([mb.blocks[layer].dst_ids for mb in batches])
-        )
-        if layer + 1 < len(merged.blocks):
-            # the model chain: this layer's output rows are exactly the
-            # next merged block's source rows
-            assert np.array_equal(blk.dst_ids, merged.blocks[layer + 1].src_ids)
-    assert np.array_equal(merged.blocks[-1].dst_ids, merged.seeds)
+    dims = getattr(model, "dims", None)
+    width = int(dims[-1]) if dims else 0
+    return np.zeros((0, width), dtype=np.float32)
 
 
 def predict_frontier(
-    model, graph, features: Tensor, sampler, node_ids, *, seed: int
+    model, graph, features: Tensor, sampler, node_ids, *, seed: int, phases=None
 ) -> np.ndarray:
     """Frontier-batched counterpart of :func:`~repro.serve.engine.predict_nodes`.
 
-    Samples each node with its own ``(seed, "serve", node)`` stream —
-    identical draws to the per-node path — merges the frontiers and runs
-    one model forward over the union.  Bit-identical to per-node
-    inference (see the module docstring); returns one row per node.
+    Samples the whole micro-batch in one fused pass — each node still
+    draws from its own ``(seed, "serve", node)`` stream, identical to
+    the per-node path — and runs one model forward over the merged
+    union.  Bit-identical to per-node inference (see the module
+    docstring); returns one row per node.  ``phases`` (a
+    :class:`~repro.utils.phases.PhaseStats`) receives the
+    sample/merge/forward time split.
     """
     node_ids = np.asarray(node_ids, dtype=np.int64)
     if node_ids.size == 0:
-        return np.zeros((0, 0), dtype=np.float32)
+        return empty_predictions(model)
     was_training = model.training
     model.eval()
     try:
         with inference_mode():
-            batches = [
-                sampler.sample(
-                    graph,
-                    np.asarray([node], dtype=np.int64),
-                    rng=derive_rng(seed, "serve", int(node)),
-                )
-                for node in node_ids
-            ]
-            merged = merge_frontiers(batches)
+            rngs = [derive_rng(seed, "serve", int(node)) for node in node_ids]
+            merged = sampler.sample_merged(
+                graph,
+                [node_ids[i : i + 1] for i in range(len(node_ids))],
+                rngs,
+                phases=phases,
+            )
+            start = time.perf_counter()
             x = gather_rows(features, merged.input_ids)
             out = model(merged.blocks, x)
+            if phases is not None:
+                phases.forward_s += time.perf_counter() - start
     finally:
         model.train(was_training)
     return np.array(out.data, copy=True)

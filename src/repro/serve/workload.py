@@ -114,6 +114,15 @@ class ServingReport:
     shed_count: int = 0
     #: peak pending-queue length observed after admission
     max_queue: int = 0
+    #: per-phase breakdown of the engine's work during this run (ms):
+    #: frontier sampling, merged-layout assembly, model forward, and
+    #: cache lookup/insert.  In pool mode sample/merge/forward sum
+    #: across concurrent ranks (aggregate CPU ms, not wall clock), so
+    #: compare *shares*, not absolute times, against ``service_s``.
+    sample_ms: float = 0.0
+    merge_ms: float = 0.0
+    forward_ms: float = 0.0
+    cache_ms: float = 0.0
     #: per-request latencies (seconds, request-id order; NaN = shed)
     latencies_s: np.ndarray = field(repr=False, default=None)
 
@@ -121,6 +130,17 @@ class ServingReport:
     def served(self) -> int:
         """Requests that actually received a prediction."""
         return self.requests - self.shed_count
+
+    @property
+    def sampling_share(self) -> float:
+        """Fraction of tracked engine time spent drawing frontiers.
+
+        Computed against the phase total rather than ``service_s`` so the
+        share stays meaningful in pool mode, where the phase counters
+        aggregate CPU time across concurrent ranks.
+        """
+        total = self.sample_ms + self.merge_ms + self.forward_ms + self.cache_ms
+        return self.sample_ms / total if total > 0 else 0.0
 
     def slo_attainment(self, slo_ms: float) -> float:
         """Fraction of *all* requests completed within ``slo_ms``.
@@ -190,6 +210,9 @@ def run_serving_workload(
         next_issue = num_requests
 
     batcher = MicroBatcher(max_batch, max_wait_ms)
+    # engine phase counters are cumulative across runs; report the delta
+    engine_phases = getattr(engine, "phases", None)
+    phases_before = engine_phases.snapshot() if engine_phases is not None else None
     latencies = np.zeros(num_requests, dtype=np.float64)
     completed = 0
     shed_count = 0
@@ -257,6 +280,13 @@ def run_serving_workload(
     duration = max(now, 1e-12)
     served_lat = latencies[~np.isnan(latencies)]
     mean_ms, p50, p95, p99 = _percentile_stats(served_lat)
+    if engine_phases is not None:
+        deltas = [
+            (after - before) * 1e3
+            for after, before in zip(engine_phases.snapshot(), phases_before)
+        ]
+    else:
+        deltas = [0.0, 0.0, 0.0, 0.0]
     return ServingReport(
         mode=engine.mode,
         requests=num_requests,
@@ -275,6 +305,10 @@ def run_serving_workload(
         transport=engine.transport,
         shed_count=shed_count,
         max_queue=max_queue,
+        sample_ms=deltas[0],
+        merge_ms=deltas[1],
+        forward_ms=deltas[2],
+        cache_ms=deltas[3],
         latencies_s=latencies,
     )
 
@@ -314,5 +348,9 @@ def merge_reports(reports: list[ServingReport]) -> ServingReport:
         transport=reports[-1].transport,
         shed_count=sum(r.shed_count for r in reports),
         max_queue=max(r.max_queue for r in reports),
+        sample_ms=float(sum(r.sample_ms for r in reports)),
+        merge_ms=float(sum(r.merge_ms for r in reports)),
+        forward_ms=float(sum(r.forward_ms for r in reports)),
+        cache_ms=float(sum(r.cache_ms for r in reports)),
         latencies_s=lats,
     )

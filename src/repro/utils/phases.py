@@ -1,0 +1,51 @@
+"""Per-phase service-time accounting for the serving hot path.
+
+One :class:`PhaseStats` instance rides through a serving forward and
+accumulates where the wall time went: drawing frontiers (``sample_s``),
+assembling the merged block-diagonal structure (``merge_s``), the model
+forward itself (``forward_s``) and prediction-cache bookkeeping
+(``cache_s``).  The inference engine owns one, the pool workers report
+their own per-plan deltas back through the result queue, and
+:func:`repro.serve.workload.run_serving_workload` snapshots the counters
+around each run so :class:`~repro.serve.workload.ServingReport` can
+break service time down per phase.
+
+The module lives under ``utils`` because both :mod:`repro.sampling`
+(which instruments ``sample_merged``) and :mod:`repro.serve` (which
+instruments forwards and the cache) need it without importing each
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhaseStats"]
+
+
+@dataclass
+class PhaseStats:
+    """Cumulative seconds spent per serving phase.
+
+    In pool mode the sample/merge/forward counters are summed across
+    rank workers that run concurrently, so they measure aggregate CPU
+    time, not wall time — per-phase *shares* remain meaningful either
+    way.
+    """
+
+    sample_s: float = 0.0
+    merge_s: float = 0.0
+    forward_s: float = 0.0
+    cache_s: float = 0.0
+
+    def snapshot(self) -> tuple[float, float, float, float]:
+        return (self.sample_s, self.merge_s, self.forward_s, self.cache_s)
+
+    def add(self, other: "PhaseStats | tuple") -> None:
+        """Fold another record (or a ``snapshot()`` tuple) into this one."""
+        if isinstance(other, PhaseStats):
+            other = other.snapshot()
+        self.sample_s += other[0]
+        self.merge_s += other[1]
+        self.forward_s += other[2]
+        self.cache_s += other[3]

@@ -1,11 +1,17 @@
 """Communicator collectives: single-process and threaded worlds."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.distributed.comm import SingleProcessComm, ThreadWorld
+from repro.distributed.comm import (
+    ProcessWorld,
+    ResizableBarrier,
+    SingleProcessComm,
+    ThreadWorld,
+)
 
 
 class TestSingleProcessComm:
@@ -141,3 +147,122 @@ class TestThreadWorld:
 
         with pytest.raises(RuntimeError, match="rank 0 dies"):
             run_world(2, fn)
+
+
+class TestResizableBarrier:
+    """The shared-state barrier behind the single resizable ProcessWorld.
+
+    Thread-level tests: the barrier's state lives in a shared RawArray,
+    so the cross-process behaviour is the same code path — these cover
+    the generation/resize/broken protocol without fork overhead.
+    """
+
+    def _rendezvous(self, barrier, parties, timeout=5.0):
+        results = [None] * parties
+
+        def worker(i):
+            results[i] = barrier.wait(timeout=timeout)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(parties)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results
+
+    def test_arrival_indices(self):
+        barrier = ResizableBarrier(3)
+        out = self._rendezvous(barrier, 3)
+        assert sorted(out) == [0, 1, 2]
+
+    def test_reusable_across_generations(self):
+        barrier = ResizableBarrier(2)
+        for _ in range(3):
+            out = self._rendezvous(barrier, 2)
+            assert sorted(out) == [0, 1]
+
+    def test_single_party_returns_immediately(self):
+        barrier = ResizableBarrier(1)
+        assert barrier.wait(timeout=0.1) == 0
+        assert barrier.wait(timeout=0.1) == 0
+
+    def test_resize_changes_parties(self):
+        barrier = ResizableBarrier(3)
+        assert barrier.parties == 3
+        barrier.resize(2)
+        assert barrier.parties == 2
+        assert sorted(self._rendezvous(barrier, 2)) == [0, 1]
+        barrier.resize(1)
+        assert barrier.wait(timeout=0.1) == 0
+
+    def test_timeout_breaks_permanently(self):
+        barrier = ResizableBarrier(2)
+        with pytest.raises(threading.BrokenBarrierError):
+            barrier.wait(timeout=0.05)
+        assert barrier.broken
+        # broken is permanent: future waiters fail fast, resize refuses
+        with pytest.raises(threading.BrokenBarrierError):
+            barrier.wait(timeout=0.05)
+        with pytest.raises(RuntimeError):
+            barrier.resize(3)
+
+    def test_abort_wakes_waiter(self):
+        barrier = ResizableBarrier(2)
+        caught = []
+
+        def waiter():
+            try:
+                barrier.wait(timeout=5.0)
+            except threading.BrokenBarrierError:
+                caught.append(True)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        barrier.abort()
+        t.join(timeout=5.0)
+        assert caught == [True]
+        assert barrier.broken
+
+    def test_rejects_bad_parties(self):
+        with pytest.raises(ValueError):
+            ResizableBarrier(0)
+        with pytest.raises(ValueError):
+            ResizableBarrier(2).resize(0)
+
+
+class TestProcessWorldResize:
+    """Parent resize / worker rebind bookkeeping on one shared world."""
+
+    def test_resize_within_creation_ceiling(self):
+        world = ProcessWorld(3, capacity=8)
+        try:
+            assert world.max_world_size == 3
+            world.resize(1)
+            assert world.world_size == 1
+            assert world._barrier.parties == 1
+            world.resize(2)
+            assert world.world_size == 2
+            with pytest.raises(ValueError):
+                world.resize(4)  # beyond the creation layout
+            with pytest.raises(ValueError):
+                world.resize(0)
+        finally:
+            world.close()
+            world.unlink()
+
+    def test_rebind_is_local_only(self):
+        world = ProcessWorld(2, capacity=8)
+        try:
+            world.resize(1)
+            world.rebind(1)
+            assert world.world_size == 1
+            with pytest.raises(ValueError):
+                world.rebind(3)
+            with pytest.raises(ValueError):
+                world.communicator(1)  # rank beyond the rebound size
+        finally:
+            world.close()
+            world.unlink()

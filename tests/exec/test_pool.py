@@ -246,18 +246,28 @@ class TestPoolResize:
 
         assert run(fresh_each=False) == run(fresh_each=True)
 
-    def test_world_ladder_shares_one_segment(self, tiny_dataset):
-        """Per-size worlds must not multiply shm: siblings reuse the
-        primary world's data segment (fresh barrier/lock only)."""
+    def test_single_world_resizes_across_sizes(self, tiny_dataset):
+        """One world serves every active size: a shrink re-counts the
+        shared resizable barrier in place instead of swapping to a
+        pre-created per-size sibling world."""
         backend = get_backend("process", timeout=30.0)
         engine = self.shared_engines(tiny_dataset, backend)
         try:
             engine(3).train_epoch()
-            worlds = backend.pool.worlds
-            assert len(worlds) == 3
-            names = {w._shm.name for w in worlds}
-            assert len(names) == 1  # one shared data segment
-            assert sum(w._owner for w in worlds) == 1
+            world = backend.pool.world
+            assert world.world_size == 3
+            assert world.max_world_size == 3
+            name = world._shm.name
+            engine(1).train_epoch()
+            # same world object, same segment — only the size changed
+            assert backend.pool.world is world
+            assert world._shm.name == name
+            assert world.world_size == 1
+            assert world._barrier.parties == 1
+            engine(2).train_epoch()
+            assert backend.pool.world is world
+            assert world.world_size == 2
+            assert world._barrier.parties == 2
         finally:
             backend.shutdown()
 

@@ -148,3 +148,40 @@ class TestFailureAndCleanup:
             list(pf)
         pf.close()
         assert shm_segments() == before
+
+
+class TestSpanFusion:
+    """The `span` knob: fused multi-step sampling inside prefetch jobs."""
+
+    @pytest.mark.parametrize("span", [2, 3, 100])
+    def test_span_stream_identical_to_sync(self, tiny_dataset, span):
+        base = snapshot(make_base(tiny_dataset))
+        with PrefetchingLoader(
+            make_base(tiny_dataset), num_workers=2, mode="thread", span=span
+        ) as pf:
+            assert_same_stream(base, snapshot(pf))
+
+    def test_span_with_epoch_and_sharding(self, tiny_dataset):
+        base = make_base(tiny_dataset, rank=1, world_size=2)
+        base.set_epoch(3)
+        expected = snapshot(base)
+        with PrefetchingLoader(
+            make_base(tiny_dataset, rank=1, world_size=2),
+            num_workers=2,
+            mode="thread",
+            span=4,
+        ) as pf:
+            pf.set_epoch(3)
+            assert_same_stream(expected, snapshot(pf))
+
+    def test_span_rejected_in_process_mode(self, tiny_dataset):
+        # process workers ship one step per job; fused spans are a
+        # thread-mode (and persistent-runtime) optimisation only
+        with pytest.raises(ValueError):
+            PrefetchingLoader(
+                make_base(tiny_dataset), num_workers=2, mode="process", span=2
+            )
+
+    def test_span_validated(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            PrefetchingLoader(make_base(tiny_dataset), mode="thread", span=0)

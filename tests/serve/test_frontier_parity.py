@@ -74,12 +74,22 @@ class TestFunctionParity:
                 np.testing.assert_array_equal(merged[i], by_node[int(n)])
 
     def test_empty_request(self, tiny_dataset):
+        """Empty input keeps the model's output width so results always
+        stack/concatenate (regression: this used to be ``(0, 0)``)."""
         model, sampler = make_pair("sage", "neighbor", tiny_dataset)
         out = predict_frontier(
             model, tiny_dataset.graph, Tensor(tiny_dataset.features), sampler,
             np.array([], dtype=np.int64), seed=0,
         )
-        assert out.shape == (0, 0)
+        assert out.shape == (0, model.dims[-1])
+        assert out.dtype == np.float32
+        from repro.serve.engine import predict_nodes
+
+        per_node = predict_nodes(
+            model, tiny_dataset.graph, Tensor(tiny_dataset.features), sampler,
+            np.array([], dtype=np.int64), seed=0,
+        )
+        assert per_node.shape == (0, model.dims[-1])
 
     def test_training_flag_and_dropout_counter_untouched(self, tiny_dataset):
         model, sampler = make_pair("sage", "neighbor", tiny_dataset)

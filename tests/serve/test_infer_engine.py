@@ -58,13 +58,16 @@ class TestPredictNodes:
         assert model.extra_state_dict() == calls_before
 
     def test_empty_request_shape(self, tiny_dataset, trained_snapshot):
+        """Empty input matches the model's output width (regression:
+        this used to collapse to ``(0, 0)``)."""
         model = trained_snapshot.build_model()
         sampler = trained_snapshot.build_sampler()
         out = predict_nodes(
             model, tiny_dataset.graph, Tensor(tiny_dataset.features), sampler,
             np.array([], dtype=np.int64), seed=0,
         )
-        assert out.shape == (0, 0)
+        assert out.shape == (0, trained_snapshot.out_dim)
+        assert out.dtype == np.float32
 
 
 class TestInlineEngine:

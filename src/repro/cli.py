@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli serve-bench --mode pool --serve-workers 2 --slo-ms 20
     python -m repro.cli serve-bench --batch-mode frontier --queue-limit 64
     python -m repro.cli serve-bench --mode pool --swaps 2  # hot snapshot reloads
+    python -m repro.cli serve-bench --deltas 8 --staleness-budget 1  # live graph
+    python -m repro.cli serve-bench --report-json report.json
 
 Each command prints the reproduced artefact to stdout (the benchmark
 suite additionally asserts the paper's shapes; the CLI is for quick
@@ -28,6 +30,7 @@ reporting throughput, p50/p95/p99 latency and cache hit rate.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments.figures import (
@@ -234,8 +237,9 @@ def cmd_serve_bench(args) -> str:
     from repro.gnn.models import make_task
     from repro.graph.datasets import load_dataset
     from repro.serve import InferenceEngine, ModelSnapshot, run_serving_workload
-    from repro.serve.workload import merge_reports
+    from repro.serve.workload import make_update_stream, merge_reports
     from repro.tuning.serving import slo_objective
+    from repro.utils.rng import derive_rng
 
     ds = load_dataset(args.dataset, seed=args.seed, scale_override=args.scale)
     sampler, model = make_task(args.task, ds.layer_dims(args.layers), seed=args.seed)
@@ -253,8 +257,23 @@ def cmd_serve_bench(args) -> str:
         workers=args.serve_workers,
         cache_entries=args.cache_entries,
         timeout=args.timeout,
+        staleness_budget=args.staleness_budget,
+        delta_invalidation=args.delta_invalidation,
     )
+    # --deltas N streams N Poisson-timed topology updates into the live
+    # engine during the first segment: edges append through apply_delta
+    # while the very same pool keeps serving (launches must stay flat).
+    updates = None
+    if args.deltas:
+        updates = make_update_stream(
+            ds.num_nodes,
+            num_updates=args.deltas,
+            rate_ups=args.delta_rate,
+            edges_per_update=args.delta_edges,
+            rng=derive_rng(args.seed, "serve-deltas"),
+        )
     swap_lines = []
+    delta_line = None
     try:
         engine.warm_up()  # pool fork paid before the clock starts
         # --swaps N splits the run into N+1 segments with a hot snapshot
@@ -284,11 +303,22 @@ def cmd_serve_bench(args) -> str:
                     closed_loop=args.closed,
                     concurrency=args.concurrency,
                     queue_limit=args.queue_limit,
+                    updates=updates if seg == 0 else None,
                     seed=args.seed + seg,
                 )
             )
         report = merge_reports(reports)
         pool = engine.pool
+        if args.deltas:
+            delta_line = (
+                f"deltas: applied={report.updates_applied}/{args.deltas}, "
+                f"generation={report.graph_generation}, "
+                f"invalidation={args.delta_invalidation} "
+                f"(dropped={report.invalidated}, stale served={report.stale_served}, "
+                f"freshness={report.freshness:.3f}), "
+                f"update cost={report.update_ms:.1f}ms, "
+                f"launches={pool.launches if pool is not None else '(inline)'}"
+            )
         pool_line = (
             f"pool: workers={engine.n}, launches={pool.launches}, parked={pool.parked}; "
             f"arena: slot hits={report.transport.arena_hits}, "
@@ -330,6 +360,8 @@ def cmd_serve_bench(args) -> str:
         ),
     )
     lines = [table, pool_line, *swap_lines]
+    if delta_line is not None:
+        lines.append(delta_line)
     if args.slo_ms is not None:
         lines.append(
             f"SLO {args.slo_ms:g} ms: p99 "
@@ -337,6 +369,25 @@ def cmd_serve_bench(args) -> str:
             f"(attainment {report.slo_attainment(args.slo_ms):.3f}, "
             f"objective {slo_objective(report, slo_ms=args.slo_ms):.6f})"
         )
+    if args.report_json is not None:
+        doc = report.as_dict(slo_ms=args.slo_ms)
+        doc["bench"] = {
+            "dataset": args.dataset,
+            "task": args.task,
+            "scale": args.scale,
+            "mode": args.mode,
+            "batch_mode": args.batch_mode,
+            "workers": args.serve_workers if args.mode == "pool" else 1,
+            "deltas": args.deltas,
+            "delta_invalidation": args.delta_invalidation,
+            "staleness_budget": args.staleness_budget,
+            "swaps": args.swaps,
+            "seed": args.seed,
+        }
+        with open(args.report_json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        lines.append(f"report-json: wrote {args.report_json}")
     return "\n".join(lines)
 
 
@@ -457,6 +508,34 @@ def main(argv=None) -> int:
             p.add_argument(
                 "--timeout", type=float, default=120.0,
                 help="pool mode: per-batch worker deadline (s)",
+            )
+            p.add_argument(
+                "--deltas", type=_nonnegative_int, default=0,
+                help="stream this many graph deltas into the live engine "
+                     "during the run (0 = frozen graph)",
+            )
+            p.add_argument(
+                "--delta-rate", type=float, default=50.0,
+                help="Poisson rate of the update stream (updates/s)",
+            )
+            p.add_argument(
+                "--delta-edges", type=_positive_int, default=8,
+                help="edges appended per graph delta",
+            )
+            p.add_argument(
+                "--staleness-budget", type=_nonnegative_int, default=0,
+                help="serve cache entries through this many affecting "
+                     "deltas before evicting (0 = always fresh)",
+            )
+            p.add_argument(
+                "--delta-invalidation", default="scoped",
+                choices=["scoped", "flush"],
+                help="on apply_delta: evict only the reverse-reachable "
+                     "set (scoped) or the whole cache (flush)",
+            )
+            p.add_argument(
+                "--report-json", default=None, metavar="PATH",
+                help="also write the full ServingReport as one JSON document",
             )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

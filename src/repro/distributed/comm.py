@@ -449,11 +449,20 @@ class ProcessWorld:
 
         The shared barrier was already resized by the parent's
         :meth:`resize`; the worker just updates the ``world_size`` its
-        communicators divide by and range-check against.
+        communicators divide by and range-check against.  Rebinding onto
+        a broken world raises immediately — after an abort the barrier
+        can never complete a cycle again, so adopting a new size would
+        only defer the failure to the next collective with a less
+        attributable error.
         """
         if not 1 <= world_size <= self.max_world_size:
             raise ValueError(
                 f"world_size must be in [1, {self.max_world_size}], got {world_size}"
+            )
+        if self.broken:
+            raise RuntimeError(
+                "cannot rebind a broken world (a peer aborted or timed out); "
+                "relaunch the pool instead"
             )
         self.world_size = int(world_size)
 

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.distributed.comm import ProcessWorld
 from repro.exec.runtime import (
+    GraphDeltaPlan,
     InferPlan,
     Rebind,
     WorkerInit,
@@ -313,6 +314,7 @@ class WorkerPool:
         transport=None,
         batch_mode: str = "per_node",
         generation: int = 0,
+        graph_generation: int = 0,
         phases=None,
     ) -> np.ndarray:
         """Forward-only predictions for ``node_ids`` over the active ranks.
@@ -358,6 +360,7 @@ class WorkerPool:
                         arena_spec=arena.spec if arena is not None else None,
                         batch_mode=batch_mode,
                         generation=generation,
+                        graph_generation=graph_generation,
                     )
                 )
             results = collect_results(
@@ -390,6 +393,24 @@ class WorkerPool:
         except BaseException:
             self.shutdown(graceful=False)
             raise
+
+    def broadcast_delta(self, graph_generation: int, fragment_specs: list) -> None:
+        """Announce newly published graph fragments to every forked worker.
+
+        Fire-and-forget: one :class:`~repro.exec.runtime.GraphDeltaPlan`
+        per command queue — **all** forked workers, parked ranks
+        included, so a later grow-rebind resumes at current topology.
+        FIFO queue order guarantees the announcement lands before any
+        :class:`~repro.exec.runtime.InferPlan` issued at the new
+        generation; no ack is needed and ``launches`` does not move.
+        """
+        if not self.alive:
+            raise RuntimeError("worker pool is not running (call ensure first)")
+        plan = GraphDeltaPlan(
+            graph_generation=graph_generation, fragment_specs=fragment_specs
+        )
+        for q in self._cmd_qs:
+            q.put(plan)
 
     # ------------------------------------------------------------------
     def _release_channels(self) -> None:

@@ -55,6 +55,7 @@ from repro.tuning.defaults import DEFAULT_QUEUE_DEPTH
 
 __all__ = [
     "EpochPlan",
+    "GraphDeltaPlan",
     "InferPlan",
     "Rebind",
     "WorkerInit",
@@ -121,6 +122,36 @@ class InferPlan:
     #: served-weight generation; mismatch with the worker's loaded
     #: generation triggers a ParamStore reload before the forward
     generation: int = 0
+    #: graph generation this batch was planned against.  A worker whose
+    #: synced topology is older raises instead of serving silently-stale
+    #: predictions — the parent always broadcasts a GraphDeltaPlan on the
+    #: same FIFO queue *before* any InferPlan at the new generation, so a
+    #: mismatch means a protocol bug, not a race
+    graph_generation: int = 0
+
+
+@dataclass
+class GraphDeltaPlan:
+    """Streaming-update announcement: new graph fragments are published.
+
+    Fire-and-forget — sent by
+    :meth:`repro.exec.pool.WorkerPool.broadcast_delta` to **every**
+    forked worker (parked ranks included, so a later grow-rebind serves
+    current topology) on the per-rank FIFO command queues.  The worker
+    attaches the listed fragments it has not mapped yet
+    (:meth:`~repro.graph.shm.SharedGraphStore.sync_deltas` — fragments
+    are immutable once published, so lazy attach is race-free), rebuilds
+    its graph view/feature matrix, and keeps serving; no ack, no
+    relaunch, ``pool.launches`` stays flat.  Ordering with respect to
+    :class:`InferPlan` is guaranteed by queue FIFO: any plan at
+    ``graph_generation >= g`` is enqueued after the delta that created
+    generation ``g``.
+    """
+
+    #: graph generation after applying every fragment in ``fragment_specs``
+    graph_generation: int
+    #: the store's full published fragment spec list (cumulative)
+    fragment_specs: list
 
 
 @dataclass
@@ -322,9 +353,12 @@ def persistent_worker_main(
     try:
         store = SharedGraphStore.attach(init.store_spec)
         params = ParamStore.attach(init.param_spec)
-        graph = store.graph  # zero-copy CSR over the shared segments
-        features = Tensor(store.features)
-        labels = store.labels
+        # zero-copy views over the shared segments; rebuilt only when a
+        # GraphDeltaPlan announces new fragments (graph_generation bump)
+        graph = store.graph
+        features = Tensor(store.full_features())
+        labels = store.full_labels()
+        graph_generation = store.graph_generation
         model_template = init.model
         optimizer = make_optimizer(init.optimizer, model_template.parameters(), init.lr)
         while True:
@@ -339,7 +373,20 @@ def persistent_worker_main(
             if isinstance(cmd, Rebind):
                 world.rebind(cmd.world_size)
                 continue
+            if isinstance(cmd, GraphDeltaPlan):
+                store.sync_deltas(cmd.fragment_specs)
+                graph = store.graph
+                features = Tensor(store.full_features())
+                labels = store.full_labels()
+                graph_generation = store.graph_generation
+                continue
             if isinstance(cmd, InferPlan):
+                if cmd.graph_generation != graph_generation:
+                    raise RuntimeError(
+                        f"InferPlan at graph generation {cmd.graph_generation} "
+                        f"but worker topology is at {graph_generation} — "
+                        f"GraphDeltaPlan ordering violated"
+                    )
                 if cmd.generation != generation:
                     # hot snapshot swap: the parent republished weights
                     # through the ParamStore before bumping the counter

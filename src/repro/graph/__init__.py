@@ -6,7 +6,14 @@ each node, which is the access pattern both samplers need ("give me the
 neighbours that send messages to v").
 """
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, GraphView, induced_subgraph
+from repro.graph.delta import (
+    DeltaFragment,
+    GraphDelta,
+    LayeredCSR,
+    materialize_dataset,
+    reverse_reachable,
+)
 from repro.graph.build import (
     from_edge_index,
     to_undirected_edges,
@@ -32,6 +39,13 @@ from repro.graph.partition import (
 
 __all__ = [
     "CSRGraph",
+    "GraphView",
+    "induced_subgraph",
+    "GraphDelta",
+    "DeltaFragment",
+    "LayeredCSR",
+    "reverse_reachable",
+    "materialize_dataset",
     "from_edge_index",
     "to_undirected_edges",
     "remove_self_loops",

@@ -18,11 +18,66 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Protocol
 
 import numpy as np
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "GraphView", "induced_subgraph"]
+
+
+class GraphView(Protocol):
+    """Read-only in-edge adjacency interface the samplers consume.
+
+    Two implementations exist: the frozen :class:`CSRGraph` below and the
+    delta-overlaying :class:`repro.graph.delta.LayeredCSR`.  Everything
+    above the graph layer (samplers, serving engine) is written against
+    this protocol, so a live deployment can swap a frozen graph for a
+    layered view without touching sampler code.  Per-node neighbour order
+    is part of the contract — it feeds the samplers' RNG draw-order
+    contract (see :mod:`repro.sampling.batch`).
+    """
+
+    num_nodes: int
+
+    @property
+    def num_edges(self) -> int: ...
+
+    def in_degree(self, nodes: np.ndarray | None = None) -> np.ndarray: ...
+
+    def neighbors(self, node: int) -> np.ndarray: ...
+
+    def gather_neighbors(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def subgraph(self, nodes: np.ndarray) -> tuple["CSRGraph", np.ndarray]: ...
+
+
+def induced_subgraph(view: "GraphView", nodes: np.ndarray) -> tuple["CSRGraph", np.ndarray]:
+    """Node-induced subgraph of any :class:`GraphView`.
+
+    Returns ``(sub, nodes)`` where ``sub`` has ``len(nodes)`` nodes and
+    contains every edge of ``view`` whose endpoints are both in
+    ``nodes``; node ``i`` of ``sub`` corresponds to ``nodes[i]``.
+    ``nodes`` must not contain duplicates.  Implemented once on top of
+    ``gather_neighbors`` so frozen and layered graphs produce the same
+    subgraph with the same per-row edge order bit-for-bit.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if len(np.unique(nodes)) != len(nodes):
+        raise ValueError("subgraph nodes must be unique")
+    relabel = np.full(view.num_nodes, -1, dtype=np.int64)
+    relabel[nodes] = np.arange(len(nodes), dtype=np.int64)
+    srcs, offsets = view.gather_neighbors(nodes)
+    src_local = relabel[srcs]
+    keep = src_local >= 0
+    # destination local id for each gathered edge
+    dst_local = np.repeat(np.arange(len(nodes), dtype=np.int64), np.diff(offsets))
+    sub_src = src_local[keep]
+    sub_dst = dst_local[keep]
+    # already grouped by dst (gather order) — build indptr by counting
+    counts = np.bincount(sub_dst, minlength=len(nodes))
+    indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(indptr, sub_src, len(nodes)), nodes
 
 
 class CSRGraph:
@@ -176,23 +231,7 @@ class CSRGraph:
         ``nodes``; node ``i`` of ``sub`` corresponds to ``nodes[i]``.
         ``nodes`` must not contain duplicates.
         """
-        nodes = np.asarray(nodes, dtype=np.int64)
-        if len(np.unique(nodes)) != len(nodes):
-            raise ValueError("subgraph nodes must be unique")
-        relabel = np.full(self.num_nodes, -1, dtype=np.int64)
-        relabel[nodes] = np.arange(len(nodes), dtype=np.int64)
-        srcs, offsets = self.gather_neighbors(nodes)
-        src_local = relabel[srcs]
-        keep = src_local >= 0
-        # destination local id for each gathered edge
-        dst_local = np.repeat(np.arange(len(nodes), dtype=np.int64), np.diff(offsets))
-        sub_src = src_local[keep]
-        sub_dst = dst_local[keep]
-        # already grouped by dst (gather order) — build indptr by counting
-        counts = np.bincount(sub_dst, minlength=len(nodes))
-        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        return CSRGraph(indptr, sub_src, len(nodes)), nodes
+        return induced_subgraph(self, nodes)
 
     def has_self_loops(self) -> bool:
         src, dst = self.to_edge_index()

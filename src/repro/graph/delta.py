@@ -1,0 +1,424 @@
+"""Streaming graph deltas: append-only fragments layered over a frozen CSR.
+
+Production graphs mutate while a deployment serves them.  This module is
+the graph-layer half of that story (ROADMAP item 4): a
+:class:`GraphDelta` describes one batch of appended edges (and,
+optionally, appended nodes with their features/labels), a
+:class:`DeltaFragment` is its normalised CSR-fragment form (new in-edges
+grouped by destination row, exactly the orientation
+:class:`~repro.graph.csr.CSRGraph` stores), and :class:`LayeredCSR` is a
+**view** that overlays one or more fragments on a base CSR — degree and
+neighbour lookups merge base and delta slices per node with no rebuild
+of the base arrays.
+
+Ordering contract (load-bearing for bitwise parity)
+---------------------------------------------------
+A node's merged adjacency list is its base CSR slice followed by its
+slice from each fragment **in fragment order**; within a fragment, a
+row keeps the edge order of the originating :class:`GraphDelta` (stable
+grouping by destination).  That merged order *is* the "CSR adjacency
+order" of the samplers' RNG draw-order contract
+(:mod:`repro.sampling.batch`) once deltas exist, and
+:meth:`LayeredCSR.materialize` emits a frozen :class:`CSRGraph` with the
+identical per-row order — which is why predictions on a layered view are
+bit-identical to a cold engine rebuilt on the materialised merged graph.
+
+The shared-memory transport of fragments lives in
+:class:`repro.shm.arena.DeltaLog`; the serving-side invalidation logic
+(:func:`reverse_reachable`) also lives here because it is pure graph
+traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, induced_subgraph
+
+__all__ = [
+    "GraphDelta",
+    "DeltaFragment",
+    "LayeredCSR",
+    "reverse_reachable",
+    "materialize_dataset",
+]
+
+
+def _frozen(arr: np.ndarray, dtype=None) -> np.ndarray:
+    arr = np.ascontiguousarray(arr, dtype=dtype)
+    arr.setflags(write=False)
+    return arr
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One batch of appended edges (and optionally nodes).
+
+    ``src``/``dst`` are global endpoint ids of the new edges (an edge
+    ``src[i] -> dst[i]`` makes ``src[i]`` an in-neighbour of ``dst[i]``,
+    matching the in-edge CSR orientation).  Appended nodes are implicit:
+    ``features`` (``(k, f)``) and ``labels`` (``(k,)``) describe ``k``
+    new nodes that receive the next ``k`` ids after the current node
+    count; edge endpoints may reference them.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    features: np.ndarray | None = None
+    labels: np.ndarray | None = None
+
+    @property
+    def num_new_nodes(self) -> int:
+        return 0 if self.features is None else int(np.asarray(self.features).shape[0])
+
+
+@dataclass(frozen=True)
+class DeltaFragment:
+    """One :class:`GraphDelta` normalised to an append-only CSR fragment.
+
+    ``rows`` is the sorted set of destination nodes that gained in-edges;
+    ``indices[indptr[i]:indptr[i+1]]`` are the new in-neighbours of
+    ``rows[i]`` (delta-internal order preserved).  ``features``/``labels``
+    carry the appended nodes' data; ``num_nodes_after`` is the total node
+    count once this fragment is applied.
+    """
+
+    rows: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    features: np.ndarray
+    labels: np.ndarray
+    num_nodes_after: int
+
+    @property
+    def num_new_nodes(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def num_new_edges(self) -> int:
+        return int(len(self.indices))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_delta(
+        cls,
+        delta: GraphDelta,
+        *,
+        num_nodes: int,
+        feature_dim: int,
+        feature_dtype=np.float32,
+        label_dtype=np.int64,
+    ) -> "DeltaFragment":
+        """Validate and normalise ``delta`` against the current node count."""
+        src = np.asarray(delta.src, dtype=np.int64).ravel()
+        dst = np.asarray(delta.dst, dtype=np.int64).ravel()
+        if len(src) != len(dst):
+            raise ValueError(
+                f"src ({len(src)}) and dst ({len(dst)}) must have equal length"
+            )
+        if delta.features is not None:
+            features = np.ascontiguousarray(delta.features, dtype=feature_dtype)
+            if features.ndim != 2 or features.shape[1] != feature_dim:
+                raise ValueError(
+                    f"new-node features must be (k, {feature_dim}), "
+                    f"got {features.shape}"
+                )
+        else:
+            features = np.zeros((0, feature_dim), dtype=feature_dtype)
+        k = features.shape[0]
+        if delta.labels is not None:
+            labels = np.ascontiguousarray(delta.labels, dtype=label_dtype).ravel()
+            if len(labels) != k:
+                raise ValueError(
+                    f"new-node labels ({len(labels)}) must match features ({k})"
+                )
+        else:
+            labels = np.zeros(k, dtype=label_dtype)
+        total_after = int(num_nodes) + k
+        if len(src) == 0 and k == 0:
+            raise ValueError("empty delta: no new edges and no new nodes")
+        if len(src) and (
+            min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= total_after
+        ):
+            raise ValueError(
+                f"delta edge endpoints out of range [0, {total_after})"
+            )
+        # stable grouping by destination keeps each row's edges in the
+        # delta's own order — part of the merged-adjacency ordering contract
+        order = np.argsort(dst, kind="stable")
+        dst_sorted = dst[order]
+        rows, counts = np.unique(dst_sorted, return_counts=True)
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(
+            rows=_frozen(rows),
+            indptr=_frozen(indptr),
+            indices=_frozen(src[order]),
+            features=_frozen(features),
+            labels=_frozen(labels),
+            num_nodes_after=total_after,
+        )
+
+    # ------------------------------------------------------------------
+    # shared-memory transport (see repro.shm.arena.DeltaLog)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The flat array bundle a :class:`~repro.shm.arena.DeltaLog` ships."""
+        return {
+            "rows": self.rows,
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "features": self.features,
+            "labels": self.labels,
+            "meta": np.asarray([self.num_nodes_after], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "DeltaFragment":
+        """Rebuild a fragment from :meth:`to_arrays` output (zero-copy views)."""
+        return cls(
+            rows=arrays["rows"],
+            indptr=arrays["indptr"],
+            indices=arrays["indices"],
+            features=arrays["features"],
+            labels=arrays["labels"],
+            num_nodes_after=int(arrays["meta"][0]),
+        )
+
+    def _row_slices(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node ``(start, degree)`` into this fragment's ``indices``."""
+        if len(self.rows) == 0:
+            zeros = np.zeros(len(nodes), dtype=np.int64)
+            return zeros, zeros
+        pos = np.searchsorted(self.rows, nodes)
+        pos_c = np.minimum(pos, len(self.rows) - 1)
+        hit = self.rows[pos_c] == nodes
+        starts = np.where(hit, self.indptr[pos_c], 0)
+        degs = np.where(hit, self.indptr[pos_c + 1] - self.indptr[pos_c], 0)
+        return starts, degs
+
+
+class LayeredCSR:
+    """Merged-adjacency **view** over a base CSR plus ≥1 delta fragments.
+
+    Implements the :class:`~repro.graph.csr.GraphView` protocol the
+    samplers consume — ``num_nodes``/``num_edges``, vectorised
+    ``gather_neighbors`` (base and delta slices concatenated per node in
+    one pass per layer), ``in_degree``, ``neighbors`` and the induced
+    ``subgraph`` — without ever rebuilding the base arrays.  Nodes
+    appended by fragments simply extend the id range; their base degree
+    is zero.
+    """
+
+    __slots__ = ("base", "fragments", "num_nodes")
+
+    def __init__(self, base: CSRGraph, fragments) -> None:
+        fragments = list(fragments)
+        if not fragments:
+            raise ValueError(
+                "LayeredCSR needs at least one delta fragment "
+                "(use the base CSRGraph directly otherwise)"
+            )
+        n = base.num_nodes
+        for frag in fragments:
+            if frag.num_nodes_after < n:
+                raise ValueError(
+                    f"fragment shrinks the graph ({frag.num_nodes_after} < {n})"
+                )
+            n = int(frag.num_nodes_after)
+        self.base = base
+        self.fragments = fragments
+        self.num_nodes = n
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self.base.num_edges + sum(f.num_new_edges for f in self.fragments)
+
+    @property
+    def generation(self) -> int:
+        """Graph generation this view serves (== number of fragments)."""
+        return len(self.fragments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LayeredCSR(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
+            f"fragments={len(self.fragments)})"
+        )
+
+    # ------------------------------------------------------------------
+    def _base_slices(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        starts = np.zeros(len(nodes), dtype=np.int64)
+        degs = np.zeros(len(nodes), dtype=np.int64)
+        in_base = nodes < self.base.num_nodes
+        if in_base.any():
+            bn = nodes[in_base]
+            s = self.base.indptr[bn]
+            starts[in_base] = s
+            degs[in_base] = self.base.indptr[bn + 1] - s
+        return starts, degs
+
+    def _layer_slices(self, nodes: np.ndarray):
+        """Per layer (base, then each fragment): (starts, degs, source pool)."""
+        starts, degs = self._base_slices(nodes)
+        yield starts, degs, self.base.indices
+        for frag in self.fragments:
+            starts, degs = frag._row_slices(nodes)
+            yield starts, degs, frag.indices
+
+    def in_degree(self, nodes: np.ndarray | None = None) -> np.ndarray:
+        """Merged in-degrees of ``nodes`` (all nodes if ``None``)."""
+        if nodes is None:
+            full = np.zeros(self.num_nodes, dtype=np.int64)
+            full[: self.base.num_nodes] = np.diff(self.base.indptr)
+            for frag in self.fragments:
+                full[frag.rows] += np.diff(frag.indptr)
+            return full
+        nodes = np.asarray(nodes, dtype=np.int64)
+        total = np.zeros(len(nodes), dtype=np.int64)
+        for _, degs, _ in self._layer_slices(nodes):
+            total += degs
+        return total
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Merged in-neighbours of ``node``: base slice, then delta slices."""
+        parts = []
+        if node < self.base.num_nodes:
+            parts.append(self.base.neighbors(node))
+        one = np.asarray([node], dtype=np.int64)
+        for frag in self.fragments:
+            starts, degs = frag._row_slices(one)
+            if degs[0]:
+                parts.append(frag.indices[starts[0] : starts[0] + degs[0]])
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def gather_neighbors(self, nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated **merged** in-neighbour lists for a batch of nodes.
+
+        Same contract as :meth:`CSRGraph.gather_neighbors` — the sampler
+        hot path — with each node's list being its base slice followed by
+        its slice of every fragment in fragment order.  Vectorised: one
+        scatter per layer (base + each fragment), no per-node loop, which
+        is what keeps the fused ``sample_merged`` kernels delta-aware for
+        free.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        layers = list(self._layer_slices(nodes))
+        totals = np.zeros(len(nodes), dtype=np.int64)
+        for _, degs, _ in layers:
+            totals += degs
+        offsets = np.zeros(len(nodes) + 1, dtype=np.int64)
+        np.cumsum(totals, out=offsets[1:])
+        total = int(offsets[-1])
+        out = np.empty(total, dtype=np.int64)
+        if total == 0:
+            return out, offsets
+        within = np.zeros(len(nodes), dtype=np.int64)
+        for starts, degs, pool in layers:
+            t = int(degs.sum())
+            if t == 0:
+                continue
+            lcum = np.zeros(len(nodes) + 1, dtype=np.int64)
+            np.cumsum(degs, out=lcum[1:])
+            local = np.arange(t, dtype=np.int64) - np.repeat(lcum[:-1], degs)
+            src = pool[np.repeat(starts, degs) + local]
+            out[np.repeat(offsets[:-1] + within, degs) + local] = src
+            within += degs
+        return out, offsets
+
+    def subgraph(self, nodes: np.ndarray) -> tuple[CSRGraph, np.ndarray]:
+        """Node-induced subgraph of the merged view (frozen CSR result).
+
+        Same algorithm and per-row edge order as
+        :meth:`CSRGraph.subgraph` run on the materialised merged graph —
+        the ShaDow sampler's looped path relies on that equivalence.
+        """
+        return induced_subgraph(self, nodes)
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> CSRGraph:
+        """Flatten the overlay into one frozen :class:`CSRGraph`.
+
+        Per-row adjacency order is exactly the view's merged order, so a
+        sampler consuming the result draws identical RNG streams and
+        picks identical neighbours — the exactness oracle's reference.
+        """
+        degs = self.in_degree()
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(degs, out=indptr[1:])
+        srcs, _ = self.gather_neighbors(np.arange(self.num_nodes, dtype=np.int64))
+        indptr.setflags(write=False)
+        srcs.setflags(write=False)
+        return CSRGraph.from_trusted_parts(indptr, srcs)
+
+
+def _edge_layers(view):
+    """Yield ``(rows_or_None, indptr, indices)`` per storage layer of a view."""
+    if isinstance(view, LayeredCSR):
+        yield None, view.base.indptr, view.base.indices
+        for frag in view.fragments:
+            yield frag.rows, frag.indptr, frag.indices
+    else:
+        yield None, view.indptr, view.indices
+
+
+def reverse_reachable(view, seeds: np.ndarray, hops: int) -> np.ndarray:
+    """Nodes reachable from ``seeds`` within ``hops`` edge-direction steps.
+
+    One step from node ``u`` reaches every ``v`` that has ``u`` as an
+    in-neighbour — i.e. the set of nodes whose sampled ``hops``-layer
+    frontier can contain a seed.  This is the serve layer's invalidation
+    scope: after a delta mutates the adjacency of ``seeds`` (the new
+    edges' destinations), only this set's cached predictions can have
+    changed.  Includes the seeds themselves.  O(E) scan per hop over
+    base + fragments — paid once per ``apply_delta``, never on the
+    request path.
+    """
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    reached = seeds
+    frontier = seeds
+    for _ in range(int(hops)):
+        if len(frontier) == 0:
+            break
+        hits = []
+        for rows, indptr, indices in _edge_layers(view):
+            mask = np.isin(indices, frontier)
+            if not mask.any():
+                continue
+            pos = np.nonzero(mask)[0]
+            owners = np.searchsorted(indptr, pos, side="right") - 1
+            hits.append(owners if rows is None else rows[owners])
+        if not hits:
+            break
+        new = np.setdiff1d(np.unique(np.concatenate(hits)), reached, assume_unique=True)
+        if len(new) == 0:
+            break
+        reached = np.union1d(reached, new)
+        frontier = new
+    return reached
+
+
+def materialize_dataset(dataset, fragments):
+    """A frozen :class:`~repro.graph.datasets.GNNDataset` equal to
+    ``dataset`` + ``fragments`` — the exactness oracle's cold-start input.
+
+    The merged graph keeps the layered view's per-row adjacency order
+    (see :meth:`LayeredCSR.materialize`); features/labels are the base
+    matrices with every fragment's appended rows concatenated.  Train/
+    val/test splits are unchanged (appended nodes join no split).
+    """
+    fragments = list(fragments)
+    if not fragments:
+        return dataset
+    graph = LayeredCSR(dataset.graph, fragments).materialize()
+    feat_parts = [dataset.features] + [f.features for f in fragments if f.num_new_nodes]
+    label_parts = [dataset.labels] + [f.labels for f in fragments if f.num_new_nodes]
+    features = feat_parts[0] if len(feat_parts) == 1 else np.concatenate(feat_parts)
+    labels = label_parts[0] if len(label_parts) == 1 else np.concatenate(label_parts)
+    return replace(dataset, graph=graph, features=features, labels=labels)

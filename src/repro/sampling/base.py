@@ -7,7 +7,7 @@ from typing import Callable, Dict, Sequence
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import GraphView
 from repro.sampling.batch import MergedFrontier, check_seed_batches, merge_frontiers
 from repro.sampling.block import MiniBatch
 
@@ -21,17 +21,27 @@ class Sampler:
     message-flow blocks.  Samplers are stateless apart from the RNG passed
     per call, so one sampler instance can be shared by all ranks of the
     Multi-Process Engine.
+
+    ``graph`` is any :class:`~repro.graph.csr.GraphView` — the frozen
+    :class:`~repro.graph.csr.CSRGraph` or a delta-overlaying
+    :class:`~repro.graph.delta.LayeredCSR`.  Samplers only touch the
+    protocol surface (``gather_neighbors``/``subgraph``/``num_nodes``),
+    so both the looped and the fused ``sample_merged`` kernels see merged
+    adjacency automatically once deltas exist; the RNG draw-order
+    contract (:mod:`repro.sampling.batch`) is stated over the view's
+    merged per-node neighbour order, with ``deg_sum`` including delta
+    edges.
     """
 
     #: how many GNN layers the produced blocks feed (set by subclasses)
     num_layers: int = 0
 
-    def sample(self, graph: CSRGraph, seeds: np.ndarray, *, rng=None) -> MiniBatch:
+    def sample(self, graph: GraphView, seeds: np.ndarray, *, rng=None) -> MiniBatch:
         raise NotImplementedError
 
     def sample_merged(
         self,
-        graph: CSRGraph,
+        graph: GraphView,
         seed_batches: Sequence[np.ndarray],
         rngs: Sequence[np.random.Generator],
         *,

@@ -22,8 +22,11 @@ come from and in what order they are consumed*:
   segments never share or interleave streams;
 * per segment and per layer, the looped path makes exactly one
   ``rng.random(deg_sum)`` call over that segment's candidate edges — in
-  frontier order, candidates in CSR adjacency order — and makes **no
-  call at all** when the segment has zero candidates
+  frontier order, candidates in the graph view's adjacency order (for a
+  :class:`~repro.graph.delta.LayeredCSR` that is the *merged* order —
+  base slice then delta slices per node — and ``deg_sum`` includes
+  delta edges) — and makes **no call at all** when the segment has zero
+  candidates
   (:func:`repro.sampling.neighbor.sample_neighbors_uniform` returns
   before drawing).  :func:`draw_segment_keys` reproduces both rules
   exactly, so each stream is consumed identically;

@@ -10,7 +10,11 @@ neighbours.
 The whole per-layer step is vectorised: neighbour lists for the entire
 frontier are gathered at once with :meth:`CSRGraph.gather_neighbors`, and
 the without-replacement choice is made with a single vectorised
-random-key-sort trick instead of a per-node ``rng.choice`` loop.
+random-key-sort trick instead of a per-node ``rng.choice`` loop.  The
+sampler accepts any :class:`~repro.graph.csr.GraphView`: on a
+:class:`~repro.graph.delta.LayeredCSR` the gather returns merged
+base+delta adjacency, so streamed edges participate in sampling with no
+kernel change.
 
 RNG draw-order contract
 -----------------------
@@ -19,7 +23,8 @@ pool/inline parity guarantee both assume a node's sampled frontier is a
 pure function of its RNG stream.  Per layer, :func:`sample_neighbors_uniform`
 makes exactly **one** ``rng.random(deg_sum)`` call over all candidate
 edges of the frontier — candidates ordered by frontier position, each
-node's candidates in CSR adjacency order — and **no call at all** when
+node's candidates in the view's (merged, once deltas exist) adjacency
+order, with ``deg_sum`` including delta edges — and **no call at all** when
 the frontier has zero candidates.  The fused multi-request path
 (:meth:`NeighborSampler.sample_merged`) reproduces this stream-for-stream
 (:func:`repro.sampling.batch.draw_segment_keys`), which is what makes it
@@ -34,7 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import GraphView
 from repro.sampling.base import Sampler, register_sampler
 from repro.sampling.batch import (
     MergedFrontier,
@@ -50,7 +55,7 @@ __all__ = ["NeighborSampler", "sample_neighbors_uniform"]
 
 
 def sample_neighbors_uniform(
-    graph: CSRGraph, nodes: np.ndarray, fanout: int, rng: np.random.Generator
+    graph: GraphView, nodes: np.ndarray, fanout: int, rng: np.random.Generator
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sample up to ``fanout`` in-neighbours per node, without replacement.
 
@@ -116,7 +121,7 @@ class NeighborSampler(Sampler):
         self.fanouts = fanouts
         self.num_layers = len(fanouts)
 
-    def sample(self, graph: CSRGraph, seeds: np.ndarray, *, rng=None) -> MiniBatch:
+    def sample(self, graph: GraphView, seeds: np.ndarray, *, rng=None) -> MiniBatch:
         rng = as_generator(rng)
         seeds = np.asarray(seeds, dtype=np.int64)
         if len(seeds) == 0:
@@ -137,7 +142,7 @@ class NeighborSampler(Sampler):
 
     def sample_merged(
         self,
-        graph: CSRGraph,
+        graph: GraphView,
         seed_batches: Sequence[np.ndarray],
         rngs: Sequence[np.random.Generator],
         *,

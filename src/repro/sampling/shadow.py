@@ -29,7 +29,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import GraphView
 from repro.sampling.base import Sampler, register_sampler
 from repro.sampling.batch import (
     MergedFrontier,
@@ -67,7 +67,7 @@ class ShadowSampler(Sampler):
         self.fanouts = fanouts
         self.num_layers = int(num_layers)
 
-    def sample(self, graph: CSRGraph, seeds: np.ndarray, *, rng=None) -> MiniBatch:
+    def sample(self, graph: GraphView, seeds: np.ndarray, *, rng=None) -> MiniBatch:
         rng = as_generator(rng)
         seeds = np.asarray(seeds, dtype=np.int64)
         if len(seeds) == 0:
@@ -112,7 +112,7 @@ class ShadowSampler(Sampler):
 
     def sample_merged(
         self,
-        graph: CSRGraph,
+        graph: GraphView,
         seed_batches: Sequence[np.ndarray],
         rngs: Sequence[np.random.Generator],
         *,

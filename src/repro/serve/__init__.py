@@ -19,14 +19,28 @@ via :meth:`InferenceEngine.reload` without relaunching their pool, and
 the serving knobs (``workers``, ``max_batch``, ``max_wait_ms``,
 ``cache_entries``, ``batch_mode``) are searchable by the existing BO
 autotuner via :class:`repro.tuning.serving.ServingSpace`.
+
+Live graphs: a deployed engine accepts streaming topology updates via
+:meth:`InferenceEngine.apply_delta` — append-only
+:class:`~repro.graph.delta.GraphDelta` batches layer onto the frozen
+snapshot without a rebuild or pool relaunch, the cache is invalidated
+only over the delta's reverse-reachable set, and the workload driver
+interleaves a Poisson update stream (:func:`make_update_stream`) with
+Zipf reads, reporting freshness alongside latency.
 """
 
 from repro.serve.batcher import BatchStats, MicroBatcher, Request
 from repro.serve.cache import CacheStats, EmbeddingCache
-from repro.serve.engine import InferenceEngine, predict_nodes
+from repro.serve.engine import DeltaReceipt, InferenceEngine, predict_nodes
 from repro.serve.frontier import MergedFrontier, merge_frontiers, predict_frontier
 from repro.serve.snapshot import ModelSnapshot
-from repro.serve.workload import ServingReport, run_serving_workload, zipf_nodes
+from repro.serve.workload import (
+    ServingReport,
+    make_update_stream,
+    merge_reports,
+    run_serving_workload,
+    zipf_nodes,
+)
 
 __all__ = [
     "BatchStats",
@@ -34,6 +48,7 @@ __all__ = [
     "Request",
     "CacheStats",
     "EmbeddingCache",
+    "DeltaReceipt",
     "InferenceEngine",
     "predict_nodes",
     "MergedFrontier",
@@ -41,6 +56,8 @@ __all__ = [
     "predict_frontier",
     "ModelSnapshot",
     "ServingReport",
+    "make_update_stream",
+    "merge_reports",
     "run_serving_workload",
     "zipf_nodes",
 ]

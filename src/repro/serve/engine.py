@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,6 +43,7 @@ from repro.autograd.optim import make_optimizer
 from repro.autograd.ops import gather_rows
 from repro.autograd.tensor import Tensor, inference_mode
 from repro.exec.pool import WorkerPool
+from repro.graph.delta import DeltaFragment, GraphDelta, LayeredCSR, reverse_reachable
 from repro.graph.shm import SharedGraphStore
 from repro.serve.cache import EmbeddingCache
 from repro.serve.frontier import empty_predictions, predict_frontier
@@ -51,7 +53,21 @@ from repro.utils.phases import PhaseStats
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["InferenceEngine", "predict_nodes"]
+__all__ = ["DeltaReceipt", "InferenceEngine", "predict_nodes"]
+
+
+@dataclass(frozen=True)
+class DeltaReceipt:
+    """What one :meth:`InferenceEngine.apply_delta` call did."""
+
+    #: graph generation after this delta (== number of fragments applied)
+    generation: int
+    new_edges: int
+    new_nodes: int
+    #: size of the reverse-reachable set whose cached predictions may change
+    affected: int
+    #: cache entries actually dropped (≤ affected; full flush drops all)
+    invalidated: int
 
 
 def predict_nodes(
@@ -144,6 +160,16 @@ class InferenceEngine:
         Per-rank result-slot size for the prediction transport; rows
         that do not fit fall back to queue pickling (counted in
         :attr:`transport`).
+    staleness_budget:
+        How many affecting graph deltas a cached prediction may survive
+        before it stops being servable (default 0: evict eagerly, exact
+        serving).  Positive budgets trade freshness for hit rate during
+        update storms; stale serves are counted in
+        ``cache.stats.stale_hits``.
+    delta_invalidation:
+        ``"scoped"`` (default) evicts only the delta's reverse-reachable
+        set on :meth:`apply_delta`; ``"flush"`` drops the whole cache —
+        the baseline the streaming benchmark compares against.
 
     The pool-mode engine owns shared-memory segments (graph store,
     result arena, the pool's channels when the pool is owned): call
@@ -152,6 +178,7 @@ class InferenceEngine:
 
     MODES = ("inline", "pool")
     BATCH_MODES = ("per_node", "frontier")
+    DELTA_INVALIDATION = ("scoped", "flush")
 
     def __init__(
         self,
@@ -169,6 +196,8 @@ class InferenceEngine:
         start_method: str | None = None,
         seed: int | None = None,
         arena_slot_bytes: int = 1 << 20,
+        staleness_budget: int = 0,
+        delta_invalidation: str = "scoped",
     ):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
@@ -176,17 +205,31 @@ class InferenceEngine:
             raise ValueError(
                 f"batch_mode must be one of {self.BATCH_MODES}, got {batch_mode!r}"
             )
+        if delta_invalidation not in self.DELTA_INVALIDATION:
+            raise ValueError(
+                f"delta_invalidation must be one of {self.DELTA_INVALIDATION}, "
+                f"got {delta_invalidation!r}"
+            )
         self.snapshot = snapshot
         self.dataset = dataset
         self.mode = mode
         self.batch_mode = batch_mode
+        self.delta_invalidation = delta_invalidation
         self.model = model if model is not None else snapshot.build_model()
         self.sampler = snapshot.build_sampler()
         self.seed = int(snapshot.seed if seed is None else seed)
-        self.cache = EmbeddingCache(cache_entries)
+        self.cache = EmbeddingCache(cache_entries, staleness_budget=staleness_budget)
         self.transport = TransportStats()
         self.features = Tensor(dataset.features)
         self.requests = 0
+        #: applied delta fragments, in order; the served graph is the
+        #: dataset's base CSR overlaid with these (a LayeredCSR view)
+        self._fragments: list[DeltaFragment] = []
+        self._graph = dataset.graph
+        #: graph generation counter: bumped by every :meth:`apply_delta`;
+        #: rides each InferPlan as a defensive guard and tags the workers'
+        #: synced topology
+        self.graph_generation = 0
         #: cumulative per-phase service-time breakdown
         #: (sample/merge/forward/cache).  In pool mode the sample/merge/
         #: forward counters sum across concurrent ranks, i.e. aggregate
@@ -229,6 +272,10 @@ class InferenceEngine:
         if self._store is None or self._store.closed:
             self._store = SharedGraphStore.from_dataset(self.dataset)
             self._owns_store = True
+        # catch the store up on deltas applied while it did not exist —
+        # a fresh launch then ships them inside the store spec
+        for frag in self._fragments[self._store.graph_generation :]:
+            self._store.append_fragment(frag)
         if self._pool.ensure(self, self._store):
             # a fresh launch pickles the current (post-reload) weights
             # and seeds the ParamStore from them — nothing to republish
@@ -292,7 +339,7 @@ class InferenceEngine:
             forward = predict_frontier if self.batch_mode == "frontier" else predict_nodes
             return forward(
                 self.model,
-                self.dataset.graph,
+                self._graph,
                 self.features,
                 self.sampler,
                 miss_ids,
@@ -308,7 +355,75 @@ class InferenceEngine:
             transport=self.transport,
             batch_mode=self.batch_mode,
             generation=self.generation,
+            graph_generation=self.graph_generation,
             phases=self.phases,
+        )
+
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta) -> DeltaReceipt:
+        """Append edges/nodes to the *live* serving deployment.
+
+        The delta is normalised to a :class:`DeltaFragment`, layered over
+        the served graph view (no rebuild of the base CSR), published to
+        the shared-memory store, and — when a pool is live — announced to
+        every worker with a fire-and-forget
+        :class:`~repro.exec.runtime.GraphDeltaPlan` on the FIFO command
+        queues, so ``pool.launches`` stays flat.
+
+        Cache handling is the scoped-invalidation story: only the
+        reverse-reachable set within the sampler's hop depth of the
+        mutated vertices can have changed predictions, so only those
+        entries are invalidated (``delta_invalidation="flush"`` drops
+        everything instead, as a baseline).  Post-delta predictions are
+        bit-identical to a cold engine built on the materialised merged
+        graph (:func:`repro.graph.delta.materialize_dataset`).
+        """
+        if self._closed:
+            raise ValueError("inference engine is closed")
+        frag = DeltaFragment.from_delta(
+            delta,
+            num_nodes=self._graph.num_nodes,
+            feature_dim=int(self.dataset.features.shape[1]),
+            feature_dtype=self.dataset.features.dtype,
+            label_dtype=self.dataset.labels.dtype,
+        )
+        self._fragments.append(frag)
+        self._graph = LayeredCSR(self.dataset.graph, list(self._fragments))
+        if frag.num_new_nodes:
+            parts = [self.dataset.features] + [
+                f.features for f in self._fragments if f.num_new_nodes
+            ]
+            self.features = Tensor(np.concatenate(parts))
+        self.graph_generation += 1
+        # hop depth of the sampler's receptive field: num_layers for the
+        # layered samplers, fanout count for subgraph samplers (ShaDow
+        # induces over the full node set, one hop deeper than its growth
+        # loop) — the max is a safe scope for either
+        hops = max(
+            int(self.sampler.num_layers),
+            len(getattr(self.sampler, "fanouts", ()) or ()),
+        )
+        affected = reverse_reachable(self._graph, frag.rows, hops)
+        if self.delta_invalidation == "scoped":
+            invalidated = self.cache.invalidate(affected)
+        else:
+            invalidated = self.cache.invalidate(None)
+        if self._store is not None and not self._store.closed:
+            self._store.append_fragment(frag)
+            if (
+                self._pool is not None
+                and self._pool.alive
+                and self._pool.store is self._store
+            ):
+                self._pool.broadcast_delta(
+                    self.graph_generation, self._store.delta_specs
+                )
+        return DeltaReceipt(
+            generation=self.graph_generation,
+            new_edges=frag.num_new_edges,
+            new_nodes=frag.num_new_nodes,
+            affected=len(affected),
+            invalidated=invalidated,
         )
 
     # ------------------------------------------------------------------
@@ -319,12 +434,14 @@ class InferenceEngine:
         served (same model topology — the frozen :class:`ParamStore`
         layout and the pool's :func:`~repro.exec.pool.pool_signature`
         both depend on it).  Weights are loaded into the live model
-        object in place, the prediction cache is invalidated (cached
-        rows belong to the old weights), and the generation counter is
-        bumped; pool mode republishes through the existing ParamStore
-        channel on the next batch — ``pool.launches`` stays flat.  The
-        serving RNG stream (``seed``) is deliberately left unchanged:
-        it is the engine's identity, not the snapshot's.
+        object in place, the prediction cache is invalidated by bumping
+        its weight tag (cached rows belong to the old weights; the graph
+        is unchanged, so an O(entries) flush would be wasted work — tag
+        mismatches are dropped lazily on lookup), and the generation
+        counter is bumped; pool mode republishes through the existing
+        ParamStore channel on the next batch — ``pool.launches`` stays
+        flat.  The serving RNG stream (``seed``) is deliberately left
+        unchanged: it is the engine's identity, not the snapshot's.
         """
         if self._closed:
             raise ValueError("inference engine is closed")
@@ -339,7 +456,7 @@ class InferenceEngine:
         self.model.load_state_dict(snapshot.state)
         self.snapshot = snapshot
         self.sampler = snapshot.build_sampler()
-        self.cache.clear()
+        self.cache.bump_weight_tag()
         self.generation += 1
         self._stale_pool_params = True
 

@@ -29,6 +29,15 @@ Past saturation an open loop would otherwise grow its queue — and every
 request's latency — without bound; with a limit, overflow arrivals push
 the longest-waiting request out, ``ServingReport.shed_count`` records
 the refusals, and the served tail stays bounded.
+
+Streaming updates: ``updates`` interleaves a timed stream of
+:class:`~repro.graph.delta.GraphDelta`\\ s (see :func:`make_update_stream`
+for a Poisson generator) into the read traffic — each is applied with
+:meth:`~repro.serve.engine.InferenceEngine.apply_delta` when the virtual
+clock passes its timestamp, its measured wall time occupies the server,
+and the report gains freshness accounting: how many updates landed, how
+long they took, how many requests were served from within-budget stale
+cache entries, and how many cache entries invalidation dropped.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.graph.delta import GraphDelta
 from repro.serve.batcher import MicroBatcher, Request
 from repro.serve.cache import CacheStats
 from repro.shm.arena import TransportStats
@@ -49,6 +59,7 @@ __all__ = [
     "ServingReport",
     "zipf_nodes",
     "poisson_arrivals",
+    "make_update_stream",
     "run_serving_workload",
     "merge_reports",
 ]
@@ -82,6 +93,55 @@ def poisson_arrivals(num_requests: int, rate_rps: float, *, rng=None) -> np.ndar
         raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
     rng = rng if rng is not None else np.random.default_rng()
     return np.cumsum(rng.exponential(1.0 / rate_rps, size=int(num_requests)))
+
+
+def make_update_stream(
+    num_nodes: int,
+    *,
+    num_updates: int,
+    rate_ups: float,
+    edges_per_update: int = 4,
+    new_node_every: int = 0,
+    feature_dim: int = 0,
+    rng=None,
+) -> list[tuple[float, GraphDelta]]:
+    """Poisson-timed stream of random :class:`GraphDelta`\\ s for a workload.
+
+    Each update appends ``edges_per_update`` edges between uniformly drawn
+    endpoints; when ``new_node_every`` is ``k > 0``, every ``k``-th update
+    additionally appends one node (standard-normal ``feature_dim``
+    features, label 0) and wires its edges to land on it, so later
+    updates — and Zipf reads, if the caller extends the catalog — can
+    reach it.  The stream is deterministic in ``rng`` and sorted by
+    timestamp, ready for ``run_serving_workload(updates=...)``.
+    """
+    check_positive_int(num_updates, "num_updates")
+    check_positive_int(edges_per_update, "edges_per_update")
+    if rate_ups <= 0:
+        raise ValueError(f"rate_ups must be > 0, got {rate_ups}")
+    if new_node_every and feature_dim <= 0:
+        raise ValueError("new_node_every > 0 requires feature_dim > 0")
+    rng = rng if rng is not None else np.random.default_rng()
+    times = poisson_arrivals(num_updates, rate_ups, rng=rng)
+    stream: list[tuple[float, GraphDelta]] = []
+    count = int(num_nodes)
+    for i, t in enumerate(times):
+        adds_node = bool(new_node_every) and (i + 1) % new_node_every == 0
+        src = rng.integers(0, count, size=edges_per_update).astype(np.int64)
+        if adds_node:
+            # the fresh node (id == current count) receives every new edge
+            dst = np.full(edges_per_update, count, dtype=np.int64)
+            features = rng.standard_normal((1, feature_dim)).astype(np.float32)
+            labels = np.zeros(1, dtype=np.int64)
+            count += 1
+        else:
+            dst = rng.integers(0, count, size=edges_per_update).astype(np.int64)
+            features = None
+            labels = None
+        stream.append(
+            (float(t), GraphDelta(src=src, dst=dst, features=features, labels=labels))
+        )
+    return stream
 
 
 @dataclass
@@ -123,6 +183,18 @@ class ServingReport:
     merge_ms: float = 0.0
     forward_ms: float = 0.0
     cache_ms: float = 0.0
+    #: graph deltas applied inside this run (streaming-update workloads)
+    updates_applied: int = 0
+    #: real wall time spent inside ``engine.apply_delta`` (ms); occupies
+    #: the virtual-clock server just like predict() service time does
+    update_ms: float = 0.0
+    #: cache hits served from an entry ``apply_delta`` had marked stale
+    #: but the engine's ``staleness_budget`` still allowed out the door
+    stale_served: int = 0
+    #: cache entries dropped by delta invalidation (scoped or flush)
+    invalidated: int = 0
+    #: engine graph generation when the run finished
+    graph_generation: int = 0
     #: per-request latencies (seconds, request-id order; NaN = shed)
     latencies_s: np.ndarray = field(repr=False, default=None)
 
@@ -130,6 +202,18 @@ class ServingReport:
     def served(self) -> int:
         """Requests that actually received a prediction."""
         return self.requests - self.shed_count
+
+    @property
+    def freshness(self) -> float:
+        """Fraction of served requests answered with delta-fresh data.
+
+        A request counts as stale when its cache hit came from an entry
+        invalidated by an earlier ``apply_delta`` but still within the
+        engine's ``staleness_budget``.  1.0 when nothing was served.
+        """
+        if self.served <= 0:
+            return 1.0
+        return 1.0 - self.stale_served / self.served
 
     @property
     def sampling_share(self) -> float:
@@ -151,6 +235,71 @@ class ServingReport:
             return 0.0
         with np.errstate(invalid="ignore"):
             return float(np.mean(self.latencies_s * 1e3 <= slo_ms))
+
+    def as_dict(self, slo_ms: float | None = None) -> dict:
+        """The full report as one JSON-serialisable document.
+
+        Everything a dashboard needs in plain Python scalars — the raw
+        latency array is folded into its summary statistics rather than
+        dumped.  Pass ``slo_ms`` to include SLO attainment at that
+        target (both overall and freshness-weighted).
+        """
+        doc = {
+            "mode": self.mode,
+            "requests": self.requests,
+            "served": self.served,
+            "shed_count": self.shed_count,
+            "duration_s": self.duration_s,
+            "service_s": self.service_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "mean": self.mean_ms,
+                "p50": self.p50_ms,
+                "p95": self.p95_ms,
+                "p99": self.p99_ms,
+            },
+            "batching": {
+                "mean_batch": self.mean_batch,
+                "full_flushes": self.full_flushes,
+                "deadline_flushes": self.deadline_flushes,
+                "drain_flushes": self.drain_flushes,
+                "max_queue": self.max_queue,
+            },
+            "phases_ms": {
+                "sample": self.sample_ms,
+                "merge": self.merge_ms,
+                "forward": self.forward_ms,
+                "cache": self.cache_ms,
+                "sampling_share": self.sampling_share,
+            },
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "stale_hits": self.cache.stale_hits,
+                "invalidated": self.cache.invalidated,
+                "hit_rate": self.cache.hit_rate,
+            },
+            "transport": {
+                "arena_hits": self.transport.arena_hits,
+                "pickle_fallbacks": self.transport.pickle_fallbacks,
+                "hit_rate": self.transport.hit_rate,
+            },
+            "freshness": {
+                "updates_applied": self.updates_applied,
+                "update_ms": self.update_ms,
+                "stale_served": self.stale_served,
+                "invalidated": self.invalidated,
+                "graph_generation": self.graph_generation,
+                "fresh_fraction": self.freshness,
+            },
+        }
+        if slo_ms is not None:
+            doc["slo"] = {
+                "target_ms": float(slo_ms),
+                "attainment": self.slo_attainment(slo_ms),
+            }
+        return doc
 
 
 def _percentile_stats(served_lat_s: np.ndarray) -> tuple[float, float, float, float]:
@@ -178,6 +327,7 @@ def run_serving_workload(
     concurrency: int = 8,
     queue_limit: int | None = None,
     nodes: np.ndarray | None = None,
+    updates: list[tuple[float, GraphDelta]] | None = None,
     seed: int = 0,
 ) -> ServingReport:
     """Drive ``engine`` through one synthetic workload; returns the report.
@@ -188,10 +338,19 @@ def run_serving_workload(
     exactly how the engine would sit behind one dispatch loop.
     ``queue_limit`` bounds the pending queue (shed-oldest admission
     control); ``None`` admits everything.
+
+    ``updates`` interleaves graph deltas with the reads: a time-sorted
+    ``[(virtual_time_s, GraphDelta), ...]`` stream (see
+    :func:`make_update_stream`).  Each delta is applied via
+    ``engine.apply_delta`` once the virtual clock reaches its timestamp;
+    the *measured* wall time of the apply occupies the server, exactly
+    like predict() service time, so update cost shows up in read tail
+    latency.  Updates left after the last read completes are dropped.
     """
     check_positive_int(num_requests, "num_requests")
     if queue_limit is not None:
         check_positive_int(queue_limit, "queue_limit")
+    pending_updates = deque(sorted(updates, key=lambda tu: tu[0])) if updates else deque()
     rng = derive_rng(seed, "serve-workload")
     if nodes is None:
         nodes = engine.dataset.val_idx
@@ -213,11 +372,16 @@ def run_serving_workload(
     # engine phase counters are cumulative across runs; report the delta
     engine_phases = getattr(engine, "phases", None)
     phases_before = engine_phases.snapshot() if engine_phases is not None else None
+    cache_stats = getattr(engine, "cache", None)
+    stale_before = cache_stats.stats.stale_hits if cache_stats is not None else 0
+    inval_before = cache_stats.stats.invalidated if cache_stats is not None else 0
     latencies = np.zeros(num_requests, dtype=np.float64)
     completed = 0
     shed_count = 0
     max_queue = 0
     service_total = 0.0
+    updates_applied = 0
+    update_total = 0.0
     now = 0.0
 
     def admit(t_arr: float, idx: int) -> None:
@@ -242,12 +406,26 @@ def run_serving_workload(
         max_queue = max(max_queue, len(batcher))
 
     while completed < num_requests:
+        # due graph deltas run first: the single server applies them
+        # before touching the read queue, and their real wall time
+        # advances the virtual clock (reads queue behind the update)
+        while pending_updates and pending_updates[0][0] <= now:
+            _, delta = pending_updates.popleft()
+            start = time.perf_counter()
+            engine.apply_delta(delta)
+            wall = time.perf_counter() - start
+            update_total += wall
+            updates_applied += 1
+            now += wall
         # admit everything that has arrived by the server-free time
         while arrivals and arrivals[0][0] <= now:
             t_arr, idx = arrivals.popleft()
             admit(t_arr, idx)
         if len(batcher) == 0:
+            # idle: jump to the next event, read arrival or graph delta
             now = arrivals[0][0]
+            if pending_updates:
+                now = min(now, pending_updates[0][0])
             continue
         flush_t = now
         if not batcher.ready(now):
@@ -309,6 +487,15 @@ def run_serving_workload(
         merge_ms=deltas[1],
         forward_ms=deltas[2],
         cache_ms=deltas[3],
+        updates_applied=updates_applied,
+        update_ms=float(update_total * 1e3),
+        stale_served=(
+            cache_stats.stats.stale_hits - stale_before if cache_stats is not None else 0
+        ),
+        invalidated=(
+            cache_stats.stats.invalidated - inval_before if cache_stats is not None else 0
+        ),
+        graph_generation=int(getattr(engine, "graph_generation", 0)),
         latencies_s=latencies,
     )
 
@@ -316,9 +503,12 @@ def run_serving_workload(
 def merge_reports(reports: list[ServingReport]) -> ServingReport:
     """Aggregate sequential segment reports into one (hot-swap benches).
 
-    Counts and durations add; percentiles are recomputed over the
-    concatenated served latencies; cache/transport come from the last
-    segment (the engine's counters are cumulative across segments).
+    Counts and durations add — including the per-phase engine breakdown
+    (sample/merge/forward/cache ms) and the streaming-update freshness
+    counters; percentiles are recomputed over the concatenated served
+    latencies; cache/transport come from the last segment (the engine's
+    counters are cumulative across segments) and so does
+    ``graph_generation`` (a high-water mark, not a sum).
     """
     if not reports:
         raise ValueError("merge_reports needs at least one report")
@@ -352,5 +542,10 @@ def merge_reports(reports: list[ServingReport]) -> ServingReport:
         merge_ms=float(sum(r.merge_ms for r in reports)),
         forward_ms=float(sum(r.forward_ms for r in reports)),
         cache_ms=float(sum(r.cache_ms for r in reports)),
+        updates_applied=sum(r.updates_applied for r in reports),
+        update_ms=float(sum(r.update_ms for r in reports)),
+        stale_served=sum(r.stale_served for r in reports),
+        invalidated=sum(r.invalidated for r in reports),
+        graph_generation=reports[-1].graph_generation,
         latencies_s=lats,
     )

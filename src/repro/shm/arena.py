@@ -21,6 +21,13 @@ Three escalating abstractions, all built on ``multiprocessing.shared_memory``:
     Slot ownership is sequenced externally (a free-slot queue); the arena
     just writes/reads array bundles at slot granularity and reports when
     a bundle does not fit (callers then fall back to queue pickling).
+:class:`DeltaLog`
+    An append-only log of small :class:`ShmArena` fragments — the
+    transport for streaming graph deltas.  The parent appends fragments
+    (each one immutable once published); workers attach lazily by
+    comparing their local length against the published spec list.  Every
+    fragment carries the full arena lifecycle guarantees, so the same
+    leak checks that cover the base store cover deltas too.
 
 Lifecycle contract (all classes)
 --------------------------------
@@ -45,6 +52,7 @@ __all__ = [
     "ShmArena",
     "ParamStore",
     "BatchArena",
+    "DeltaLog",
     "TransportStats",
     "attach_segment",
     "flatten_arrays",
@@ -145,6 +153,11 @@ class _SharedSegments:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def owner(self) -> bool:
+        """Whether this instance created (and must unlink) the segments."""
+        return self._owner
 
     def close(self) -> None:
         """Drop the local mappings (both roles); idempotent."""
@@ -282,6 +295,85 @@ class ShmArena(_SharedSegments):
 
     def _on_unlink(self) -> None:
         self._segments = {}
+
+
+class DeltaLog:
+    """Append-only log of shared-memory fragments (streaming graph deltas).
+
+    Each fragment is one immutable :class:`ShmArena` holding a small
+    bundle of arrays.  The publishing side (the parent's graph store)
+    :meth:`append`\\ s fragments as deltas arrive; attached stores in the
+    persistent workers :meth:`sync` against the published spec list,
+    mapping only the fragments they have not seen — fragments never
+    change after publication, so index ``i`` always names the same
+    arrays in every process.
+
+    Lifecycle mirrors the base arena: the owner's :meth:`unlink` retires
+    every owned fragment system-wide (idempotent per fragment via the
+    arena layer); attached logs only :meth:`close` their mappings.  A log
+    may mix roles — a store that attached fragments 0..k and later
+    re-published is impossible by construction (owners never attach) —
+    so :meth:`unlink` simply closes non-owned fragments.
+    """
+
+    def __init__(self) -> None:
+        self._fragments: list[ShmArena] = []
+
+    def __len__(self) -> int:
+        return len(self._fragments)
+
+    def arrays(self, index: int) -> dict[str, np.ndarray]:
+        """Zero-copy read-only views of fragment ``index``'s arrays."""
+        arena = self._fragments[index]
+        return {key: arena.array(key) for key in arena.spec}
+
+    @property
+    def specs(self) -> list[dict[str, SharedArraySpec]]:
+        """Picklable per-fragment specs, in append order."""
+        return [arena.spec for arena in self._fragments]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(arena.total_bytes for arena in self._fragments)
+
+    # ------------------------------------------------------------------
+    def append(self, arrays: Mapping[str, np.ndarray]) -> dict[str, SharedArraySpec]:
+        """Publish one fragment (owner role); returns its spec."""
+        arena = ShmArena.create(arrays)
+        self._fragments.append(arena)
+        return arena.spec
+
+    def sync(self, specs: list[dict[str, SharedArraySpec]]) -> int:
+        """Attach fragments published since the last sync (worker role).
+
+        ``specs`` is the full published list; fragments ``0..len(self)``
+        are assumed already mapped.  Returns how many new fragments were
+        attached.  A shrinking spec list is a protocol violation.
+        """
+        if len(specs) < len(self._fragments):
+            raise ValueError(
+                f"delta log shrank: have {len(self._fragments)} fragments, "
+                f"spec lists {len(specs)}"
+            )
+        new = 0
+        for spec in specs[len(self._fragments) :]:
+            self._fragments.append(ShmArena.attach(spec))
+            new += 1
+        return new
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop local mappings of every fragment; idempotent."""
+        for arena in self._fragments:
+            arena.close()
+
+    def unlink(self) -> None:
+        """Retire owned fragments system-wide, close attached ones."""
+        for arena in self._fragments:
+            if arena.owner:
+                arena.unlink()
+            else:
+                arena.close()
 
 
 # ----------------------------------------------------------------------

@@ -264,3 +264,82 @@ class TestMergeReports:
         assert merge_reports([report]) is report
         with pytest.raises(ValueError, match="at least one"):
             merge_reports([])
+
+
+def _synthetic_report(scale=1.0, **overrides):
+    """A hand-built report with every additive field non-zero, so the
+    aggregation regression below catches any field merge_reports drops."""
+    from repro.serve.cache import CacheStats
+    from repro.serve.workload import ServingReport
+    from repro.shm.arena import TransportStats
+
+    base = dict(
+        mode="inline",
+        requests=10,
+        duration_s=1.0 * scale,
+        service_s=0.5 * scale,
+        throughput_rps=10.0,
+        mean_ms=1.0,
+        p50_ms=1.0,
+        p95_ms=2.0,
+        p99_ms=3.0,
+        mean_batch=2.0,
+        full_flushes=2,
+        deadline_flushes=3,
+        drain_flushes=1,
+        cache=CacheStats(hits=4, misses=6),
+        transport=TransportStats(),
+        shed_count=1,
+        max_queue=4,
+        sample_ms=10.0 * scale,
+        merge_ms=5.0 * scale,
+        forward_ms=20.0 * scale,
+        cache_ms=1.0 * scale,
+        updates_applied=2,
+        update_ms=7.0 * scale,
+        stale_served=3,
+        invalidated=5,
+        graph_generation=2,
+        latencies_s=np.full(10, 0.001 * scale),
+    )
+    base.update(overrides)
+    return ServingReport(**base)
+
+
+class TestMergeReportsAggregation:
+    """Regression: merge_reports must aggregate EVERY additive field —
+    the per-phase engine breakdown and the streaming-update freshness
+    counters included (both were easy to silently drop when new fields
+    landed on ServingReport)."""
+
+    def test_phase_fields_sum(self):
+        merged = merge_reports([_synthetic_report(1.0), _synthetic_report(2.0)])
+        assert merged.sample_ms == pytest.approx(30.0)
+        assert merged.merge_ms == pytest.approx(15.0)
+        assert merged.forward_ms == pytest.approx(60.0)
+        assert merged.cache_ms == pytest.approx(3.0)
+        # sampling_share recomputes over the merged totals
+        assert merged.sampling_share == pytest.approx(30.0 / 108.0)
+
+    def test_freshness_fields_sum(self):
+        merged = merge_reports([
+            _synthetic_report(1.0, graph_generation=2),
+            _synthetic_report(1.0, updates_applied=3, stale_served=1,
+                              invalidated=2, graph_generation=5),
+        ])
+        assert merged.updates_applied == 5
+        assert merged.update_ms == pytest.approx(14.0)
+        assert merged.stale_served == 4
+        assert merged.invalidated == 7
+        # generation is a high-water mark: the last segment's value wins
+        assert merged.graph_generation == 5
+
+    def test_counts_and_peaks(self):
+        merged = merge_reports([
+            _synthetic_report(1.0, max_queue=4), _synthetic_report(1.0, max_queue=9),
+        ])
+        assert merged.requests == 20
+        assert merged.shed_count == 2
+        assert merged.max_queue == 9
+        assert merged.service_s == pytest.approx(1.0)
+        assert merged.freshness == pytest.approx(1.0 - 6 / 18)

@@ -190,3 +190,57 @@ class TestTrainPoolDiagnostics:
         ) == 0
         out = capsys.readouterr().out
         assert "launches" not in out and "parked" not in out
+
+
+class TestServeBenchStreaming:
+    def test_deltas_report_applied_and_flat_launches_inline(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "32", "--deltas", "3",
+             "--delta-rate", "500", "--max-batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deltas: applied=3/3" in out
+        assert "generation=3" in out
+        assert "invalidation=scoped" in out
+
+    def test_deltas_into_live_pool_keep_launches_flat(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "32", "--mode", "pool",
+             "--serve-workers", "2", "--timeout", "30", "--deltas", "2",
+             "--delta-rate", "500", "--max-batch", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deltas: applied=2/2" in out
+        assert "launches=1" in out  # streaming never re-forked the pool
+
+    def test_flush_invalidation_flag(self, capsys):
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "24", "--deltas", "1",
+             "--delta-rate", "500", "--delta-invalidation", "flush"]
+        ) == 0
+        assert "invalidation=flush" in capsys.readouterr().out
+
+    def test_report_json_is_one_full_document(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(
+            ["serve-bench", "--scale", "9", "--requests", "24", "--deltas", "2",
+             "--delta-rate", "500", "--staleness-budget", "1",
+             "--slo-ms", "1e9", "--report-json", str(path)]
+        ) == 0
+        assert f"report-json: wrote {path}" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        # one document carrying the whole ServingReport
+        for section in ("latency_ms", "batching", "phases_ms", "cache",
+                        "transport", "freshness", "slo", "bench"):
+            assert section in doc
+        assert doc["requests"] == 24
+        assert doc["freshness"]["updates_applied"] == 2
+        assert doc["freshness"]["graph_generation"] == 2
+        assert doc["bench"]["staleness_budget"] == 1
+        assert doc["slo"]["attainment"] == 1.0
+
+    def test_bad_delta_invalidation_fails_in_parser(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--delta-invalidation", "psychic"])

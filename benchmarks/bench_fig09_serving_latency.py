@@ -13,8 +13,9 @@ Two recordings over the online inference runtime (``repro.serve``):
 ``bench_fig9_serving_autotune``
     The existing :class:`~repro.core.autotuner.OnlineAutoTuner` driving
     a :class:`~repro.tuning.serving.ServingSpace` — ``(workers,
-    max_batch, max_wait_ms, cache_entries, batch_mode)`` — against the
-    real inference engine with the SLO-aware objective.  Pool-mode trials
+    max_batch, max_wait_ms, cache_entries, batch_mode, shard_policy)`` —
+    against the real inference engine with the SLO-aware objective.
+    Pool-mode trials
     share one persistent :class:`~repro.exec.pool.WorkerPool`: a trial
     that shrinks ``workers`` parks the surplus worker instead of
     re-forking, so the whole search pays at most two launches.
@@ -109,15 +110,17 @@ def bench_fig9_serving_autotune(benchmark, save_result, serving_setup):
         space = ServingSpace(
             workers=(1, 2), max_batches=(1, 8), max_waits_ms=(0.5, 8.0),
             cache_sizes=(0, 2048), batch_modes=("per_node", "frontier"),
+            shard_policies=("chunk", "size_binned"),
         )
         pool = WorkerPool(mp.get_context(), timeout=60.0)
         model = snapshot.build_model()
         store = SharedGraphStore.from_dataset(ds)
 
         def objective(cfg):
-            workers, max_batch, max_wait_ms, cache_entries, batch_mode = cfg
+            workers, max_batch, max_wait_ms, cache_entries, batch_mode, shard_policy = cfg
             engine = InferenceEngine(
                 snapshot, ds, mode="pool", batch_mode=batch_mode,
+                shard_policy=shard_policy,
                 workers=int(workers), cache_entries=int(cache_entries),
                 pool=pool, model=model, store=store,
             )
@@ -147,7 +150,8 @@ def bench_fig9_serving_autotune(benchmark, save_result, serving_setup):
     save_result(
         "fig09_serving_autotune",
         render_table(
-            ["trial", "(workers, batch, wait ms, cache, batch mode)", "SLO objective"],
+            ["trial", "(workers, batch, wait ms, cache, batch mode, shard)",
+             "SLO objective"],
             rows,
             title="Fig 9 (serving) — BO autotune over the ServingSpace",
         ),

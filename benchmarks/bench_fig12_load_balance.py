@@ -1,0 +1,156 @@
+"""Fig 12 (load balance) — skew-aware sharding vs index-chunked placement.
+
+One recording over the pool serving runtime: an adversarial hot-key
+workload (Zipf popularity ranked by hub in-degree over a 35% organic
+background, so every micro-batch mixes fanout-capped hub frontiers with
+cheap one-off requests) drives the same engine under the three
+request->rank shard policies at Zipf exponents s in {1.1, 1.5, 2.2} and
+pool sizes {2, 4}.  ``chunk`` splits requests by index, blind to that
+cost mix; ``size_binned`` LPT-packs by the sampled-cost probe; ``steal``
+adds shared-memory segment stealing on top.  The
+recording replays the workload under ``service_model="critical_path"``:
+each batch's service time is its parallel completion time — the max
+per-rank CPU busy, measured scheduling-independently inside the
+workers — so makespan (summed critical paths) and p99 reflect what the
+placement policy controls on real multi-core serving hardware even when
+this bench runs on an oversubscribed or single-core host, where raw
+wall time degenerates to total work and is blind to placement.  The
+asserted claim: under real skew (s >= 1.5) with multiple ranks,
+skew-aware placement beats chunking on both makespan and p99 — at
+**bitwise parity**, verified against an inline engine, because requests
+keep per-node RNG streams and segment-local BLAS calls whatever rank
+runs them.
+
+Every trial shares one persistent pool (workers 4 -> 2 by park/rebind):
+the whole figure costs a single fork, ``pool.launches == 1``.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MultiProcessEngine
+from repro.experiments.reporting import render_table
+from repro.exec.pool import WorkerPool
+from repro.gnn.models import make_task
+from repro.graph.datasets import load_dataset
+from repro.graph.shm import SharedGraphStore
+from repro.serve import InferenceEngine, ModelSnapshot, run_serving_workload
+from repro.serve.workload import hot_key_nodes
+from repro.utils.rng import derive_rng
+
+POLICIES = ("chunk", "size_binned", "steal")
+SKEWS = (1.1, 1.5, 2.2)
+WORKERS = (4, 2)  # descending: shrinking parks ranks instead of re-forking
+NUM_REQUESTS = 256
+
+
+@pytest.fixture(scope="module")
+def balance_setup():
+    # scale 11 (not the test-suite 9): the within-batch dedup collapses a
+    # hot-key stream to its distinct nodes, so the graph must be large
+    # enough that those distinct frontiers carry real, skewed compute —
+    # otherwise dispatch overhead drowns the signal the figure measures
+    ds = load_dataset("ogbn-products", seed=0, scale_override=11)
+    # three hops: a hub's frontier multiplies through every hop while an
+    # organic leaf's stays tiny, so per-request compute really follows the
+    # cost probe instead of drowning in fixed per-request dispatch overhead
+    sampler, model = make_task(
+        "neighbor-sage", ds.layer_dims(3), seed=0, fanouts=[15, 10, 5]
+    )
+    trainer = MultiProcessEngine(
+        ds, sampler, model, num_processes=1, global_batch_size=64,
+        backend="inline", seed=0,
+    )
+    trainer.train(1)
+    return ds, ModelSnapshot.from_engine(trainer)
+
+
+def bench_fig12_load_balance(benchmark, save_result, balance_setup):
+    ds, snapshot = balance_setup
+    catalog = np.arange(ds.num_nodes, dtype=np.int64)
+
+    def run():
+        pool = WorkerPool(mp.get_context(), timeout=60.0)
+        model = snapshot.build_model()
+        store = SharedGraphStore.from_dataset(ds)
+        reports = {}
+        parity = {}
+        parity_nodes = hot_key_nodes(
+            catalog, 24, alpha=2.2, graph=ds.graph,
+            background_fraction=0.35, rng=derive_rng(0, "fig12-parity"),
+        )
+        try:
+            with InferenceEngine(snapshot, ds, cache_entries=0) as solo:
+                parity["inline"] = solo.predict(parity_nodes)
+            for workers in WORKERS:
+                for skew in SKEWS:
+                    seq = hot_key_nodes(
+                        catalog, NUM_REQUESTS, alpha=skew, graph=ds.graph,
+                        background_fraction=0.35,
+                        rng=derive_rng(0, "fig12", int(skew * 10)),
+                    )
+                    for policy in POLICIES:
+                        engine = InferenceEngine(
+                            snapshot, ds, mode="pool", batch_mode="frontier",
+                            shard_policy=policy, workers=workers,
+                            cache_entries=0, pool=pool, model=model, store=store,
+                        )
+                        engine.warm_up()
+                        reports[(workers, skew, policy)] = run_serving_workload(
+                            engine, num_requests=NUM_REQUESTS, rate_rps=50000.0,
+                            max_batch=64, max_wait_ms=1.0, nodes=catalog,
+                            node_sequence=seq, service_model="critical_path",
+                            seed=0,
+                        )
+                        if workers == 2 and skew == SKEWS[-1]:
+                            parity[policy] = engine.predict(parity_nodes)
+                        engine.close()
+            launches = pool.launches
+        finally:
+            pool.shutdown()
+            if not store.closed:
+                store.unlink()
+        return reports, parity, launches
+
+    reports, parity, launches = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [w, f"{s:g}", p, f"{r.service_s * 1e3:.1f}", f"{r.p99_ms:.2f}",
+         f"{r.imbalance:.2f}", r.steal_count]
+        for (w, s, p), r in reports.items()
+    ]
+    save_result(
+        "fig12_load_balance",
+        render_table(
+            ["workers", "zipf s", "policy", "makespan ms", "p99 ms",
+             "imbalance", "steals"],
+            rows,
+            title="Fig 12 — makespan and p99 vs skew: chunk vs size_binned vs steal",
+        ),
+    )
+
+    # placement is invisible in the bits: every policy == inline, exactly
+    for policy in POLICIES:
+        np.testing.assert_array_equal(parity[policy], parity["inline"])
+    # one fork served every (workers, skew, policy) trial
+    assert launches == 1
+
+    for (w, s, policy), r in reports.items():
+        assert r.requests == NUM_REQUESTS and r.shed_count == 0
+        assert np.isfinite(r.p99_ms)
+        assert r.shard_policy == policy
+        assert r.service_model == "critical_path"
+        assert len(r.rank_busy_ms) >= 1 and r.imbalance >= 1.0
+    # the paper's claim: under real skew with multiple ranks, skew-aware
+    # placement wins on makespan AND tail latency
+    for w in WORKERS:
+        for s in (1.5, 2.2):
+            chunk = reports[(w, s, "chunk")]
+            best_service = min(
+                reports[(w, s, p)].service_s for p in ("size_binned", "steal")
+            )
+            best_p99 = min(reports[(w, s, p)].p99_ms for p in ("size_binned", "steal"))
+            assert best_service <= chunk.service_s, (w, s)
+            assert best_p99 <= chunk.p99_ms, (w, s)

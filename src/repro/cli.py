@@ -33,6 +33,8 @@ import argparse
 import json
 import sys
 
+import numpy as np
+
 from repro.experiments.figures import (
     fig1_baseline_scalability,
     fig6_workload_bandwidth,
@@ -237,7 +239,7 @@ def cmd_serve_bench(args) -> str:
     from repro.gnn.models import make_task
     from repro.graph.datasets import load_dataset
     from repro.serve import InferenceEngine, ModelSnapshot, run_serving_workload
-    from repro.serve.workload import make_update_stream, merge_reports
+    from repro.serve.workload import make_scenario, make_update_stream, merge_reports
     from repro.tuning.serving import slo_objective
     from repro.utils.rng import derive_rng
 
@@ -254,6 +256,7 @@ def cmd_serve_bench(args) -> str:
         ds,
         mode=args.mode,
         batch_mode=args.batch_mode,
+        shard_policy=args.shard_policy,
         workers=args.serve_workers,
         cache_entries=args.cache_entries,
         timeout=args.timeout,
@@ -284,8 +287,20 @@ def cmd_serve_bench(args) -> str:
         segments = min(args.swaps + 1, args.requests)
         seg_requests = [args.requests // segments] * segments
         seg_requests[-1] += args.requests - sum(seg_requests)
+        # named traffic scenarios replace the workload's own Zipf draw
+        # with an explicit per-request node stream (hub-ranked hot keys
+        # need the graph for the in-degree popularity ranking)
+        catalog = ds.val_idx
+        if len(catalog) == 0:
+            catalog = np.arange(ds.num_nodes, dtype=np.int64)
         reports = []
         for seg, n_req in enumerate(seg_requests):
+            node_sequence = None
+            if args.scenario != "zipf":
+                node_sequence = make_scenario(
+                    args.scenario, catalog, n_req, alpha=args.zipf,
+                    graph=ds.graph, rng=derive_rng(args.seed + seg, "serve-scenario"),
+                )
             if seg > 0:
                 engine.reload(snapshot)
                 swap_lines.append(
@@ -303,6 +318,7 @@ def cmd_serve_bench(args) -> str:
                     closed_loop=args.closed,
                     concurrency=args.concurrency,
                     queue_limit=args.queue_limit,
+                    node_sequence=node_sequence,
                     updates=updates if seg == 0 else None,
                     seed=args.seed + seg,
                 )
@@ -326,6 +342,16 @@ def cmd_serve_bench(args) -> str:
             if pool is not None
             else "pool: (inline mode)"
         )
+        # greppable one-liner (CI asserts on it): per-rank CPU busy,
+        # cross-bin steals, and the max/mean imbalance ratio
+        balance_line = (
+            "balance: policy={}, imbalance={:.3f}, steals={}, busy_ms=[{}]".format(
+                report.shard_policy,
+                report.imbalance,
+                report.steal_count,
+                ", ".join(f"{b:.1f}" for b in report.rank_busy_ms),
+            )
+        )
     finally:
         engine.close()
     loop = f"closed(c={args.concurrency})" if args.closed else f"open({args.rate:g} rps)"
@@ -346,6 +372,11 @@ def cmd_serve_bench(args) -> str:
          f"{report.sample_ms:.1f}/{report.merge_ms:.1f}"
          f"/{report.forward_ms:.1f}/{report.cache_ms:.1f}"],
         ["sampling share", f"{report.sampling_share:.3f}"],
+        ["shard policy", report.shard_policy],
+        ["rank busy ms",
+         "/".join(f"{b:.1f}" for b in report.rank_busy_ms) or "-"],
+        ["busy imbalance (max/mean)", f"{report.imbalance:.3f}"],
+        ["stolen segments", report.steal_count],
     ]
     if args.queue_limit is not None:
         rows.append(["shed (queue limit)", f"{report.shed_count} (max queue {report.max_queue})"])
@@ -354,12 +385,13 @@ def cmd_serve_bench(args) -> str:
         rows,
         title=(
             f"serve-bench — {args.task} on {args.dataset} (scale 2^{args.scale}), "
-            f"mode={args.mode}/{args.batch_mode}, {loop}, zipf={args.zipf:g}, "
+            f"mode={args.mode}/{args.batch_mode}, {loop}, "
+            f"{args.scenario}(s={args.zipf:g}), "
             f"batch<={args.max_batch}, wait<={args.max_wait_ms:g}ms, "
             f"cache={args.cache_entries}"
         ),
     )
-    lines = [table, pool_line, *swap_lines]
+    lines = [table, pool_line, balance_line, *swap_lines]
     if delta_line is not None:
         lines.append(delta_line)
     if args.slo_ms is not None:
@@ -378,6 +410,8 @@ def cmd_serve_bench(args) -> str:
             "mode": args.mode,
             "batch_mode": args.batch_mode,
             "workers": args.serve_workers if args.mode == "pool" else 1,
+            "shard_policy": args.shard_policy,
+            "scenario": args.scenario,
             "deltas": args.deltas,
             "delta_invalidation": args.delta_invalidation,
             "staleness_budget": args.staleness_budget,
@@ -471,6 +505,20 @@ def main(argv=None) -> int:
             p.add_argument(
                 "--serve-workers", type=_positive_int, default=2,
                 help="pool mode: rank workers sharing each micro-batch",
+            )
+            p.add_argument(
+                "--shard-policy", default="chunk",
+                choices=["chunk", "size_binned", "steal"],
+                help="pool mode request->rank placement: index chunks, "
+                     "LPT bins by the sampled-cost probe, or bins plus "
+                     "shared-memory segment stealing (all bit-identical)",
+            )
+            p.add_argument(
+                "--scenario", default="zipf",
+                choices=["zipf", "hot_key", "flash_crowd"],
+                help="traffic shape: benign Zipf draw, hub-ranked hot keys "
+                     "over organic background, or hot keys plus a "
+                     "flash-crowd ramp (skew set by --zipf)",
             )
             p.add_argument(
                 "--max-batch", type=_positive_int, default=8,

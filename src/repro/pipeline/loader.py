@@ -46,6 +46,7 @@ import numpy as np
 from repro.graph.shm import SharedGraphStore
 from repro.pipeline.prefetch import OrderedPrefetcher, PrefetchStats
 from repro.platform.corebind import apply_binding
+from repro.sampling.batch import split_merged
 from repro.sampling.block import Block, MiniBatch
 from repro.sampling.dataloader import NodeDataLoader
 from repro.shm.arena import BatchArena, TransportStats
@@ -114,7 +115,19 @@ def _sampler_worker(
     slot_q,
     parent_pid: int,
 ) -> None:
-    """Sampler-process main loop: ``(epoch, step, seeds)`` → ``(step, batch, secs)``.
+    """Sampler-process main loop: ``(epoch, start_step, seeds_list)`` →
+    one ``(step, batch, secs)`` result per step of the span.
+
+    Each task carries a *span* of consecutive steps (usually one).  The
+    whole span is drawn in a single fused
+    :meth:`~repro.sampling.base.Sampler.sample_merged` call — each step
+    from its own ``(seed, epoch, rank, step)`` stream, exactly what
+    :meth:`~repro.sampling.dataloader.NodeDataLoader.sample_batch_span`
+    draws in the consumer — then split back into per-step MiniBatches
+    and shipped individually, so the parent's in-order reorder window
+    never needs to know about spans.  A sampling failure posts a
+    :class:`_RemoteFailure` for *every* step of the span (the parent
+    fails at the first one's turn; the rest keep its bookkeeping whole).
 
     With an arena, results park their arrays in a free shared-memory
     slot and ship an :class:`_ArenaBatch` descriptor; a batch that does
@@ -142,31 +155,39 @@ def _sampler_worker(
                 continue
             if item is None:
                 return
-            epoch, step, seeds = item
+            epoch, start_step, seeds_list = item
             start = time.perf_counter()
             try:
-                rng = derive_rng(seed, "batch", epoch, rank, step)
-                batch = sampler.sample(graph, seeds, rng=rng)
+                rngs = [
+                    derive_rng(seed, "batch", epoch, rank, start_step + i)
+                    for i in range(len(seeds_list))
+                ]
+                batches = split_merged(sampler.sample_merged(graph, seeds_list, rngs))
             except BaseException:
-                result_q.put(
-                    (step, _RemoteFailure(traceback.format_exc()), time.perf_counter() - start)
-                )
+                secs = time.perf_counter() - start
+                message = traceback.format_exc()
+                for i in range(len(seeds_list)):
+                    result_q.put(
+                        (start_step + i, _RemoteFailure(message), secs if i == 0 else 0.0)
+                    )
                 continue
-            value: object = batch
-            if arena is not None:
-                slot = None
-                try:
-                    slot = slot_q.get(timeout=0.05)
-                except queue_mod.Empty:
-                    pass  # consumer slow to recycle; pickle this one
-                if slot is not None:
-                    num_dsts, arrays = _batch_arrays(batch)
-                    layouts = arena.write(slot, arrays)
-                    if layouts is None:  # oversized bundle: recycle + pickle
-                        slot_q.put(slot)
-                    else:
-                        value = _ArenaBatch(slot, layouts, num_dsts)
-            result_q.put((step, value, time.perf_counter() - start))
+            secs = (time.perf_counter() - start) / len(batches)
+            for i, batch in enumerate(batches):
+                value: object = batch
+                if arena is not None:
+                    slot = None
+                    try:
+                        slot = slot_q.get(timeout=0.05)
+                    except queue_mod.Empty:
+                        pass  # consumer slow to recycle; pickle this one
+                    if slot is not None:
+                        num_dsts, arrays = _batch_arrays(batch)
+                        layouts = arena.write(slot, arrays)
+                        if layouts is None:  # oversized bundle: recycle + pickle
+                            slot_q.put(slot)
+                        else:
+                            value = _ArenaBatch(slot, layouts, num_dsts)
+                result_q.put((start_step + i, value, secs))
     finally:
         if arena is not None:
             arena.close()
@@ -201,13 +222,15 @@ class PrefetchingLoader:
         pickles; larger ones fall back to pickling.  ``None`` disables
         the arena entirely (pure pickle transport).
     span:
-        Thread-mode batching of the sampling work itself: each worker
-        job draws ``span`` consecutive steps in one fused
-        :meth:`~repro.sampling.dataloader.NodeDataLoader.sample_batch_span`
-        call (vectorised multi-seed sampling) and the loader yields the
-        recovered per-step batches in order — bit-identical to
-        ``span=1``, fewer passes over the sampling kernels.  Process
-        mode ships one step per task message and rejects ``span > 1``.
+        Batching of the sampling work itself: each worker job draws
+        ``span`` consecutive steps in one fused multi-seed sampling
+        pass and the loader yields the recovered per-step batches in
+        order — bit-identical to ``span=1``, fewer passes over the
+        sampling kernels.  Thread mode fuses via
+        :meth:`~repro.sampling.dataloader.NodeDataLoader.sample_batch_span`;
+        process mode ships the span's seed lists in one task message and
+        the worker runs the same fused kernel, returning one result per
+        step (so delivery order and failure turns are unchanged).
 
     The process pool and its shared-memory graph segments persist across
     epochs; call :meth:`close` (or use the loader as a context manager)
@@ -232,11 +255,6 @@ class PrefetchingLoader:
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
         self.span = check_positive_int(span, "span")
-        if mode == "process" and self.span > 1:
-            raise ValueError(
-                "span > 1 is a thread-mode knob (process workers receive one "
-                "step per task message)"
-            )
         self.loader = loader
         self.num_workers = check_positive_int(
             loader.num_workers if num_workers is None else num_workers, "num_workers"
@@ -389,18 +407,28 @@ class PrefetchingLoader:
         self._ensure_pool()
         loader = self.loader
         epoch = loader.epoch
-        tasks = list(enumerate(loader.batch_seeds()))
+        all_seeds = loader.batch_seeds()
+        num_steps = len(all_seeds)
+        # span tasks: one message per `span` consecutive steps; the
+        # submit window still counts *steps*, so a span > 1 only rounds
+        # the lookahead up to whole spans — results stay per-step
+        spans = [
+            (start, all_seeds[start : start + self.span])
+            for start in range(0, num_steps, self.span)
+        ]
         pending: dict[int, MiniBatch | _RemoteFailure] = {}
-        submitted = 0
+        next_span = 0
+        submitted = 0  # steps, not spans
         delivered = 0
         wait = 0.0
         busy = 0.0
         try:
-            while delivered < len(tasks):
-                while submitted < len(tasks) and submitted < delivered + self.queue_depth:
-                    step, seeds = tasks[submitted]
-                    self._task_q.put((epoch, step, seeds))
-                    submitted += 1
+            while delivered < num_steps:
+                while next_span < len(spans) and submitted < delivered + self.queue_depth:
+                    start_step, seeds_list = spans[next_span]
+                    self._task_q.put((epoch, start_step, seeds_list))
+                    submitted += len(seeds_list)
+                    next_span += 1
                 start = time.perf_counter()
                 while delivered not in pending:
                     try:

@@ -71,6 +71,7 @@ __all__ = [
     "select_by_keys",
     "build_merged_block",
     "check_seed_batches",
+    "estimate_request_costs",
 ]
 
 
@@ -379,3 +380,41 @@ def build_merged_block(
         src_splits=src_splits,
         dst_splits=splits,
     )
+
+
+def estimate_request_costs(
+    graph, node_ids: np.ndarray, fanouts: Sequence[int] | None = None
+) -> np.ndarray:
+    """Per-request frontier-cost estimates for load balancing (RNG-free).
+
+    Uniform without-replacement sampling keeps exactly ``min(deg, fanout)``
+    neighbours per node, so the *size* of a request's hop-1 frontier is a
+    deterministic function of its seed's in-degree even though the
+    neighbour identities are random — one vectorised
+    :meth:`~repro.graph.csr.GraphView.in_degree` lookup gives it exactly.
+    Deeper hops expand geometrically and are estimated with saturated
+    fanouts (each hop-1 neighbour contributes a full ``fanout`` at every
+    deeper layer) — an upper-bound-shaped proxy that preserves the
+    ordering LPT bin-packing needs.
+
+    This probe is a **balancing signal only**: it never touches an RNG
+    stream (the serving ``derive_rng(seed, "serve", node)`` generators
+    are consumed solely inside the samplers) and never influences what
+    any request computes — only *where* it runs.  Costs are ``>= 1`` so
+    zero-degree seeds still carry their forward cost.
+    """
+    node_ids = np.asarray(node_ids, dtype=np.int64)
+    if len(node_ids) == 0:
+        return np.zeros(0, dtype=np.float64)
+    deg = np.asarray(graph.in_degree(node_ids), dtype=np.float64)
+    fanouts = [int(f) for f in fanouts] if fanouts else []
+    if not fanouts:
+        return 1.0 + deg
+    # fanouts[0] caps the hop nearest the seeds (sampler walk order)
+    hop1 = np.minimum(deg, float(fanouts[0]))
+    deeper = 0.0
+    scale = 1.0
+    for f in fanouts[1:]:
+        scale *= float(f)
+        deeper += scale
+    return 1.0 + hop1 * (1.0 + deeper)

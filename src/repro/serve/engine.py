@@ -45,11 +45,12 @@ from repro.autograd.tensor import Tensor, inference_mode
 from repro.exec.pool import WorkerPool
 from repro.graph.delta import DeltaFragment, GraphDelta, LayeredCSR, reverse_reachable
 from repro.graph.shm import SharedGraphStore
+from repro.sampling.batch import estimate_request_costs
 from repro.serve.cache import EmbeddingCache
-from repro.serve.frontier import empty_predictions, predict_frontier
+from repro.serve.frontier import SHARD_POLICIES, empty_predictions, predict_frontier
 from repro.serve.snapshot import ModelSnapshot
 from repro.shm.arena import BatchArena, TransportStats
-from repro.utils.phases import PhaseStats
+from repro.utils.phases import PhaseStats, RankStats
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
@@ -179,6 +180,7 @@ class InferenceEngine:
     MODES = ("inline", "pool")
     BATCH_MODES = ("per_node", "frontier")
     DELTA_INVALIDATION = ("scoped", "flush")
+    SHARD_POLICIES = SHARD_POLICIES
 
     def __init__(
         self,
@@ -187,6 +189,7 @@ class InferenceEngine:
         *,
         mode: str = "inline",
         batch_mode: str = "per_node",
+        shard_policy: str = "chunk",
         workers: int = 1,
         cache_entries: int = 4096,
         pool: WorkerPool | None = None,
@@ -210,10 +213,20 @@ class InferenceEngine:
                 f"delta_invalidation must be one of {self.DELTA_INVALIDATION}, "
                 f"got {delta_invalidation!r}"
             )
+        if shard_policy not in self.SHARD_POLICIES:
+            raise ValueError(
+                f"shard_policy must be one of {self.SHARD_POLICIES}, "
+                f"got {shard_policy!r}"
+            )
         self.snapshot = snapshot
         self.dataset = dataset
         self.mode = mode
         self.batch_mode = batch_mode
+        #: how pool micro-batches map onto ranks (chunk | size_binned |
+        #: steal).  Purely a placement knob: predictions are per-request
+        #: pure functions of ``(weights, seed, node)``, so every policy
+        #: is bit-identical to inline inference.  Inline mode ignores it.
+        self.shard_policy = shard_policy
         self.delta_invalidation = delta_invalidation
         self.model = model if model is not None else snapshot.build_model()
         self.sampler = snapshot.build_sampler()
@@ -236,6 +249,12 @@ class InferenceEngine:
         #: CPU seconds rather than wall clock — phase *shares* remain
         #: meaningful either way.
         self.phases = PhaseStats()
+        #: per-rank wall-clock busy time + steal counts (pool mode; the
+        #: inline engine books everything on rank 0) — the imbalance
+        #: signal the workload driver snapshots into ServingReport
+        self.rank_stats = RankStats.for_ranks(
+            check_positive_int(workers, "workers") if mode == "pool" else 1
+        )
         #: weight generation counter: bumped by every hot :meth:`reload`;
         #: rides each InferPlan so pool workers reload from the shared
         #: ParamStore exactly when the served weights changed
@@ -337,7 +356,9 @@ class InferenceEngine:
     def _compute(self, miss_ids: np.ndarray) -> np.ndarray:
         if self.mode == "inline":
             forward = predict_frontier if self.batch_mode == "frontier" else predict_nodes
-            return forward(
+            # CPU seconds, matching the pool ranks' busy_s measurement
+            start = time.process_time()
+            preds = forward(
                 self.model,
                 self._graph,
                 self.features,
@@ -346,7 +367,16 @@ class InferenceEngine:
                 seed=self.seed,
                 phases=self.phases,
             )
+            self.rank_stats.add_batch([time.process_time() - start], [0])
+            return preds
         self._ensure_pool()
+        costs = None
+        if self.shard_policy != "chunk" and self.n > 1:
+            # RNG-free balance probe: exact hop-1 frontier sizes from
+            # capped degrees (never touches the serving RNG streams)
+            costs = estimate_request_costs(
+                self._graph, miss_ids, getattr(self.sampler, "fanouts", None)
+            )
         return self._pool.run_infer(
             miss_ids,
             self.sampler,
@@ -357,6 +387,9 @@ class InferenceEngine:
             generation=self.generation,
             graph_generation=self.graph_generation,
             phases=self.phases,
+            shard_policy=self.shard_policy,
+            costs=costs,
+            rank_stats=self.rank_stats,
         )
 
     # ------------------------------------------------------------------

@@ -52,12 +52,16 @@ from repro.graph.delta import GraphDelta
 from repro.serve.batcher import MicroBatcher, Request
 from repro.serve.cache import CacheStats
 from repro.shm.arena import TransportStats
+from repro.utils.phases import RankStats
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
 __all__ = [
     "ServingReport",
     "zipf_nodes",
+    "hot_key_nodes",
+    "SCENARIOS",
+    "make_scenario",
     "poisson_arrivals",
     "make_update_stream",
     "run_serving_workload",
@@ -84,6 +88,112 @@ def zipf_nodes(
     weights = 1.0 / np.arange(1, len(ranked) + 1, dtype=np.float64) ** alpha
     probs = weights / weights.sum()
     return ranked[rng.choice(len(ranked), size=int(num_requests), p=probs)]
+
+
+def hot_key_nodes(
+    catalog: np.ndarray,
+    num_requests: int,
+    *,
+    alpha: float = 2.2,
+    graph=None,
+    flash_fraction: float = 0.0,
+    background_fraction: float = 0.0,
+    rng=None,
+) -> np.ndarray:
+    """Adversarial hot-key stream: extreme Zipf skew aimed at the sharder.
+
+    Same draw as :func:`zipf_nodes` but the popularity ranking is chosen
+    to *maximise* per-request cost skew: when ``graph`` is given, nodes
+    are ranked by **descending in-degree**, so the hottest keys are the
+    hub nodes with the largest sampled frontiers.  Index-chunked
+    sharding is then systematically bad — the hot hubs cluster at the
+    head of every micro-batch and ``np.array_split`` hands them all to
+    rank 0 — which is exactly the scenario size-binned placement and
+    work stealing exist for.  Without a graph the ranking falls back to
+    a seeded permutation (plain :func:`zipf_nodes` at high ``alpha``).
+
+    ``background_fraction`` mixes that fraction of *organic* traffic —
+    uniform draws over the whole catalog — into the hub-ranked Zipf
+    stream.  That is the genuinely adversarial shape: hot hubs arriving
+    over a bed of cheap background requests, so every micro-batch mixes
+    fanout-capped hub frontiers with tiny organic ones and an
+    index-chunked split is systematically uneven.  (A pure hub stream
+    at high skew is *homogeneous* after dedup — every distinct key is
+    cost-capped — and accidentally balanced.)
+
+    ``flash_fraction`` optionally layers a flash crowd on top: that
+    fraction of the stream, as one contiguous slice in the middle of
+    the run, is replaced by the single hottest key — a sudden
+    every-client-asks-for-the-same-thing ramp.
+    """
+    catalog = np.asarray(catalog, dtype=np.int64)
+    if catalog.size == 0:
+        raise ValueError("empty node catalog")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    if not 0.0 <= flash_fraction <= 1.0:
+        raise ValueError(f"flash_fraction must be in [0, 1], got {flash_fraction}")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise ValueError(
+            f"background_fraction must be in [0, 1], got {background_fraction}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    if graph is not None:
+        deg = np.asarray(graph.in_degree(catalog), dtype=np.int64)
+        # stable sort keeps equal-degree ties in catalog order (deterministic)
+        ranked = catalog[np.argsort(-deg, kind="stable")]
+    else:
+        ranked = rng.permutation(catalog)
+    weights = 1.0 / np.arange(1, len(ranked) + 1, dtype=np.float64) ** alpha
+    probs = weights / weights.sum()
+    seq = ranked[rng.choice(len(ranked), size=int(num_requests), p=probs)]
+    if background_fraction > 0.0 and len(seq):
+        organic = rng.choice(catalog, size=len(seq))
+        seq = np.where(rng.random(len(seq)) < background_fraction, organic, seq)
+    if flash_fraction > 0.0 and len(seq):
+        crowd = int(round(flash_fraction * len(seq)))
+        if crowd:
+            start = (len(seq) - crowd) // 2
+            seq[start : start + crowd] = ranked[0]
+    return seq
+
+
+#: Named traffic scenarios for benches and the serve CLI.  Each maps a
+#: name to a generator ``(catalog, num_requests, *, alpha, graph, rng)
+#: -> node sequence``; resolve one with :func:`make_scenario`.
+SCENARIOS = ("zipf", "hot_key", "flash_crowd")
+
+
+def make_scenario(
+    name: str,
+    catalog: np.ndarray,
+    num_requests: int,
+    *,
+    alpha: float = 1.1,
+    graph=None,
+    rng=None,
+) -> np.ndarray:
+    """Build the node sequence for a named traffic scenario.
+
+    ``zipf`` is the default benign skew (:func:`zipf_nodes`);
+    ``hot_key`` ranks popularity by hub in-degree at the given ``alpha``
+    over a 35% organic-background bed (:func:`hot_key_nodes`);
+    ``flash_crowd`` is ``hot_key`` with a 25% contiguous flash-crowd
+    ramp on the hottest hub.
+    """
+    if name == "zipf":
+        return zipf_nodes(catalog, num_requests, alpha=alpha, rng=rng)
+    if name == "hot_key":
+        return hot_key_nodes(
+            catalog, num_requests, alpha=alpha, graph=graph,
+            background_fraction=0.35, rng=rng,
+        )
+    if name == "flash_crowd":
+        return hot_key_nodes(
+            catalog, num_requests, alpha=alpha, graph=graph,
+            flash_fraction=0.25, background_fraction=0.35, rng=rng,
+        )
+    raise ValueError(f"unknown scenario {name!r}; expected one of {SCENARIOS}")
 
 
 def poisson_arrivals(num_requests: int, rate_rps: float, *, rng=None) -> np.ndarray:
@@ -195,6 +305,21 @@ class ServingReport:
     invalidated: int = 0
     #: engine graph generation when the run finished
     graph_generation: int = 0
+    #: request->rank placement policy the engine ran with
+    shard_policy: str = "chunk"
+    #: how batch service time was booked: ``"wall"`` (measured predict
+    #: wall clock) or ``"critical_path"`` (max per-rank CPU busy — the
+    #: parallel completion time, independent of host core count)
+    service_model: str = "wall"
+    #: per-rank CPU seconds spent inside the forward, summed over
+    #: batches (inline mode books everything on a single rank 0 entry)
+    rank_busy_ms: list = field(default_factory=list)
+    #: per-rank count of segments claimed outside the rank's own bin
+    rank_steals: list = field(default_factory=list)
+    #: total stolen segments across ranks during this run
+    steal_count: int = 0
+    #: max-over-mean per-rank busy time (1.0 = perfectly level)
+    imbalance: float = 1.0
     #: per-request latencies (seconds, request-id order; NaN = shed)
     latencies_s: np.ndarray = field(repr=False, default=None)
 
@@ -285,6 +410,14 @@ class ServingReport:
                 "pickle_fallbacks": self.transport.pickle_fallbacks,
                 "hit_rate": self.transport.hit_rate,
             },
+            "balance": {
+                "shard_policy": self.shard_policy,
+                "service_model": self.service_model,
+                "rank_busy_ms": [float(b) for b in self.rank_busy_ms],
+                "rank_steals": [int(s) for s in self.rank_steals],
+                "steal_count": self.steal_count,
+                "imbalance": self.imbalance,
+            },
             "freshness": {
                 "updates_applied": self.updates_applied,
                 "update_ms": self.update_ms,
@@ -327,17 +460,34 @@ def run_serving_workload(
     concurrency: int = 8,
     queue_limit: int | None = None,
     nodes: np.ndarray | None = None,
+    node_sequence: np.ndarray | None = None,
     updates: list[tuple[float, GraphDelta]] | None = None,
+    service_model: str = "wall",
     seed: int = 0,
 ) -> ServingReport:
     """Drive ``engine`` through one synthetic workload; returns the report.
 
     ``nodes`` restricts the request catalog (default: the dataset's
-    validation split, falling back to all nodes when it is empty).  The
+    validation split, falling back to all nodes when it is empty);
+    ``node_sequence`` overrides the Zipf draw entirely with an explicit
+    per-request node stream (see :func:`make_scenario`) — it must hold
+    exactly ``num_requests`` entries, and the arrival process stays
+    deterministic in ``seed`` either way.  The
     run is single-server: batches execute back to back on the engine,
     exactly how the engine would sit behind one dispatch loop.
     ``queue_limit`` bounds the pending queue (shed-oldest admission
     control); ``None`` admits everything.
+
+    ``service_model`` picks how a batch's service time advances the
+    virtual clock.  ``"wall"`` (default) uses the measured ``predict``
+    wall time.  ``"critical_path"`` uses the batch's **critical path**
+    — the max per-rank CPU busy delta — which is the completion time on
+    truly parallel hardware where each rank owns a core.  On an
+    oversubscribed or single-core host the ranks time-slice, so wall
+    time degenerates to *total* work and cannot see placement quality
+    at all; the critical path is exactly the quantity a shard policy
+    controls, and it is measured scheduling-independently inside the
+    workers.  Engines without rank stats fall back to wall.
 
     ``updates`` interleaves graph deltas with the reads: a time-sorted
     ``[(virtual_time_s, GraphDelta), ...]`` stream (see
@@ -348,6 +498,10 @@ def run_serving_workload(
     latency.  Updates left after the last read completes are dropped.
     """
     check_positive_int(num_requests, "num_requests")
+    if service_model not in ("wall", "critical_path"):
+        raise ValueError(
+            f"service_model must be 'wall' or 'critical_path', got {service_model!r}"
+        )
     if queue_limit is not None:
         check_positive_int(queue_limit, "queue_limit")
     pending_updates = deque(sorted(updates, key=lambda tu: tu[0])) if updates else deque()
@@ -356,7 +510,14 @@ def run_serving_workload(
         nodes = engine.dataset.val_idx
         if len(nodes) == 0:
             nodes = np.arange(engine.dataset.num_nodes, dtype=np.int64)
-    node_seq = zipf_nodes(nodes, num_requests, alpha=zipf_alpha, rng=rng)
+    if node_sequence is not None:
+        node_seq = np.asarray(node_sequence, dtype=np.int64)
+        if len(node_seq) != num_requests:
+            raise ValueError(
+                f"node_sequence holds {len(node_seq)} entries, expected {num_requests}"
+            )
+    else:
+        node_seq = zipf_nodes(nodes, num_requests, alpha=zipf_alpha, rng=rng)
 
     if closed_loop:
         check_positive_int(concurrency, "concurrency")
@@ -372,6 +533,9 @@ def run_serving_workload(
     # engine phase counters are cumulative across runs; report the delta
     engine_phases = getattr(engine, "phases", None)
     phases_before = engine_phases.snapshot() if engine_phases is not None else None
+    engine_ranks = getattr(engine, "rank_stats", None)
+    ranks_before = engine_ranks.snapshot() if engine_ranks is not None else None
+    use_critical_path = service_model == "critical_path" and engine_ranks is not None
     cache_stats = getattr(engine, "cache", None)
     stale_before = cache_stats.stats.stale_hits if cache_stats is not None else 0
     inval_before = cache_stats.stats.invalidated if cache_stats is not None else 0
@@ -442,9 +606,20 @@ def run_serving_workload(
                     # deadline we were waiting on — track the new oldest
                     flush_t = batcher.next_deadline()
         batch = batcher.pop(max(now, flush_t))
+        busy_before = tuple(engine_ranks.busy_s) if use_critical_path else ()
         start = time.perf_counter()
         engine.predict([r.node for r in batch])
         service = time.perf_counter() - start
+        if use_critical_path:
+            critical = max(
+                (
+                    after - (busy_before[i] if i < len(busy_before) else 0.0)
+                    for i, after in enumerate(engine_ranks.busy_s)
+                ),
+                default=0.0,
+            )
+            if critical > 0.0:  # a pure cache-hit batch touched no rank
+                service = critical
         service_total += service
         done_t = max(now, flush_t) + service
         for r in batch:
@@ -465,6 +640,10 @@ def run_serving_workload(
         ]
     else:
         deltas = [0.0, 0.0, 0.0, 0.0]
+    if engine_ranks is not None:
+        balance = RankStats.delta(ranks_before, engine_ranks.snapshot())
+    else:
+        balance = RankStats()
     return ServingReport(
         mode=engine.mode,
         requests=num_requests,
@@ -496,6 +675,12 @@ def run_serving_workload(
             cache_stats.stats.invalidated - inval_before if cache_stats is not None else 0
         ),
         graph_generation=int(getattr(engine, "graph_generation", 0)),
+        shard_policy=str(getattr(engine, "shard_policy", "chunk")),
+        service_model=service_model if use_critical_path else "wall",
+        rank_busy_ms=[b * 1e3 for b in balance.busy_s],
+        rank_steals=list(balance.steals),
+        steal_count=balance.steal_count,
+        imbalance=balance.imbalance,
         latencies_s=latencies,
     )
 
@@ -517,6 +702,17 @@ def merge_reports(reports: list[ServingReport]) -> ServingReport:
     lats = np.concatenate([r.latencies_s for r in reports])
     served_lat = lats[~np.isnan(lats)]
     duration = sum(r.duration_s for r in reports)
+    # per-rank balance: width-pad and sum (a resize may widen the rank
+    # set between segments), then recompute imbalance over the totals
+    width = max((len(r.rank_busy_ms) for r in reports), default=0)
+    rank_busy = [0.0] * width
+    rank_steals = [0] * width
+    for r in reports:
+        for i, b in enumerate(r.rank_busy_ms):
+            rank_busy[i] += float(b)
+        for i, s in enumerate(r.rank_steals):
+            rank_steals[i] += int(s)
+    busy_totals = RankStats(busy_s=list(rank_busy), steals=list(rank_steals))
     mean_ms, p50, p95, p99 = _percentile_stats(served_lat)
     batches = sum(r.full_flushes + r.deadline_flushes + r.drain_flushes for r in reports)
     served = sum(r.served for r in reports)
@@ -547,5 +743,11 @@ def merge_reports(reports: list[ServingReport]) -> ServingReport:
         stale_served=sum(r.stale_served for r in reports),
         invalidated=sum(r.invalidated for r in reports),
         graph_generation=reports[-1].graph_generation,
+        shard_policy=reports[-1].shard_policy,
+        service_model=reports[-1].service_model,
+        rank_busy_ms=rank_busy,
+        rank_steals=rank_steals,
+        steal_count=busy_totals.steal_count,
+        imbalance=busy_totals.imbalance,
         latencies_s=lats,
     )

@@ -2,9 +2,11 @@
 
 Training tuning searches ``(n, s, t, ...)``; serving has its own knob
 set — pool ``workers``, micro-batcher ``max_batch`` / ``max_wait_ms``,
-prediction-cache ``cache_entries`` and the forward ``batch_mode``
-(per-node vs shared-frontier batching, numerically identical but with
-different overhead/latency trade-offs) — with its own objective: not
+prediction-cache ``cache_entries``, the forward ``batch_mode``
+(per-node vs shared-frontier batching) and the request->rank
+``shard_policy`` (index-chunked vs size-binned vs work-stealing
+placement) — all numerically identical but with different
+overhead/latency trade-offs — with its own objective: not
 epoch time but *SLO-aware latency/throughput*.  :class:`ServingSpace`
 enumerates the cross product and is duck-compatible with
 :class:`~repro.tuning.space.ConfigSpace` everywhere the searchers need
@@ -22,13 +24,28 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ServingConfig", "ServingSpace", "slo_objective", "BATCH_MODES"]
+__all__ = [
+    "ServingConfig",
+    "ServingSpace",
+    "slo_objective",
+    "BATCH_MODES",
+    "SHARD_POLICIES",
+]
 
 #: one point of the serving space
-ServingConfig = tuple  # (workers, max_batch, max_wait_ms, cache_entries, batch_mode)
+ServingConfig = tuple  # (workers, max_batch, max_wait_ms, cache_entries,
+#  batch_mode, shard_policy)
 
 #: the categorical forward-strategy axis, in canonical order
 BATCH_MODES = ("per_node", "frontier")
+
+#: the categorical request->rank placement axis, in canonical order.
+#: Mirrors :data:`repro.serve.frontier.SHARD_POLICIES` rather than
+#: importing it — ``repro.tuning`` loads during ``repro.exec`` package
+#: init, long before ``repro.serve`` can (serve.engine imports
+#: exec.pool), so a real import here would be circular.  The serving
+#: test suite asserts the two tuples stay identical.
+SHARD_POLICIES = ("chunk", "size_binned", "steal")
 
 
 def _axis(values, name, *, allow_zero=False, numeric=float):
@@ -41,30 +58,33 @@ def _axis(values, name, *, allow_zero=False, numeric=float):
     return out
 
 
-def _mode_axis(values) -> tuple:
+def _categorical_axis(values, name, canonical) -> tuple:
     seen = {str(v) for v in values}
     if not seen:
-        raise ValueError("batch_modes must be non-empty")
-    unknown = seen - set(BATCH_MODES)
+        raise ValueError(f"{name} must be non-empty")
+    unknown = seen - set(canonical)
     if unknown:
         raise ValueError(
-            f"batch_modes values must be among {BATCH_MODES}, got {sorted(unknown)}"
+            f"{name} values must be among {canonical}, got {sorted(unknown)}"
         )
     # canonical order, deduped
-    return tuple(m for m in BATCH_MODES if m in seen)
+    return tuple(m for m in canonical if m in seen)
 
 
 class ServingSpace:
     """Finite enumeration of serving configurations.
 
     Points are ``(workers, max_batch, max_wait_ms, cache_entries,
-    batch_mode)``.  ``workers`` is the pool size the inference engine
-    runs (`1` works inline-equivalently but still exercises the pool
-    path); ``cache_entries`` may include ``0`` — caching disabled — so
-    the tuner can learn whether the workload's skew pays for a cache at
-    all; ``batch_mode`` is the categorical forward-strategy axis
-    (``"per_node"`` vs ``"frontier"`` — bit-identical predictions, so
-    the tuner searches it purely on latency/throughput).
+    batch_mode, shard_policy)``.  ``workers`` is the pool size the
+    inference engine runs (`1` works inline-equivalently but still
+    exercises the pool path); ``cache_entries`` may include ``0`` —
+    caching disabled — so the tuner can learn whether the workload's
+    skew pays for a cache at all; ``batch_mode`` is the categorical
+    forward-strategy axis (``"per_node"`` vs ``"frontier"``) and
+    ``shard_policy`` the categorical request->rank placement axis
+    (``"chunk"`` / ``"size_binned"`` / ``"steal"``) — both are
+    bit-identical in predictions, so the tuner searches them purely on
+    latency/throughput.
     """
 
     def __init__(
@@ -75,19 +95,24 @@ class ServingSpace:
         max_waits_ms=(0.5, 2.0, 8.0),
         cache_sizes=(0, 256, 4096),
         batch_modes=BATCH_MODES,
+        shard_policies=SHARD_POLICIES,
     ):
         self.workers = _axis(workers, "workers", numeric=int)
         self.max_batches = _axis(max_batches, "max_batches", numeric=int)
         self.max_waits_ms = _axis(max_waits_ms, "max_waits_ms", allow_zero=True)
         self.cache_sizes = _axis(cache_sizes, "cache_sizes", allow_zero=True, numeric=int)
-        self.batch_modes = _mode_axis(batch_modes)
+        self.batch_modes = _categorical_axis(batch_modes, "batch_modes", BATCH_MODES)
+        self.shard_policies = _categorical_axis(
+            shard_policies, "shard_policies", SHARD_POLICIES
+        )
         self.configs: list[ServingConfig] = [
-            (w, b, wait, c, m)
+            (w, b, wait, c, m, p)
             for w in self.workers
             for b in self.max_batches
             for wait in self.max_waits_ms
             for c in self.cache_sizes
             for m in self.batch_modes
+            for p in self.shard_policies
         ]
         self._index = {cfg: i for i, cfg in enumerate(self.configs)}
         self._axes = (
@@ -96,6 +121,7 @@ class ServingSpace:
             self.max_waits_ms,
             self.cache_sizes,
             self.batch_modes,
+            self.shard_policies,
         )
 
     # ------------------------------------------------------------------
@@ -119,13 +145,14 @@ class ServingSpace:
 
     # ------------------------------------------------------------------
     def features(self) -> np.ndarray:
-        """Normalised ``[0, 1]^5`` surrogate features, one row per config.
+        """Normalised ``[0, 1]^6`` surrogate features, one row per config.
 
         The numeric axes are log-scaled (counts and waits both span
         orders of magnitude; latency responds to their ratios) with
         ``+1`` shifts so the zero-valued points (no wait, no cache) stay
-        finite.  The categorical batch-mode axis maps to its position
-        within the axis (0 when the axis is a single point).
+        finite.  The categorical batch-mode and shard-policy axes map to
+        their position within the axis (0 when the axis is a single
+        point).
         """
 
         def norm(value, values):
@@ -135,14 +162,14 @@ class ServingSpace:
                 return 0.0
             return (np.log2(value + 1.0) - lo) / (hi - lo)
 
-        feats = np.zeros((len(self.configs), 5), dtype=np.float64)
+        feats = np.zeros((len(self.configs), 6), dtype=np.float64)
         for i, cfg in enumerate(self.configs):
             for j, (value, values) in enumerate(zip(cfg[:4], self._axes[:4])):
                 feats[i, j] = norm(value, values)
-            modes = self.batch_modes
-            feats[i, 4] = (
-                modes.index(cfg[4]) / (len(modes) - 1) if len(modes) > 1 else 0.0
-            )
+            for j, values in ((4, self.batch_modes), (5, self.shard_policies)):
+                feats[i, j] = (
+                    values.index(cfg[j]) / (len(values) - 1) if len(values) > 1 else 0.0
+                )
         return feats
 
     def neighbors(self, cfg: ServingConfig) -> list[ServingConfig]:

@@ -174,13 +174,36 @@ class TestSpanFusion:
             pf.set_epoch(3)
             assert_same_stream(expected, snapshot(pf))
 
-    def test_span_rejected_in_process_mode(self, tiny_dataset):
-        # process workers ship one step per job; fused spans are a
-        # thread-mode (and persistent-runtime) optimisation only
-        with pytest.raises(ValueError):
-            PrefetchingLoader(
-                make_base(tiny_dataset), num_workers=2, mode="process", span=2
-            )
+    @pytest.mark.parametrize("span", [2, 3, 100])
+    def test_process_span_stream_identical_to_sync(self, tiny_dataset, span):
+        # process workers ship the span's seed lists in one task message
+        # and run the same fused kernel the consumer would
+        base = snapshot(make_base(tiny_dataset))
+        with PrefetchingLoader(
+            make_base(tiny_dataset), num_workers=2, mode="process", span=span
+        ) as pf:
+            assert_same_stream(base, snapshot(pf))
+
+    @pytest.mark.parametrize("span", [1, 3])
+    def test_thread_process_span_parity(self, tiny_dataset, span):
+        # the two worker modes must deliver byte-identical streams at
+        # every span — same per-step RNG derivation either way
+        with PrefetchingLoader(
+            make_base(tiny_dataset), num_workers=2, mode="thread", span=span
+        ) as pf_thread:
+            threaded = snapshot(pf_thread)
+        with PrefetchingLoader(
+            make_base(tiny_dataset), num_workers=2, mode="process", span=span
+        ) as pf_proc:
+            assert_same_stream(threaded, snapshot(pf_proc))
+
+    def test_process_span_worker_error_propagates(self, tiny_dataset):
+        # a failed span posts a failure for every step it covered; the
+        # consumer still fails at the first step's turn
+        loader = make_base(tiny_dataset, sampler=_ExplodingSampler([5, 5]))
+        with PrefetchingLoader(loader, num_workers=2, mode="process", span=3) as pf:
+            with pytest.raises(RuntimeError, match="sampler exploded"):
+                list(pf)
 
     def test_span_validated(self, tiny_dataset):
         with pytest.raises(ValueError):

@@ -48,10 +48,12 @@ class ExplodingServeSampler(NeighborSampler):
         raise RuntimeError("injected serving crash")
 
 
-def pool_engine(snapshot, dataset, *, batch_mode="per_node", sampler=None):
+def pool_engine(
+    snapshot, dataset, *, batch_mode="per_node", sampler=None, shard_policy="chunk"
+):
     engine = InferenceEngine(
         snapshot, dataset, mode="pool", workers=2, batch_mode=batch_mode,
-        cache_entries=0, timeout=30.0,
+        shard_policy=shard_policy, cache_entries=0, timeout=30.0,
     )
     if sampler is not None:
         engine.sampler = sampler  # rides each InferPlan to the workers
@@ -134,6 +136,35 @@ class TestServeCrash:
             assert eng.pool.launches == 2  # crash relaunch, not a swap
         finally:
             eng.close()
+
+    @needs_dev_shm
+    def test_kill_mid_steal_leaks_nothing_and_recovers(
+        self, tiny_dataset, trained_snapshot
+    ):
+        """SIGKILL a rank while segments sit half-claimed in the shared
+        task ring: the batch must fail cleanly (no hang on unclaimed
+        segments), the pool must reap and unlink everything — ring and
+        claim board included — and the next predict must relaunch once
+        and serve inline-identical bits under the same steal policy."""
+        nodes = tiny_dataset.val_idx[:8]
+        with InferenceEngine(trained_snapshot, tiny_dataset, cache_entries=0) as ref:
+            expected = ref.predict(nodes)
+        before = shm_segments()
+        eng = pool_engine(
+            trained_snapshot, tiny_dataset, shard_policy="steal",
+            sampler=SlowServeSampler([5, 5], nap=0.15),
+        )
+        try:
+            errors = kill_one_mid_batch(eng, nodes)
+            assert errors, "killed worker produced no error"
+            assert "died" in str(errors[0]) or "collective broken" in str(errors[0])
+            assert not eng.pool.procs  # reaped on the failure path
+            eng.sampler = eng.snapshot.build_sampler()  # healthy again
+            np.testing.assert_array_equal(eng.predict(nodes), expected)
+            assert eng.pool.launches == 2  # crash relaunch, nothing more
+        finally:
+            eng.close()
+        assert shm_segments() == before
 
     @needs_dev_shm
     def test_close_idempotent_after_crash(self, tiny_dataset, trained_snapshot):

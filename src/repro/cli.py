@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli serve-bench --mode pool --swaps 2  # hot snapshot reloads
     python -m repro.cli serve-bench --deltas 8 --staleness-budget 1  # live graph
     python -m repro.cli serve-bench --report-json report.json
+    python -m repro.cli serve-bench --trace trace.json --metrics-json metrics.json
+    python -m repro.cli trace trace.json  # summarize an exported trace
 
 Each command prints the reproduced artefact to stdout (the benchmark
 suite additionally asserts the paper's shapes; the CLI is for quick
@@ -262,6 +264,7 @@ def cmd_serve_bench(args) -> str:
         timeout=args.timeout,
         staleness_budget=args.staleness_budget,
         delta_invalidation=args.delta_invalidation,
+        tracing=args.trace is not None,
     )
     # --deltas N streams N Poisson-timed topology updates into the live
     # engine during the first segment: edges append through apply_delta
@@ -352,6 +355,19 @@ def cmd_serve_bench(args) -> str:
                 ", ".join(f"{b:.1f}" for b in report.rank_busy_ms),
             )
         )
+        # the trace arena dies with the engine: drain the spans into an
+        # exportable document *before* close() unlinks the segments
+        trace_doc = None
+        if args.trace is not None:
+            from repro.obs.export import chrome_trace_document
+
+            trace_doc = chrome_trace_document(
+                engine.trace_arena.drain(),
+                engine.trace_names,
+                rank_labels=engine.trace_rank_labels(),
+                dropped=engine.trace_arena.dropped(),
+            )
+        metrics = engine.metrics
     finally:
         engine.close()
     loop = f"closed(c={args.concurrency})" if args.closed else f"open({args.rate:g} rps)"
@@ -372,6 +388,9 @@ def cmd_serve_bench(args) -> str:
          f"{report.sample_ms:.1f}/{report.merge_ms:.1f}"
          f"/{report.forward_ms:.1f}/{report.cache_ms:.1f}"],
         ["sampling share", f"{report.sampling_share:.3f}"],
+        ["transport arena/pickle",
+         f"{report.transport.arena_hits}/{report.transport.pickle_fallbacks} "
+         f"(hit rate {report.transport.hit_rate:.3f})"],
         ["shard policy", report.shard_policy],
         ["rank busy ms",
          "/".join(f"{b:.1f}" for b in report.rank_busy_ms) or "-"],
@@ -422,7 +441,42 @@ def cmd_serve_bench(args) -> str:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
         lines.append(f"report-json: wrote {args.report_json}")
+    if trace_doc is not None:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(args.trace, trace_doc)
+        other = trace_doc["otherData"]
+        lines.append(
+            f"trace: wrote {args.trace} ({other['span_count']} spans, "
+            f"{sum(other['dropped_spans'])} dropped) — load in Perfetto or "
+            f"run `repro trace {args.trace}`"
+        )
+    if args.metrics_json is not None:
+        from repro.obs.export import write_metrics_json
+
+        write_metrics_json(
+            args.metrics_json,
+            metrics,
+            extra={
+                "transport": {
+                    "arena_hits": report.transport.arena_hits,
+                    "pickle_fallbacks": report.transport.pickle_fallbacks,
+                    "hit_rate": report.transport.hit_rate,
+                },
+                "report": report.as_dict(slo_ms=args.slo_ms),
+            },
+        )
+        lines.append(f"metrics-json: wrote {args.metrics_json}")
     return "\n".join(lines)
+
+
+def cmd_trace(args) -> str:
+    """Summarize an exported Chrome-trace JSON file in the terminal."""
+    from repro.obs.export import summarize_trace
+
+    with open(args.file) as fh:
+        doc = json.load(fh)
+    return summarize_trace(doc, width=args.width, top=args.top)
 
 
 COMMANDS = {
@@ -435,6 +489,7 @@ COMMANDS = {
     "table6": cmd_table6,
     "train": cmd_train,
     "serve-bench": cmd_serve_bench,
+    "trace": cmd_trace,
 }
 
 
@@ -444,6 +499,19 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="list available experiment commands")
     for name in COMMANDS:
         p = sub.add_parser(name)
+        if name == "trace":
+            # operates on an exported file, not an experiment setup: no
+            # dataset/platform/task arguments
+            p.add_argument("file", help="Chrome-trace JSON from serve-bench --trace")
+            p.add_argument(
+                "--width", type=_positive_int, default=78,
+                help="terminal width for the per-rank gantt",
+            )
+            p.add_argument(
+                "--top", type=_positive_int, default=10,
+                help="rows in the spans-by-self-time table",
+            )
+            continue
         _add_common(p)
         if name == "train":
             p.add_argument("--backend", default="inline", type=_backend_name)
@@ -584,6 +652,17 @@ def main(argv=None) -> int:
             p.add_argument(
                 "--report-json", default=None, metavar="PATH",
                 help="also write the full ServingReport as one JSON document",
+            )
+            p.add_argument(
+                "--trace", default=None, metavar="PATH",
+                help="enable shared-memory span tracing and write the run's "
+                     "spans as Chrome trace-event JSON (Perfetto-loadable; "
+                     "summarize with `repro trace PATH`)",
+            )
+            p.add_argument(
+                "--metrics-json", default=None, metavar="PATH",
+                help="write the engine's metrics registry (phase histograms, "
+                     "batcher counters, transport) as one JSON document",
             )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):

@@ -43,10 +43,18 @@ backend, not the pool.
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
 from repro.distributed.comm import ClaimBoard, ProcessWorld
+from repro.obs.trace import (
+    NULL_RECORDER,
+    SPAN_BARRIER,
+    SPAN_LAUNCH,
+    SPAN_PUBLISH,
+    SPAN_REBIND,
+)
 from repro.exec.runtime import (
     GraphDeltaPlan,
     InferPlan,
@@ -175,16 +183,24 @@ class WorkerPool:
         )
         if compatible and sig == self.signature:
             return False
+        # serving engines carry a span recorder; training engines do not
+        recorder = getattr(engine, "recorder", None) or NULL_RECORDER
         if (
             compatible
             and self.signature is not None
             and sig[1:] == self.signature[1:]
             and engine.n <= len(self.procs)
         ):
+            t0 = time.perf_counter() if recorder.enabled else 0.0
             self._resize(engine.n, sig)
+            if recorder.enabled:
+                recorder.record(SPAN_REBIND, t0, time.perf_counter(), engine.n)
             return False
+        t0 = time.perf_counter() if recorder.enabled else 0.0
         self.shutdown()
         self._launch(engine, store, sig)
+        if recorder.enabled:
+            recorder.record(SPAN_LAUNCH, t0, time.perf_counter(), engine.n)
         return True
 
     def _resize(self, n: int, sig: tuple) -> None:
@@ -275,12 +291,16 @@ class WorkerPool:
         """
         if not self.alive:
             raise RuntimeError("worker pool is not running (call ensure first)")
+        recorder = getattr(engine, "recorder", None) or NULL_RECORDER
+        t0 = time.perf_counter() if recorder.enabled else 0.0
         self.params.publish(
             {
                 "model": engine.replicas[0].state_dict(),
                 "optimizer": engine.optimizers[0].state_dict(),
             }
         )
+        if recorder.enabled:
+            recorder.record(SPAN_PUBLISH, t0, time.perf_counter())
 
     def run_epoch(self, engine, epoch: int, plan: list[np.ndarray]) -> dict:
         """Dispatch one (already-published) epoch, collect per-rank reports.
@@ -335,6 +355,8 @@ class WorkerPool:
         shard_policy: str = "chunk",
         costs=None,
         rank_stats=None,
+        trace_spec=None,
+        recorder=NULL_RECORDER,
     ) -> np.ndarray:
         """Forward-only predictions for ``node_ids`` over the active ranks.
 
@@ -373,8 +395,12 @@ class WorkerPool:
         wall clock.  ``rank_stats`` (a
         :class:`~repro.utils.phases.RankStats`) receives each rank's
         wall-clock busy time and steal count for imbalance accounting.
-        Failure semantics match :meth:`run_epoch`: any broken batch
-        tears the pool down before the error propagates.
+        ``trace_spec`` (a :class:`~repro.obs.trace.TraceArena` spec)
+        rides each plan so workers record spans into their own shared
+        rings, and an enabled parent ``recorder`` books the drain wait
+        for all ranks' results as a ``barrier`` span.  Failure semantics
+        match :meth:`run_epoch`: any broken batch tears the pool down
+        before the error propagates.
         """
         if not self.alive:
             raise RuntimeError("worker pool is not running (call ensure first)")
@@ -428,8 +454,10 @@ class WorkerPool:
                         graph_generation=graph_generation,
                         shard_policy=policy,
                         ring_spec=self._ring.spec if steal else None,
+                        trace_spec=trace_spec,
                     )
                 )
+            t0 = time.perf_counter() if recorder.enabled else 0.0
             results = collect_results(
                 self.procs,
                 self._result_q,
@@ -439,14 +467,20 @@ class WorkerPool:
                 self.timeout,
                 what="pool inference batch",
             )
+            if recorder.enabled:
+                recorder.record(SPAN_BARRIER, t0, time.perf_counter(), self._infer_seq)
             out = None
             covered = 0
             busy = [0.0] * n
             steals = [0] * n
             for rank in range(n):
                 item = results[rank]
-                if phases is not None and "phases" in item:
-                    phases.add(item["phases"])
+                if phases is not None:
+                    if "phase_hists" in item:
+                        # full distributions fold in, buckets included
+                        phases.add_hists(item["phase_hists"])
+                    elif "phases" in item:
+                        phases.add(item["phases"])
                 busy[rank] = float(item.get("busy_s", 0.0))
                 steals[rank] = int(item.get("steals", 0))
                 if "layouts" in item:

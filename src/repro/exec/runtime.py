@@ -48,6 +48,13 @@ from repro.distributed.comm import ProcessWorld
 from repro.distributed.ddp import DistributedDataParallel
 from repro.exec.base import acquire_batch, compute_loss
 from repro.graph.shm import SharedGraphStore
+from repro.obs.trace import (
+    NULL_RECORDER,
+    SPAN_DELTA_SYNC,
+    SPAN_PLAN,
+    SPAN_RELOAD,
+    SPAN_STEAL,
+)
 from repro.pipeline.prefetch import rank_step_prefetcher
 from repro.platform.corebind import apply_binding, sampling_affinity, training_affinity
 from repro.shm.arena import ParamStore
@@ -141,6 +148,10 @@ class InferPlan:
     #: :class:`~repro.shm.arena.TaskRing` spec for steal plans (attached
     #: lazily and cached by segment name, like the result arena)
     ring_spec: dict | None = None
+    #: :class:`~repro.obs.trace.TraceArena` spec when the engine traces —
+    #: the worker attaches once (cached by segment name) and records
+    #: spans into its own ring; ``None`` keeps the no-op recorder
+    trace_spec: dict | None = None
 
 
 @dataclass
@@ -293,7 +304,7 @@ def _run_epoch_steps(
 
 def _run_infer_plan(
     plan: InferPlan, *, rank: int, graph, features: Tensor, model, arena,
-    ring=None, claims=None,
+    ring=None, claims=None, recorder=NULL_RECORDER,
 ) -> dict:
     """Serve one rank's share of a forward-only inference batch.
 
@@ -328,6 +339,7 @@ def _run_infer_plan(
     phases = PhaseStats()
     steals = 0
     segments: list[int] | None = None
+    wall0 = time.perf_counter() if recorder.enabled else 0.0
     start = time.process_time()
     if plan.shard_policy == "steal":
         from repro.serve.frontier import empty_predictions, steal_order
@@ -340,30 +352,37 @@ def _run_infer_plan(
             seg = int(seg)
             if not claims.try_claim(seg):
                 continue
+            stolen = not own_lo <= seg < own_hi
+            seg_t0 = time.perf_counter() if recorder.enabled and stolen else 0.0
             ids = node_full[seg_splits[seg] : seg_splits[seg + 1]]
             parts.append(
                 forward(
                     model, graph, features, plan.sampler, ids,
-                    seed=plan.seed, phases=phases,
+                    seed=plan.seed, phases=phases, recorder=recorder,
                 )
             )
             segments.append(seg)
-            if not own_lo <= seg < own_hi:
+            if stolen:
                 steals += 1
+                if recorder.enabled:
+                    recorder.record(SPAN_STEAL, seg_t0, time.perf_counter(), seg)
         preds = (
             np.concatenate(parts, axis=0) if parts else empty_predictions(model)
         )
     else:
         preds = forward(
             model, graph, features, plan.sampler, plan.node_ids,
-            seed=plan.seed, phases=phases,
+            seed=plan.seed, phases=phases, recorder=recorder,
         )
     result = {
         "rank": rank, "status": "ok", "seq": plan.seq,
         "phases": phases.snapshot(),
+        "phase_hists": phases.hists_snapshot(),
         "busy_s": time.process_time() - start,
         "steals": steals,
     }
+    if recorder.enabled:
+        recorder.record(SPAN_PLAN, wall0, time.perf_counter(), plan.seq)
     if segments is not None:
         result["segments"] = segments
     if arena is not None and preds.size:
@@ -415,6 +434,9 @@ def persistent_worker_main(
     arena_name = None
     ring = None
     ring_name = None
+    trace = None
+    trace_name = None
+    recorder = NULL_RECORDER
     generation = init.generation  # weights currently held by the template
     parent_pid = init.parent_pid or os.getppid()
     world.rebind(init.world_size)
@@ -442,11 +464,16 @@ def persistent_worker_main(
                 world.rebind(cmd.world_size)
                 continue
             if isinstance(cmd, GraphDeltaPlan):
+                t0 = time.perf_counter() if recorder.enabled else 0.0
                 store.sync_deltas(cmd.fragment_specs)
                 graph = store.graph
                 features = Tensor(store.full_features())
                 labels = store.full_labels()
                 graph_generation = store.graph_generation
+                if recorder.enabled:
+                    recorder.record(
+                        SPAN_DELTA_SYNC, t0, time.perf_counter(), graph_generation
+                    )
                 continue
             if isinstance(cmd, InferPlan):
                 if cmd.graph_generation != graph_generation:
@@ -455,10 +482,25 @@ def persistent_worker_main(
                         f"but worker topology is at {graph_generation} — "
                         f"GraphDeltaPlan ordering violated"
                     )
+                if cmd.trace_spec is not None:
+                    spec_name = cmd.trace_spec["cursor"].shm_name
+                    if trace_name != spec_name:
+                        if trace is not None:
+                            trace.close()
+                        from repro.obs.trace import TraceArena
+
+                        trace = TraceArena.attach(cmd.trace_spec)
+                        trace_name = spec_name
+                        recorder = trace.recorder(init.rank)
                 if cmd.generation != generation:
                     # hot snapshot swap: the parent republished weights
                     # through the ParamStore before bumping the counter
+                    t0 = time.perf_counter() if recorder.enabled else 0.0
                     model_template.load_state_dict(params.load()["model"])
+                    if recorder.enabled:
+                        recorder.record(
+                            SPAN_RELOAD, t0, time.perf_counter(), cmd.generation
+                        )
                     generation = cmd.generation
                 if cmd.arena_spec is not None and arena_name != cmd.arena_spec["shm_name"]:
                     if arena is not None:
@@ -484,6 +526,7 @@ def persistent_worker_main(
                         arena=arena if cmd.arena_spec is not None else None,
                         ring=ring if cmd.ring_spec is not None else None,
                         claims=claims,
+                        recorder=recorder if cmd.trace_spec is not None else NULL_RECORDER,
                     )
                 )
                 continue
@@ -531,6 +574,8 @@ def persistent_worker_main(
         )
         sys.exit(1)  # quiet exit: the parent reports the queued error
     finally:
+        if trace is not None:
+            trace.close()
         if ring is not None:
             ring.close()
         if arena is not None:

@@ -1,0 +1,236 @@
+"""Trace/metrics export: Chrome trace-event JSON and versioned metrics docs.
+
+``chrome_trace_document`` emits the Trace Event Format that Perfetto and
+``chrome://tracing`` load directly: complete (``ph: "X"``) events with
+microsecond ``ts``/``dur``, one ``tid`` track per rank plus thread-name
+metadata.  ``summarize_trace`` is the terminal-side consumer behind
+``repro trace``: top spans by *self* time (duration minus same-track
+nested children), per-track utilisation, and an ASCII Gantt rendered
+through the same :func:`repro.platform.trace.render_ascii` the paper
+figures use.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import NameTable, SpanRecord
+from repro.platform.trace import Trace, render_ascii
+
+TRACE_SCHEMA_VERSION = 1
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "metrics_document",
+    "write_metrics_json",
+    "summarize_trace",
+]
+
+
+def chrome_trace_document(
+    records: list[SpanRecord],
+    names: NameTable,
+    *,
+    rank_labels: dict[int, str] | None = None,
+    dropped: list[int] | None = None,
+) -> dict:
+    """Build a Chrome trace-event JSON object from drained span records.
+
+    Timestamps are rebased to the earliest span and converted to
+    microseconds (the format's unit).  Each ring becomes one ``tid``
+    track under a single ``pid``, named via thread-name metadata events
+    so Perfetto shows ``rank 0`` / ``engine`` instead of bare ids.
+    """
+    base = min((r.t0 for r in records), default=0.0)
+    ranks = sorted({r.rank for r in records})
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro-serve"},
+        }
+    ]
+    labels = rank_labels or {}
+    for rank in ranks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": labels.get(rank, f"rank {rank}")},
+            }
+        )
+    for r in records:
+        events.append(
+            {
+                "name": names.name(r.name_id),
+                "cat": "repro",
+                "ph": "X",
+                "ts": (r.t0 - base) * 1e6,
+                "dur": (r.t1 - r.t0) * 1e6,
+                "pid": 0,
+                "tid": r.rank,
+                "args": {"arg": int(r.arg)},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "span_count": len(records),
+            "dropped_spans": list(dropped or []),
+        },
+    }
+
+
+def write_chrome_trace(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+
+
+def metrics_document(registry: MetricRegistry, *, extra: dict | None = None) -> dict:
+    """The versioned metrics-JSON document (registry snapshot + extra
+    top-level sections; ``extra`` may not clobber the schema keys)."""
+    doc = registry.snapshot()
+    for key, value in (extra or {}).items():
+        if key in ("schema_version", "metrics"):
+            raise ValueError(f"extra section {key!r} would clobber the schema")
+        doc[key] = value
+    return doc
+
+
+def write_metrics_json(
+    path: str, registry: MetricRegistry, *, extra: dict | None = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_document(registry, extra=extra), fh, indent=2)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# summarize (the `repro trace` subcommand)
+# ----------------------------------------------------------------------
+
+
+def _self_times(events: list[dict]) -> dict[int, float]:
+    """Self time (dur minus same-track nested children) per event index.
+
+    Standard interval-nesting stack walk per track: events sorted by
+    ``(ts, -dur)`` so a parent precedes the children it contains.
+    """
+    self_us = {i: float(e.get("dur", 0.0)) for i, e in enumerate(events)}
+    by_tid: dict[int, list[int]] = {}
+    for i, e in enumerate(events):
+        by_tid.setdefault(e.get("tid", 0), []).append(i)
+    for indices in by_tid.values():
+        indices.sort(key=lambda i: (events[i]["ts"], -float(events[i].get("dur", 0.0))))
+        stack: list[int] = []
+        for i in indices:
+            start = events[i]["ts"]
+            end = start + float(events[i].get("dur", 0.0))
+            while stack:
+                top = events[stack[-1]]
+                if start >= top["ts"] + float(top.get("dur", 0.0)) - 1e-9:
+                    stack.pop()
+                else:
+                    break
+            if stack:
+                self_us[stack[-1]] -= float(events[i].get("dur", 0.0))
+            stack.append(i)
+    return self_us
+
+
+def summarize_trace(doc: dict, *, width: int = 78, top: int = 10) -> str:
+    """Human summary of a Chrome trace document.
+
+    Sections: header (span/track counts, makespan, drops), top spans by
+    self time, per-track utilisation (top-level span coverage), and an
+    ASCII Gantt of the busiest span names — all derived from the JSON
+    alone so it works on any conforming trace, not just ours.
+    """
+    all_events = doc.get("traceEvents", [])
+    spans = [e for e in all_events if e.get("ph") == "X"]
+    labels = {
+        e.get("tid", 0): e.get("args", {}).get("name", "")
+        for e in all_events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    other = doc.get("otherData", {})
+    dropped = other.get("dropped_spans", [])
+    if not spans:
+        return "(empty trace)"
+
+    t_lo = min(e["ts"] for e in spans)
+    t_hi = max(e["ts"] + float(e.get("dur", 0.0)) for e in spans)
+    makespan_us = max(t_hi - t_lo, 1e-9)
+    self_us = _self_times(spans)
+
+    per_name: dict[str, list[float]] = {}
+    for i, e in enumerate(spans):
+        agg = per_name.setdefault(e.get("name", "?"), [0, 0.0, 0.0])
+        agg[0] += 1
+        agg[1] += float(e.get("dur", 0.0))
+        agg[2] += self_us[i]
+    ranked = sorted(per_name.items(), key=lambda kv: -kv[1][2])
+
+    lines = [
+        f"trace: {len(spans)} spans on {len({e.get('tid', 0) for e in spans})} "
+        f"tracks, makespan {makespan_us / 1e3:.3f} ms"
+        + (f", dropped {sum(dropped)}" if sum(dropped, 0) else "")
+    ]
+    lines.append("")
+    lines.append(f"{'span':<14} {'count':>7} {'total_ms':>10} {'self_ms':>10} {'self%':>7}")
+    total_self = sum(self_us.values()) or 1.0
+    for name, (count, total, self_t) in ranked[:top]:
+        lines.append(
+            f"{name:<14} {count:>7} {total / 1e3:>10.3f} {self_t / 1e3:>10.3f} "
+            f"{100.0 * self_t / total_self:>6.1f}%"
+        )
+
+    lines.append("")
+    lines.append("per-track utilisation (top-level span coverage):")
+    for tid in sorted({e.get("tid", 0) for e in spans}):
+        track = sorted(
+            ((e["ts"], e["ts"] + float(e.get("dur", 0.0))) for e in spans if e.get("tid", 0) == tid)
+        )
+        covered, cur_end = 0.0, None
+        cur_start = None
+        for s, e in track:
+            if cur_end is None or s > cur_end:
+                if cur_end is not None:
+                    covered += cur_end - cur_start
+                cur_start, cur_end = s, e
+            else:
+                cur_end = max(cur_end, e)
+        if cur_end is not None:
+            covered += cur_end - cur_start
+        label = labels.get(tid) or f"track {tid}"
+        lines.append(
+            f"  {label:<10} {100.0 * covered / makespan_us:>5.1f}% busy "
+            f"({len(track)} spans)"
+        )
+
+    # Gantt: longest spans drawn first so nested children overdraw their
+    # parents — the row then reads as "what was actually running".
+    gantt = Trace(phases=None)
+    for e in sorted(spans, key=lambda e: -float(e.get("dur", 0.0))):
+        gantt.add(
+            e.get("tid", 0),
+            e.get("name", "?"),
+            (e["ts"] - t_lo) / 1e6,
+            float(e.get("dur", 0.0)) / 1e6,
+        )
+    row_labels = {
+        tid: labels.get(tid) or f"P{tid}" for tid in {e.get("tid", 0) for e in spans}
+    }
+    lines.append("")
+    lines.append(render_ascii(gantt, width, glyphs={}, labels=row_labels))
+    return "\n".join(lines)

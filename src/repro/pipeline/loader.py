@@ -44,6 +44,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.graph.shm import SharedGraphStore
+from repro.obs.trace import NULL_RECORDER, SPAN_WAIT
 from repro.pipeline.prefetch import OrderedPrefetcher, PrefetchStats
 from repro.platform.corebind import apply_binding
 from repro.sampling.batch import split_merged
@@ -221,6 +222,12 @@ class PrefetchingLoader:
         fit a slot return as raw shared-memory copies instead of queue
         pickles; larger ones fall back to pickling.  ``None`` disables
         the arena entirely (pure pickle transport).
+    recorder:
+        Optional :class:`~repro.obs.trace.SpanRecorder`: when enabled,
+        every delivery stall — the consumer blocked waiting for the
+        next in-order batch — is recorded as a ``wait`` span (``arg`` =
+        the step waited on).  Defaults to the no-op recorder; the hot
+        path takes no extra timestamps when tracing is off.
     span:
         Batching of the sampling work itself: each worker job draws
         ``span`` consecutive steps in one fused multi-seed sampling
@@ -250,6 +257,7 @@ class PrefetchingLoader:
         start_method: str | None = None,
         timeout: float = 120.0,
         arena_slot_bytes: int | None = 1 << 22,
+        recorder=None,
         span: int = 1,
     ):
         if mode not in self.MODES:
@@ -287,6 +295,7 @@ class PrefetchingLoader:
                     f"the arena), got {arena_slot_bytes}"
                 )
         self.arena_slot_bytes = arena_slot_bytes
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         #: process-mode transport counters (arena hits vs pickle
         #: fallbacks) — the same record the serving runtime reports, so
         #: arena behaviour reads identically in every surface
@@ -344,13 +353,38 @@ class PrefetchingLoader:
         )
         try:
             if self.span == 1:
-                yield from prefetcher
+                yield from self._deliver(prefetcher)
             else:
-                for span_batches in prefetcher:
+                for span_batches in self._deliver(prefetcher):
                     yield from span_batches
         finally:
             prefetcher.close()
             self._fold_stats(prefetcher.stats)
+
+    def _deliver(self, prefetcher) -> Iterator:
+        """Yield the prefetcher's items, tracing each delivery stall.
+
+        With tracing off this is a plain ``yield from`` — zero extra
+        timestamps.  Enabled, each blocking ``next()`` (the reorder
+        window waiting on the next in-order job) becomes a ``wait``
+        span; the consumer's own compute runs between yields and is
+        never inside the measured window.
+        """
+        recorder = self.recorder
+        if not recorder.enabled:
+            yield from prefetcher
+            return
+        it = iter(prefetcher)
+        step = 0
+        while True:
+            t0 = time.perf_counter()
+            try:
+                item = next(it)
+            except StopIteration:
+                return
+            recorder.record(SPAN_WAIT, t0, time.perf_counter(), step)
+            step += 1
+            yield item
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> None:
@@ -443,7 +477,10 @@ class PrefetchingLoader:
                         continue
                     pending[step] = value
                     busy += secs
-                wait += time.perf_counter() - start
+                end = time.perf_counter()
+                wait += end - start
+                if self.recorder.enabled:
+                    self.recorder.record(SPAN_WAIT, start, end, delivered)
                 value = pending.pop(delivered)
                 delivered += 1
                 if isinstance(value, _RemoteFailure):

@@ -5,16 +5,22 @@ A :class:`Trace` is a list of ``(process, phase, start, end)`` events.
 that a single process alternates memory-intensive and compute-intensive
 phases (leaving one resource idle at all times) while two staggered
 processes overlap them.
+
+This module is also the one Gantt renderer in the repo: ``repro trace
+summarize`` (``repro.obs.export``) feeds measured serving spans through
+the same :class:`TraceEvent`/:func:`render_ascii` path by passing
+``phases=None`` (accept any span name), explicit ``glyphs`` and row
+``labels`` — the defaults keep the paper-figure behaviour byte-for-byte.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Mapping
 
 __all__ = ["TraceEvent", "Trace", "render_ascii"]
 
-#: canonical phase names
+#: canonical phase names (the paper figure's vocabulary)
 PHASES = ("sample", "memory", "compute", "sync")
 
 
@@ -24,10 +30,15 @@ class TraceEvent:
     phase: str
     start: float
     end: float
+    #: allowed phase names; ``None`` accepts any (measured traces carry
+    #: their own vocabulary).  Not part of identity/repr.
+    phases: tuple[str, ...] | None = field(default=PHASES, repr=False, compare=False)
 
     def __post_init__(self):
-        if self.phase not in PHASES:
-            raise ValueError(f"unknown phase {self.phase!r}; expected one of {PHASES}")
+        if self.phases is not None and self.phase not in self.phases:
+            raise ValueError(
+                f"unknown phase {self.phase!r}; expected one of {self.phases}"
+            )
         if self.end < self.start:
             raise ValueError(f"event ends ({self.end}) before it starts ({self.start})")
 
@@ -39,10 +50,12 @@ class TraceEvent:
 @dataclass
 class Trace:
     events: list[TraceEvent] = field(default_factory=list)
+    #: phase vocabulary enforced on :meth:`add`; ``None`` accepts any
+    phases: tuple[str, ...] | None = PHASES
 
     def add(self, process: int, phase: str, start: float, duration: float) -> float:
         """Append an event; returns its end time."""
-        ev = TraceEvent(process, phase, start, start + duration)
+        ev = TraceEvent(process, phase, start, start + duration, self.phases)
         self.events.append(ev)
         return ev.end
 
@@ -81,13 +94,45 @@ class Trace:
 
 
 _GLYPH = {"sample": "s", "memory": "M", "compute": "#", "sync": "|"}
+_LEGEND = "  legend: s=sampling  M=memory-bound  #=compute-bound  |=sync"
+
+#: fallback glyph pool for phases without an explicit mapping
+_FALLBACK_GLYPHS = "abcdefghijklmnopqrstuvwxyz0123456789"
 
 
-def render_ascii(trace: Trace, width: int = 78) -> str:
-    """Gantt rendering: one row per process, columns are time buckets."""
+def _glyph_map(trace: Trace, glyphs: Mapping[str, str] | None) -> dict[str, str]:
+    mapping = dict(_GLYPH if glyphs is None else glyphs)
+    used = set(mapping.values())
+    for phase in sorted({e.phase for e in trace.events}):
+        if phase in mapping:
+            continue
+        # prefer the phase's own first character, then the pool
+        for candidate in (phase[:1] or "?") + _FALLBACK_GLYPHS:
+            if candidate not in used:
+                break
+        mapping[phase] = candidate
+        used.add(candidate)
+    return mapping
+
+
+def render_ascii(
+    trace: Trace,
+    width: int = 78,
+    *,
+    glyphs: Mapping[str, str] | None = None,
+    labels: Mapping[int, str] | None = None,
+) -> str:
+    """Gantt rendering: one row per process, columns are time buckets.
+
+    ``glyphs`` maps phase name -> single display character (unmapped
+    phases get deterministic fallbacks); ``labels`` maps process id ->
+    row label.  With both omitted and only canonical phases present the
+    output matches the original paper-figure rendering exactly.
+    """
     span = trace.makespan
     if span <= 0:
         return "(empty trace)"
+    mapping = _glyph_map(trace, glyphs)
     procs = sorted({e.process for e in trace.events})
     lines = []
     for p in procs:
@@ -96,7 +141,12 @@ def render_ascii(trace: Trace, width: int = 78) -> str:
             lo = int(e.start / span * (width - 1))
             hi = max(lo, int(e.end / span * (width - 1)))
             for i in range(lo, hi + 1):
-                row[i] = _GLYPH[e.phase]
-        lines.append(f"P{p} |" + "".join(row))
-    legend = "  legend: s=sampling  M=memory-bound  #=compute-bound  |=sync"
+                row[i] = mapping[e.phase]
+        label = f"P{p}" if labels is None else labels.get(p, f"P{p}")
+        lines.append(f"{label} |" + "".join(row))
+    if glyphs is None and all(e.phase in _GLYPH for e in trace.events):
+        legend = _LEGEND
+    else:
+        pairs = "  ".join(f"{mapping[ph]}={ph}" for ph in sorted(mapping) if any(e.phase == ph for e in trace.events))
+        legend = f"  legend: {pairs}"
     return "\n".join(lines) + "\n" + legend

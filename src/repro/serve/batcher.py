@@ -60,9 +60,15 @@ class MicroBatcher:
     at most ``max_batch`` requests in arrival order.  ``max_wait_ms=0``
     degenerates to flush-on-first-poll (every request is its own
     deadline), ``max_batch=1`` to no coalescing at all.
+
+    Pass ``metrics`` (a :class:`~repro.obs.metrics.MetricRegistry`) to
+    mirror the :class:`BatchStats` counters into ``serve.batcher.*``
+    instruments plus a ``serve.batcher.batch_size`` histogram — the
+    instruments are created up front so the per-flush path only
+    increments.
     """
 
-    def __init__(self, max_batch: int, max_wait_ms: float):
+    def __init__(self, max_batch: int, max_wait_ms: float, *, metrics=None):
         if int(max_batch) < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if float(max_wait_ms) < 0:
@@ -71,6 +77,20 @@ class MicroBatcher:
         self.max_wait = float(max_wait_ms) / 1e3  # seconds, like the clocks
         self.stats = BatchStats()
         self._pending: deque[Request] = deque()
+        if metrics is not None:
+            self._m_flush = {
+                cause: metrics.counter(f"serve.batcher.{cause}_flushes")
+                for cause in ("full", "deadline", "drain")
+            }
+            self._m_shed = metrics.counter("serve.batcher.shed")
+            # batch sizes live in [1, max_batch]: positive-exponent buckets
+            self._m_size = metrics.histogram(
+                "serve.batcher.batch_size", lo_exp=0, hi_exp=12
+            )
+        else:
+            self._m_flush = None
+            self._m_shed = None
+            self._m_size = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -91,6 +111,8 @@ class MicroBatcher:
         if not self._pending:
             raise ValueError("shed_oldest() on an empty batcher")
         self.stats.shed += 1
+        if self._m_shed is not None:
+            self._m_shed.inc()
         return self._pending.popleft()
 
     def next_deadline(self) -> float | None:
@@ -125,9 +147,15 @@ class MicroBatcher:
         self.stats.requests += len(batch)
         self.stats.batches += 1
         if full:
+            cause = "full"
             self.stats.full_flushes += 1
         elif now >= batch[0].arrival + self.max_wait:
+            cause = "deadline"
             self.stats.deadline_flushes += 1
         else:
+            cause = "drain"
             self.stats.drain_flushes += 1
+        if self._m_flush is not None:
+            self._m_flush[cause].inc()
+            self._m_size.observe(float(len(batch)))
         return batch

@@ -45,6 +45,16 @@ from repro.autograd.tensor import Tensor, inference_mode
 from repro.exec.pool import WorkerPool
 from repro.graph.delta import DeltaFragment, GraphDelta, LayeredCSR, reverse_reachable
 from repro.graph.shm import SharedGraphStore
+from repro.obs.metrics import MetricRegistry
+from repro.obs.trace import (
+    NULL_RECORDER,
+    SPAN_CACHE,
+    SPAN_FORWARD,
+    SPAN_PREDICT,
+    SPAN_SAMPLE,
+    NameTable,
+    TraceArena,
+)
 from repro.sampling.batch import estimate_request_costs
 from repro.serve.cache import EmbeddingCache
 from repro.serve.frontier import SHARD_POLICIES, empty_predictions, predict_frontier
@@ -72,7 +82,15 @@ class DeltaReceipt:
 
 
 def predict_nodes(
-    model, graph, features: Tensor, sampler, node_ids, *, seed: int, phases=None
+    model,
+    graph,
+    features: Tensor,
+    sampler,
+    node_ids,
+    *,
+    seed: int,
+    phases=None,
+    recorder=NULL_RECORDER,
 ) -> np.ndarray:
     """Deterministic per-node predictions; the one serving forward path.
 
@@ -107,9 +125,14 @@ def predict_nodes(
                 mid = time.perf_counter()
                 x = gather_rows(features, batch.input_ids)
                 rows.append(model(batch.blocks, x).data[0].copy())
-                if phases is not None:
-                    phases.sample_s += mid - start
-                    phases.forward_s += time.perf_counter() - mid
+                if phases is not None or recorder.enabled:
+                    end = time.perf_counter()
+                    if phases is not None:
+                        phases.sample_s += mid - start
+                        phases.forward_s += end - mid
+                    if recorder.enabled:
+                        recorder.record(SPAN_SAMPLE, start, mid, int(node))
+                        recorder.record(SPAN_FORWARD, mid, end, int(node))
     finally:
         model.train(was_training)
     return np.stack(rows)
@@ -171,6 +194,15 @@ class InferenceEngine:
         ``"scoped"`` (default) evicts only the delta's reverse-reachable
         set on :meth:`apply_delta`; ``"flush"`` drops the whole cache —
         the baseline the streaming benchmark compares against.
+    tracing, trace_capacity:
+        ``tracing=True`` allocates a shared-memory
+        :class:`~repro.obs.trace.TraceArena` (one ``trace_capacity``-slot
+        ring per pool rank plus one for the engine thread) and spans are
+        recorded along the whole request path — sample/merge/forward/
+        cache/steal/barrier — exportable as Chrome trace JSON
+        (``serve-bench --trace``).  Off by default: the hot path holds a
+        no-op recorder and takes no extra timestamps.  Purely
+        observational; predictions are bit-identical either way.
 
     The pool-mode engine owns shared-memory segments (graph store,
     result arena, the pool's channels when the pool is owned): call
@@ -201,6 +233,8 @@ class InferenceEngine:
         arena_slot_bytes: int = 1 << 20,
         staleness_budget: int = 0,
         delta_invalidation: str = "scoped",
+        tracing: bool = False,
+        trace_capacity: int = 1 << 14,
     ):
         if mode not in self.MODES:
             raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
@@ -243,12 +277,18 @@ class InferenceEngine:
         #: rides each InferPlan as a defensive guard and tags the workers'
         #: synced topology
         self.graph_generation = 0
+        #: the unified metrics sink: phase histograms, batcher flush
+        #: counters, transport counters — everything this engine's
+        #: serving path accounts for, exportable as one versioned
+        #: document (``repro.obs.export.metrics_document``)
+        self.metrics = MetricRegistry()
         #: cumulative per-phase service-time breakdown
         #: (sample/merge/forward/cache).  In pool mode the sample/merge/
         #: forward counters sum across concurrent ranks, i.e. aggregate
         #: CPU seconds rather than wall clock — phase *shares* remain
-        #: meaningful either way.
-        self.phases = PhaseStats()
+        #: meaningful either way.  Histogram-backed: the same counters
+        #: surface exact p50/p95/p99 through :attr:`metrics`.
+        self.phases = PhaseStats(registry=self.metrics)
         #: per-rank wall-clock busy time + steal counts (pool mode; the
         #: inline engine books everything on rank 0) — the imbalance
         #: signal the workload driver snapshots into ServingReport
@@ -280,12 +320,35 @@ class InferenceEngine:
             self._owns_pool = pool is None
             slot_bytes = check_positive_int(arena_slot_bytes, "arena_slot_bytes")
             self._arena = BatchArena.create(num_slots=self.n, slot_bytes=max(16, slot_bytes))
+        #: span tracing (off by default: a shared no-op recorder and no
+        #: timing beyond what the phase counters already take).  When on,
+        #: pool mode allocates one ring per worker rank plus one for the
+        #: engine thread; inline mode shares a single ring.  Purely
+        #: observational — the parity tests assert traced predictions
+        #: are bit-identical to untraced ones.
+        self.tracing = bool(tracing)
+        self.trace_names = NameTable()
+        self.trace_arena: TraceArena | None = None
+        self.recorder = NULL_RECORDER
+        self._trace_worker_ranks = self.n if mode == "pool" else 0
+        if self.tracing:
+            self.trace_arena = TraceArena.for_ranks(
+                self._trace_worker_ranks + 1,
+                capacity=check_positive_int(trace_capacity, "trace_capacity"),
+            )
+            self.recorder = self.trace_arena.recorder(self._trace_worker_ranks)
 
     # ------------------------------------------------------------------
     @property
     def pool(self) -> WorkerPool | None:
         """The live worker pool, if any (diagnostics/tests)."""
         return self._pool
+
+    def trace_rank_labels(self) -> dict[int, str]:
+        """Ring index -> display label for trace export."""
+        labels = {rank: f"rank {rank}" for rank in range(self._trace_worker_ranks)}
+        labels[self._trace_worker_ranks] = "engine"
+        return labels
 
     def _ensure_pool(self) -> None:
         if self._store is None or self._store.closed:
@@ -329,6 +392,7 @@ class InferenceEngine:
         if node_ids.size == 0:
             return np.zeros((0, self.snapshot.out_dim), dtype=np.float32)
         self.requests += len(node_ids)
+        recorder = self.recorder
         start = time.perf_counter()
         rows: dict[int, np.ndarray] = {}
         missing: list[int] = []
@@ -343,15 +407,24 @@ class InferenceEngine:
                 missing.append(node)
             else:
                 rows[node] = row
-        self.phases.cache_s += time.perf_counter() - start
+        end = time.perf_counter()
+        self.phases.cache_s += end - start
+        if recorder.enabled:
+            recorder.record(SPAN_CACHE, start, end, len(node_ids))
         if missing:
             preds = self._compute(np.asarray(missing, dtype=np.int64))
-            start = time.perf_counter()
+            mid = time.perf_counter()
             for node, row in zip(missing, preds):
                 self.cache.put(node, row)
                 rows[node] = row
-            self.phases.cache_s += time.perf_counter() - start
-        return np.stack([rows[int(node)] for node in node_ids])
+            end = time.perf_counter()
+            self.phases.cache_s += end - mid
+            if recorder.enabled:
+                recorder.record(SPAN_CACHE, mid, end, len(missing))
+        result = np.stack([rows[int(node)] for node in node_ids])
+        if recorder.enabled:
+            recorder.record(SPAN_PREDICT, start, time.perf_counter(), len(node_ids))
+        return result
 
     def _compute(self, miss_ids: np.ndarray) -> np.ndarray:
         if self.mode == "inline":
@@ -366,6 +439,7 @@ class InferenceEngine:
                 miss_ids,
                 seed=self.seed,
                 phases=self.phases,
+                recorder=self.recorder,
             )
             self.rank_stats.add_batch([time.process_time() - start], [0])
             return preds
@@ -390,6 +464,8 @@ class InferenceEngine:
             shard_policy=self.shard_policy,
             costs=costs,
             rank_stats=self.rank_stats,
+            trace_spec=self.trace_arena.spec if self.trace_arena is not None else None,
+            recorder=self.recorder,
         )
 
     # ------------------------------------------------------------------
@@ -507,6 +583,10 @@ class InferenceEngine:
         if self._arena is not None:
             self._arena.unlink()
             self._arena = None
+        if self.trace_arena is not None:
+            self.recorder = NULL_RECORDER
+            self.trace_arena.unlink()
+            self.trace_arena = None
         if self._owns_store and self._store is not None and not self._store.closed:
             self._store.unlink()
         self._store = None

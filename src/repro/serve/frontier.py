@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.autograd.ops import gather_rows
 from repro.autograd.tensor import Tensor, inference_mode
+from repro.obs.trace import NULL_RECORDER, SPAN_FORWARD, SPAN_MERGE, SPAN_SAMPLE
 from repro.sampling.batch import MergedFrontier, merge_frontiers, validate_merged
 from repro.utils.rng import derive_rng
 
@@ -201,7 +202,15 @@ def empty_predictions(model) -> np.ndarray:
 
 
 def predict_frontier(
-    model, graph, features: Tensor, sampler, node_ids, *, seed: int, phases=None
+    model,
+    graph,
+    features: Tensor,
+    sampler,
+    node_ids,
+    *,
+    seed: int,
+    phases=None,
+    recorder=NULL_RECORDER,
 ) -> np.ndarray:
     """Frontier-batched counterpart of :func:`~repro.serve.engine.predict_nodes`.
 
@@ -211,7 +220,10 @@ def predict_frontier(
     union.  Bit-identical to per-node inference (see the module
     docstring); returns one row per node.  ``phases`` (a
     :class:`~repro.utils.phases.PhaseStats`) receives the
-    sample/merge/forward time split.
+    sample/merge/forward time split; an enabled ``recorder`` gets
+    sample/merge/forward spans (the sample/merge boundary inside the
+    fused pass is reconstructed from the phase counters' delta, since
+    the pass measures its own split internally).
     """
     node_ids = np.asarray(node_ids, dtype=np.int64)
     if node_ids.size == 0:
@@ -220,7 +232,10 @@ def predict_frontier(
     model.eval()
     try:
         with inference_mode():
+            if recorder.enabled and phases is not None:
+                sample_before = phases.sample_s
             rngs = [derive_rng(seed, "serve", int(node)) for node in node_ids]
+            t0 = time.perf_counter() if recorder.enabled else 0.0
             merged = sampler.sample_merged(
                 graph,
                 [node_ids[i : i + 1] for i in range(len(node_ids))],
@@ -230,8 +245,18 @@ def predict_frontier(
             start = time.perf_counter()
             x = gather_rows(features, merged.input_ids)
             out = model(merged.blocks, x)
-            if phases is not None:
-                phases.forward_s += time.perf_counter() - start
+            if phases is not None or recorder.enabled:
+                end = time.perf_counter()
+                if phases is not None:
+                    phases.forward_s += end - start
+                if recorder.enabled:
+                    if phases is not None:
+                        split = min(start, t0 + (phases.sample_s - sample_before))
+                        recorder.record(SPAN_SAMPLE, t0, split, len(node_ids))
+                        recorder.record(SPAN_MERGE, split, start, len(node_ids))
+                    else:
+                        recorder.record(SPAN_SAMPLE, t0, start, len(node_ids))
+                    recorder.record(SPAN_FORWARD, start, end, len(node_ids))
     finally:
         model.train(was_training)
     return np.array(out.data, copy=True)

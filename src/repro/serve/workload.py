@@ -57,6 +57,7 @@ from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
 __all__ = [
+    "SERVING_REPORT_SCHEMA_VERSION",
     "ServingReport",
     "zipf_nodes",
     "hot_key_nodes",
@@ -254,6 +255,12 @@ def make_update_stream(
     return stream
 
 
+#: version stamp for :meth:`ServingReport.as_dict` / ``--report-json``
+#: documents.  Bump when a key is renamed, removed, or changes meaning;
+#: adding new keys is backward compatible and does not bump it.
+SERVING_REPORT_SCHEMA_VERSION = 1
+
+
 @dataclass
 class ServingReport:
     """One workload run's outcome: throughput, tail latency, cache/arena.
@@ -370,6 +377,7 @@ class ServingReport:
         target (both overall and freshness-weighted).
         """
         doc = {
+            "schema_version": SERVING_REPORT_SCHEMA_VERSION,
             "mode": self.mode,
             "requests": self.requests,
             "served": self.served,
@@ -529,7 +537,9 @@ def run_serving_workload(
         arrivals = deque(zip(times, range(num_requests)))
         next_issue = num_requests
 
-    batcher = MicroBatcher(max_batch, max_wait_ms)
+    batcher = MicroBatcher(
+        max_batch, max_wait_ms, metrics=getattr(engine, "metrics", None)
+    )
     # engine phase counters are cumulative across runs; report the delta
     engine_phases = getattr(engine, "phases", None)
     phases_before = engine_phases.snapshot() if engine_phases is not None else None

@@ -20,35 +20,104 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["PhaseStats", "RankStats"]
+from repro.obs.metrics import Histogram
+
+__all__ = ["PHASE_NAMES", "PhaseStats", "RankStats"]
+
+#: the serving phases, in snapshot-tuple order
+PHASE_NAMES = ("sample", "merge", "forward", "cache")
 
 
-@dataclass
 class PhaseStats:
-    """Cumulative seconds spent per serving phase.
+    """Cumulative seconds spent per serving phase, histogram-backed.
+
+    The mutation surface is unchanged from the original scalar fields —
+    ``phases.sample_s += dt`` everywhere — but each ``+=`` now also
+    lands the increment in a per-phase log2
+    :class:`~repro.obs.metrics.Histogram`, so the same counters that
+    feed :class:`~repro.serve.workload.ServingReport` totals expose
+    exact bucket-derived p50/p95/p99 through the metrics registry.  The
+    running totals use the identical float-add order the scalars did
+    (the setter stores the caller-computed total verbatim), keeping
+    every downstream number bitwise unchanged.
 
     In pool mode the sample/merge/forward counters are summed across
     rank workers that run concurrently, so they measure aggregate CPU
     time, not wall time — per-phase *shares* remain meaningful either
     way.
+
+    Pass ``registry`` to register the four histograms in a
+    :class:`~repro.obs.metrics.MetricRegistry` under
+    ``<prefix>.<phase>_s`` (the engine does this); standalone instances
+    (pool workers) own private histograms and ship them home with
+    :meth:`hists_snapshot`.
     """
 
-    sample_s: float = 0.0
-    merge_s: float = 0.0
-    forward_s: float = 0.0
-    cache_s: float = 0.0
+    __slots__ = ("_hists",)
+
+    def __init__(self, *, registry=None, prefix: str = "serve.phase"):
+        if registry is not None:
+            self._hists = {
+                name: registry.histogram(f"{prefix}.{name}_s") for name in PHASE_NAMES
+            }
+        else:
+            self._hists = {name: Histogram() for name in PHASE_NAMES}
+
+    # -- scalar facade (the historical mutation API) -------------------
+    def _get(self, name: str) -> float:
+        return self._hists[name].sum
+
+    def _set(self, name: str, value: float) -> None:
+        hist = self._hists[name]
+        # callers write `phases.x_s += dt`: `value` is the new running
+        # total they computed; the delta is what lands in the buckets
+        hist.observe(value - hist.sum, total=value)
+
+    sample_s = property(
+        lambda self: self._get("sample"), lambda self, v: self._set("sample", v)
+    )
+    merge_s = property(
+        lambda self: self._get("merge"), lambda self, v: self._set("merge", v)
+    )
+    forward_s = property(
+        lambda self: self._get("forward"), lambda self, v: self._set("forward", v)
+    )
+    cache_s = property(
+        lambda self: self._get("cache"), lambda self, v: self._set("cache", v)
+    )
+
+    def histogram(self, name: str) -> Histogram:
+        """The backing histogram for one of :data:`PHASE_NAMES`."""
+        return self._hists[name]
 
     def snapshot(self) -> tuple[float, float, float, float]:
         return (self.sample_s, self.merge_s, self.forward_s, self.cache_s)
 
     def add(self, other: "PhaseStats | tuple") -> None:
-        """Fold another record (or a ``snapshot()`` tuple) into this one."""
+        """Fold another record (or a ``snapshot()`` tuple) into this one.
+
+        Folding a full :class:`PhaseStats` (or :meth:`hists_snapshot`
+        via :meth:`add_hists`) merges the distributions too; the tuple
+        path only advances the totals (one synthetic sample per phase),
+        exactly like the scalar implementation it replaced.
+        """
         if isinstance(other, PhaseStats):
-            other = other.snapshot()
-        self.sample_s += other[0]
-        self.merge_s += other[1]
-        self.forward_s += other[2]
-        self.cache_s += other[3]
+            for name in PHASE_NAMES:
+                self._hists[name].merge(other._hists[name])
+            return
+        for name, value in zip(PHASE_NAMES, other):
+            hist = self._hists[name]
+            hist.observe(value, total=hist.sum + value)
+
+    # -- cross-process folding -----------------------------------------
+    def hists_snapshot(self) -> dict:
+        """Picklable per-phase histogram snapshots (worker -> parent)."""
+        return {name: self._hists[name].snapshot() for name in PHASE_NAMES}
+
+    def add_hists(self, snaps: dict) -> None:
+        """Fold a worker's :meth:`hists_snapshot` in, buckets included."""
+        for name in PHASE_NAMES:
+            self._hists[name].merge(snaps[name])
 
 
 @dataclass

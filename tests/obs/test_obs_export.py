@@ -1,0 +1,117 @@
+"""Export contract: Chrome trace-event JSON, metrics docs, summarize."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    chrome_trace_document,
+    metrics_document,
+    summarize_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import METRICS_SCHEMA_VERSION, MetricRegistry
+from repro.obs.trace import NameTable, SPAN_FORWARD, SPAN_PREDICT, SPAN_SAMPLE, SpanRecord
+
+
+def _records():
+    # rank 0: a predict span [10.0, 10.010] containing sample + forward;
+    # rank 1: one standalone forward
+    return [
+        SpanRecord(0, SPAN_PREDICT, 10.0, 10.010, 4),
+        SpanRecord(0, SPAN_SAMPLE, 10.001, 10.004, 4),
+        SpanRecord(0, SPAN_FORWARD, 10.004, 10.009, 4),
+        SpanRecord(1, SPAN_FORWARD, 10.002, 10.006, 2),
+    ]
+
+
+class TestChromeTraceDocument:
+    def test_events_rebased_to_microseconds(self):
+        doc = chrome_trace_document(_records(), NameTable())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 4
+        first = spans[0]
+        assert first["name"] == "predict"
+        assert first["ts"] == pytest.approx(0.0)  # rebased to earliest t0
+        assert first["dur"] == pytest.approx(10_000.0, rel=1e-6)  # 10 ms in us
+        assert first["pid"] == 0 and first["tid"] == 0
+        assert first["args"]["arg"] == 4
+
+    def test_thread_name_metadata_per_rank(self):
+        doc = chrome_trace_document(
+            _records(), NameTable(), rank_labels={0: "rank 0", 1: "engine"}
+        )
+        meta = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert meta == {0: "rank 0", 1: "engine"}
+
+    def test_other_data_carries_schema_and_drops(self):
+        doc = chrome_trace_document(_records(), NameTable(), dropped=[3, 0])
+        other = doc["otherData"]
+        assert other["schema_version"] == TRACE_SCHEMA_VERSION
+        assert other["span_count"] == 4
+        assert other["dropped_spans"] == [3, 0]
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), chrome_trace_document(_records(), NameTable()))
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len([e for e in loaded["traceEvents"] if e["ph"] == "X"]) == 4
+
+
+class TestMetricsDocument:
+    def test_extra_sections_appended(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc()
+        doc = metrics_document(reg, extra={"transport": {"hits": 1}})
+        assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+        assert doc["transport"] == {"hits": 1}
+
+    def test_extra_cannot_clobber_schema(self):
+        with pytest.raises(ValueError):
+            metrics_document(MetricRegistry(), extra={"metrics": {}})
+
+    def test_write_metrics_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        reg = MetricRegistry()
+        reg.histogram("h").observe(1.0)
+        write_metrics_json(str(path), reg, extra={"report": {"requests": 3}})
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"]["h"]["count"] == 1
+        assert loaded["report"]["requests"] == 3
+
+
+class TestSummarizeTrace:
+    def test_empty_trace(self):
+        assert summarize_trace({"traceEvents": []}) == "(empty trace)"
+
+    def test_sections_present(self):
+        doc = chrome_trace_document(
+            _records(), NameTable(), rank_labels={0: "rank 0", 1: "engine"}
+        )
+        text = summarize_trace(doc)
+        assert text.startswith("trace: 4 spans on 2 tracks")
+        assert "self_ms" in text
+        assert "per-track utilisation" in text
+        assert "rank 0" in text and "engine" in text
+        assert "legend" in text.splitlines()[-1]
+
+    def test_self_time_subtracts_nested_children(self):
+        doc = chrome_trace_document(_records(), NameTable())
+        text = summarize_trace(doc, top=5)
+        row = next(line for line in text.splitlines() if line.startswith("predict"))
+        cols = row.split()
+        # predict total 10ms; sample (3ms) + forward (5ms) nest inside
+        # on the same track, leaving 2ms of self time
+        assert float(cols[2]) == pytest.approx(10.0, abs=1e-3)
+        assert float(cols[3]) == pytest.approx(2.0, abs=1e-3)
+
+    def test_dropped_spans_surface_in_header(self):
+        doc = chrome_trace_document(_records(), NameTable(), dropped=[5])
+        assert "dropped 5" in summarize_trace(doc).splitlines()[0]

@@ -1,0 +1,162 @@
+"""Unit contract of the dependency-free metrics registry."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter(), Counter()
+        a.inc(3)
+        b.inc(2)
+        a.merge(b.snapshot())
+        assert a.value == 5
+
+
+class TestGauge:
+    def test_set_and_merge_last_write_wins(self):
+        g = Gauge()
+        g.set(1.5)
+        other = Gauge()
+        other.set(7.0)
+        g.merge(other.snapshot())
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_observe_tracks_count_sum_min_max(self):
+        h = Histogram()
+        for v in (0.5, 2.0, 8.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(10.5)
+        assert h.min == 0.5 and h.max == 8.0
+
+    def test_bucket_placement_is_log2(self):
+        h = Histogram(lo_exp=0, hi_exp=4)
+        # value in [2^e, 2^(e+1)) lands in bucket e - lo_exp + 1
+        h.observe(1.0)
+        h.observe(3.0)
+        h.observe(8.0)
+        assert h.counts[1] == 1  # [1, 2)
+        assert h.counts[2] == 1  # [2, 4)
+        assert h.counts[4] == 1  # [8, 16) = top regular bucket
+        # underflow and overflow edges
+        h.observe(0.25)
+        h.observe(64.0)
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        h = Histogram(lo_exp=-4, hi_exp=4)
+        for _ in range(99):
+            h.observe(1.5)  # bucket [1, 2)
+        h.observe(12.0)  # bucket [8, 16)
+        assert h.p50 == 2.0
+        assert h.p95 == 2.0
+        assert h.p99 == 2.0
+        assert h.percentile(100) == 16.0
+
+    def test_percentile_empty_and_overflow(self):
+        h = Histogram(lo_exp=0, hi_exp=2)
+        assert h.p50 == 0.0
+        h.observe(1e9)  # overflow bucket: percentile answers the max
+        assert h.p99 == 1e9
+
+    def test_total_override_preserves_caller_sum(self):
+        # the PhaseStats contract: the running total is stored verbatim
+        h = Histogram()
+        total = 0.0
+        for dt in (0.1, 0.2, 0.3):
+            total += dt
+            h.observe(dt, total=total)
+        assert h.sum == total  # bitwise: same float-add order as caller
+        assert h.count == 3
+
+    def test_merge_folds_buckets_and_extremes(self):
+        a, b = Histogram(lo_exp=0, hi_exp=4), Histogram(lo_exp=0, hi_exp=4)
+        a.observe(1.0)
+        b.observe(8.0)
+        b.observe(0.5)
+        a.merge(b.snapshot())
+        assert a.count == 3
+        assert a.min == 0.5 and a.max == 8.0
+        assert sum(a.counts) == 3
+
+    def test_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(lo_exp=0, hi_exp=4).merge(Histogram(lo_exp=-2, hi_exp=4))
+
+    def test_bucket_bounds_end_with_inf(self):
+        bounds = Histogram(lo_exp=0, hi_exp=2).bucket_bounds()
+        assert bounds[0] == 1.0
+        assert math.isinf(bounds[-1])
+
+    def test_picklable(self):
+        h = Histogram()
+        h.observe(1.0)
+        clone = pickle.loads(pickle.dumps(h))
+        assert clone.count == 1 and clone.sum == 1.0
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_names_sorted_and_contains(self):
+        reg = MetricRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "zzz" not in reg
+
+    def test_snapshot_schema(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc(2)
+        doc = reg.snapshot()
+        assert doc["schema_version"] == METRICS_SCHEMA_VERSION
+        assert doc["metrics"]["c"] == {"type": "counter", "value": 2}
+
+    def test_merge_cross_rank_folding(self):
+        # the pool use-case: fold a worker registry's snapshot into the
+        # engine's, creating unseen instruments on the fly
+        worker = MetricRegistry()
+        worker.counter("reqs").inc(7)
+        worker.histogram("lat", lo_exp=-10, hi_exp=2).observe(0.5)
+        parent = MetricRegistry()
+        parent.counter("reqs").inc(1)
+        parent.merge(worker.snapshot())
+        assert parent.counter("reqs").value == 8
+        assert parent.histogram("lat", lo_exp=-10, hi_exp=2).count == 1
+
+    def test_merge_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().merge({"schema_version": 999, "metrics": {}})

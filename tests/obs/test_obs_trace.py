@@ -1,0 +1,126 @@
+"""TraceArena/SpanRecorder contract: rings, wraps, attach, lifecycle."""
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.obs.trace import (
+    CANONICAL_SPANS,
+    NULL_RECORDER,
+    NameTable,
+    SPAN_FORWARD,
+    SPAN_SAMPLE,
+    TraceArena,
+)
+
+has_dev_shm = os.path.isdir("/dev/shm")
+needs_dev_shm = pytest.mark.skipif(not has_dev_shm, reason="no /dev/shm to inspect")
+
+
+def shm_segments() -> frozenset:
+    return frozenset(n for n in os.listdir("/dev/shm") if n.startswith("psm_"))
+
+
+class TestNameTable:
+    def test_canonical_ids_are_fixed(self):
+        table = NameTable()
+        for i, name in enumerate(CANONICAL_SPANS):
+            assert table.intern(name) == i
+            assert table.name(i) == name
+
+    def test_dynamic_intern_appends(self):
+        table = NameTable()
+        custom = table.intern("my_span")
+        assert custom == len(CANONICAL_SPANS)
+        assert table.intern("my_span") == custom  # idempotent
+        assert table.name(custom) == "my_span"
+
+    def test_unknown_id_renders_placeholder(self):
+        assert NameTable().name(10_000) == "span#10000"
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.record(SPAN_SAMPLE, 0.0, 1.0, 7)  # no-op, no error
+
+
+class TestTraceArena:
+    def test_record_and_drain_round_trip(self):
+        arena = TraceArena.for_ranks(2, capacity=8)
+        try:
+            r0 = arena.recorder(0)
+            r1 = arena.recorder(1)
+            assert r0.enabled is True
+            r1.record(SPAN_FORWARD, 2.0, 3.0, 42)
+            r0.record(SPAN_SAMPLE, 1.0, 1.5, 5)
+            records = arena.drain()
+            assert [(r.rank, r.name_id, r.t0, r.t1, r.arg) for r in records] == [
+                (0, SPAN_SAMPLE, 1.0, 1.5, 5),  # drained in t0 order
+                (1, SPAN_FORWARD, 2.0, 3.0, 42),
+            ]
+            assert arena.dropped() == [0, 0]
+        finally:
+            arena.unlink()
+
+    def test_ring_overwrites_oldest_and_counts_drops(self):
+        arena = TraceArena.for_ranks(1, capacity=4)
+        try:
+            rec = arena.recorder(0)
+            for i in range(10):
+                rec.record(SPAN_SAMPLE, float(i), float(i) + 0.5, i)
+            records = arena.drain()
+            assert len(records) == 4
+            assert [r.arg for r in records] == [6, 7, 8, 9]  # newest survive
+            assert arena.dropped() == [6]
+        finally:
+            arena.unlink()
+
+    def test_recorder_validates_rank_and_lifecycle(self):
+        arena = TraceArena.for_ranks(1, capacity=4)
+        with pytest.raises(ValueError):
+            arena.recorder(1)
+        arena.unlink()
+        with pytest.raises(ValueError):
+            arena.recorder(0)
+
+    def test_for_ranks_validates_shape(self):
+        with pytest.raises(ValueError):
+            TraceArena.for_ranks(0)
+        with pytest.raises(ValueError):
+            TraceArena.for_ranks(1, capacity=0)
+
+    def test_cross_process_attach(self):
+        """A forked worker attaches by spec and its spans land in the
+        parent's drain — the persistent-pool wiring in miniature."""
+        arena = TraceArena.for_ranks(2, capacity=16)
+        try:
+            proc = mp.Process(target=_attached_writer, args=(arena.spec, 1))
+            proc.start()
+            proc.join(30.0)
+            assert proc.exitcode == 0
+            arena.recorder(0).record(SPAN_SAMPLE, 0.5, 0.6, 0)
+            records = arena.drain()
+            assert {r.rank for r in records} == {0, 1}
+            worker = [r for r in records if r.rank == 1]
+            assert [(r.name_id, r.arg) for r in worker] == [(SPAN_FORWARD, 99)]
+        finally:
+            arena.unlink()
+
+    @needs_dev_shm
+    def test_unlink_leaves_no_segments(self):
+        before = shm_segments()
+        arena = TraceArena.for_ranks(2, capacity=8)
+        assert shm_segments() != before  # the rings really live in /dev/shm
+        arena.unlink()
+        assert shm_segments() == before
+        arena.unlink()  # idempotent
+
+
+def _attached_writer(spec: dict, rank: int) -> None:
+    arena = TraceArena.attach(spec)
+    try:
+        arena.recorder(rank).record(SPAN_FORWARD, 1.0, 2.0, 99)
+    finally:
+        arena.close()

@@ -1,0 +1,74 @@
+"""ServingReport JSON schema: versioned, JSON-round-trippable documents."""
+
+import json
+
+import numpy as np
+
+from repro.serve.cache import CacheStats
+from repro.serve.workload import (
+    SERVING_REPORT_SCHEMA_VERSION,
+    ServingReport,
+    run_serving_workload,
+)
+from repro.shm.arena import TransportStats
+
+
+def _report(**overrides) -> ServingReport:
+    base = dict(
+        mode="inline",
+        requests=4,
+        duration_s=0.5,
+        service_s=0.1,
+        throughput_rps=8.0,
+        mean_ms=1.0,
+        p50_ms=1.0,
+        p95_ms=2.0,
+        p99_ms=3.0,
+        mean_batch=2.0,
+        full_flushes=1,
+        deadline_flushes=1,
+        drain_flushes=0,
+        cache=CacheStats(hits=2, misses=2),
+        transport=TransportStats(arena_hits=3, pickle_fallbacks=1),
+        latencies_s=np.array([0.001, 0.002, 0.001, np.nan]),
+        shed_count=1,
+    )
+    base.update(overrides)
+    return ServingReport(**base)
+
+
+class TestReportSchema:
+    def test_as_dict_carries_schema_version(self):
+        doc = _report().as_dict()
+        assert doc["schema_version"] == SERVING_REPORT_SCHEMA_VERSION
+
+    def test_round_trips_through_json(self):
+        doc = _report().as_dict(slo_ms=10.0)
+        clone = json.loads(json.dumps(doc))
+        assert clone == doc
+        assert clone["schema_version"] == SERVING_REPORT_SCHEMA_VERSION
+        assert clone["transport"]["pickle_fallbacks"] == 1
+        assert clone["slo"]["target_ms"] == 10.0
+
+    def test_expected_sections(self):
+        doc = _report().as_dict()
+        assert set(doc) >= {
+            "schema_version", "mode", "requests", "served", "latency_ms",
+            "batching", "phases_ms", "cache", "transport", "balance",
+            "freshness",
+        }
+
+    def test_live_workload_document(self, tiny_dataset, trained_snapshot):
+        """End-to-end: a real run's as_dict is a valid versioned doc."""
+        from repro.serve.engine import InferenceEngine
+
+        with InferenceEngine(
+            trained_snapshot, tiny_dataset, cache_entries=64
+        ) as eng:
+            report = run_serving_workload(
+                eng, num_requests=16, rate_rps=1e6, seed=0
+            )
+        doc = json.loads(json.dumps(report.as_dict(slo_ms=50.0)))
+        assert doc["schema_version"] == SERVING_REPORT_SCHEMA_VERSION
+        assert doc["requests"] == 16
+        assert doc["batching"]["full_flushes"] == report.full_flushes

@@ -13,7 +13,8 @@ Two recordings over the online inference runtime (``repro.serve``):
 ``bench_fig9_serving_autotune``
     The existing :class:`~repro.core.autotuner.OnlineAutoTuner` driving
     a :class:`~repro.tuning.serving.ServingSpace` — ``(workers,
-    max_batch, max_wait_ms, cache_entries, batch_mode, shard_policy)`` —
+    max_batch, max_wait_ms, cache_entries, batch_mode, shard_policy,
+    replicas, route_policy)`` —
     against the real inference engine with the SLO-aware objective.
     Pool-mode trials
     share one persistent :class:`~repro.exec.pool.WorkerPool`: a trial
@@ -117,7 +118,12 @@ def bench_fig9_serving_autotune(benchmark, save_result, serving_setup):
         store = SharedGraphStore.from_dataset(ds)
 
         def objective(cfg):
-            workers, max_batch, max_wait_ms, cache_entries, batch_mode, shard_policy = cfg
+            # replicas/route stay at their (1, round_robin) defaults here —
+            # the horizontal axes are gated by bench_fig14_cluster_scaling
+            (
+                workers, max_batch, max_wait_ms, cache_entries, batch_mode,
+                shard_policy, _replicas, _route_policy,
+            ) = cfg
             engine = InferenceEngine(
                 snapshot, ds, mode="pool", batch_mode=batch_mode,
                 shard_policy=shard_policy,
@@ -150,7 +156,8 @@ def bench_fig9_serving_autotune(benchmark, save_result, serving_setup):
     save_result(
         "fig09_serving_autotune",
         render_table(
-            ["trial", "(workers, batch, wait ms, cache, batch mode, shard)",
+            ["trial", "(workers, batch, wait ms, cache, batch mode, shard, "
+             "replicas, route)",
              "SLO objective"],
             rows,
             title="Fig 9 (serving) — BO autotune over the ServingSpace",

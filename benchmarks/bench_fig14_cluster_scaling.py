@@ -1,0 +1,132 @@
+"""Fig 14 — horizontal serving scale-out: cluster throughput vs replicas.
+
+One recording over the multi-replica serving layer
+(:mod:`repro.serve.cluster`): the same Zipf/Poisson drain workload is
+driven through a :class:`~repro.serve.cluster.ServingCluster` at 1, 2
+and 4 inline replicas.  The node stream and arrival epochs are drawn
+once at the edge, so every replica count serves the *same* traffic; the
+merged report folds the per-replica segments with wall-clock (max)
+duration, which is what makes the throughput column honest — replicas
+overlap on the virtual clock, they don't queue behind each other.
+
+Assertions lock in the cluster's two contracts:
+
+* **parity** — predictions are bit-identical to a single inline engine
+  at every replica count (routing cannot change bits), and
+* **scaling** — under drain load, 2 replicas clear the burst markedly
+  faster than 1, and 4 faster still (conservative floors: the split is
+  compute-bound once caches are disabled).
+
+A second table compares route policies at a fixed replica count with
+caches enabled: cache-affinity routing keeps a hot node on one warm
+replica, so its cluster-wide hit rate must be at least round-robin's
+(which pays up to R cold misses per hot node).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MultiProcessEngine
+from repro.experiments.reporting import render_table
+from repro.gnn.models import make_task
+from repro.graph.datasets import load_dataset
+from repro.serve import InferenceEngine, ModelSnapshot, ServingCluster
+from repro.serve.cluster import ROUTE_POLICIES, run_cluster_workload
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    ds = load_dataset("ogbn-products", seed=0, scale_override=9)
+    sampler, model = make_task("neighbor-sage", ds.layer_dims(2), seed=0, fanouts=[5, 5])
+    trainer = MultiProcessEngine(
+        ds, sampler, model, num_processes=1, global_batch_size=64,
+        backend="inline", seed=0,
+    )
+    trainer.train(1)
+    return ds, ModelSnapshot.from_engine(trainer)
+
+
+def bench_fig14_cluster_scaling(benchmark, save_result, serving_setup):
+    ds, snapshot = serving_setup
+    requests = 192
+
+    def measure(replicas, route_policy, cache_entries):
+        with ServingCluster(
+            snapshot, ds, replicas=replicas, route_policy=route_policy,
+            cache_entries=cache_entries,
+        ) as cluster:
+            result = run_cluster_workload(
+                cluster, num_requests=requests, rate_rps=1e7, zipf_alpha=1.2,
+                max_batch=8, max_wait_ms=2.0, seed=0,
+            )
+        return result
+
+    def run():
+        # scaling sweep: caches off so the split is pure compute
+        sweep = {n: measure(n, "round_robin", 0) for n in (1, 2, 4)}
+        # policy comparison at fixed width: caches on, warmth matters
+        policies = {p: measure(4, p, 2048) for p in ROUTE_POLICIES}
+        return sweep, policies
+
+    sweep, policies = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base = sweep[1].report.throughput_rps
+    rows = [
+        [n, f"{r.report.throughput_rps:.0f}",
+         f"{r.report.throughput_rps / base:.2f}x",
+         f"{r.report.duration_s * 1e3:.1f}", f"{r.report.p99_ms:.2f}",
+         str(np.bincount(r.assignments, minlength=n).tolist())]
+        for n, r in sweep.items()
+    ]
+    save_result(
+        "fig14_cluster_scaling",
+        render_table(
+            ["replicas", "req/s", "speedup", "makespan ms", "p99 ms", "split"],
+            rows,
+            title="Fig 14 — cluster throughput vs replica count (drain load)",
+        ),
+    )
+    rows = [
+        [p, f"{r.report.throughput_rps:.0f}", f"{r.report.cache.hit_rate:.2f}",
+         str(r.report.cache.hits)]
+        for p, r in policies.items()
+    ]
+    save_result(
+        "fig14_route_policies",
+        render_table(
+            ["route policy", "req/s", "cluster hit rate", "hits"],
+            rows,
+            title="Fig 14 — route policies at 4 replicas (caches on)",
+        ),
+    )
+
+    # -- parity: the cluster is bit-identical to one engine, any width --
+    nodes = ds.val_idx[:16]
+    with InferenceEngine(snapshot, ds) as ref:
+        expected = ref.predict(nodes)
+    for n in (1, 2, 4):
+        with ServingCluster(snapshot, ds, replicas=n) as cluster:
+            np.testing.assert_array_equal(cluster.predict(nodes), expected)
+
+    # -- merged-report correctness: wall-clock fold, not a sum ----------
+    for result in sweep.values():
+        segments = list(result.replica_reports.values())
+        assert result.report.requests == requests and result.report.served == requests
+        assert result.report.duration_s == max(s.duration_s for s in segments)
+        assert result.report.throughput_rps == pytest.approx(
+            result.report.served / result.report.duration_s
+        )
+    # round-robin splits the drain burst evenly
+    counts = np.bincount(sweep[4].assignments, minlength=4)
+    assert counts.max() - counts.min() <= 1
+
+    # -- scaling: conservative floors under the compute-bound split ----
+    assert sweep[2].report.throughput_rps >= 1.25 * base
+    assert sweep[4].report.throughput_rps >= 1.5 * base
+    assert sweep[4].report.throughput_rps >= sweep[2].report.throughput_rps
+
+    # -- affinity keeps hot nodes warm: hit rate at least round-robin's
+    assert (
+        policies["cache_affinity"].report.cache.hit_rate
+        >= policies["round_robin"].report.cache.hit_rate
+    )

@@ -42,22 +42,67 @@ class Counter:
         self.value += snap["value"]
 
 
+#: gauge merge policies: how two processes' point-in-time values fold.
+#: Both are commutative and associative, so a merged gauge is the same
+#: regardless of merge order — the registry's determinism contract.
+GAUGE_POLICIES = ("max", "min")
+
+
 class Gauge:
-    """Point-in-time value.  Merges last-write-wins."""
+    """Point-in-time value with an explicit, order-independent merge policy.
 
-    __slots__ = ("value",)
+    A gauge is *not* additive, so cross-rank folding needs a declared
+    policy.  Last-write-wins (the obvious default) is merge-order
+    dependent — folding rank snapshots ``A, B`` vs ``B, A`` would report
+    different values, contradicting the registry's "same result
+    regardless of merge order" contract — so it is deliberately not
+    offered.  ``"max"`` (default: high-water marks like queue depth or
+    generation) and ``"min"`` are both commutative and associative.
 
-    def __init__(self) -> None:
+    An unset gauge (``set`` never called) is neutral under merge: it
+    adopts the other side's value rather than dragging a phantom 0.0
+    into a min/max fold.
+    """
+
+    __slots__ = ("value", "policy", "_set")
+
+    def __init__(self, policy: str = "max") -> None:
+        if policy not in GAUGE_POLICIES:
+            raise ValueError(
+                f"gauge policy must be one of {GAUGE_POLICIES}, got {policy!r}"
+            )
         self.value = 0.0
+        self.policy = policy
+        self._set = False
 
     def set(self, value: float) -> None:
         self.value = value
+        self._set = True
 
     def snapshot(self) -> dict:
-        return {"type": "gauge", "value": self.value}
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "policy": self.policy,
+            "is_set": self._set,
+        }
 
     def merge(self, snap: dict) -> None:
-        self.value = snap["value"]
+        policy = snap.get("policy", self.policy)
+        if policy != self.policy:
+            raise ValueError(
+                f"cannot merge a {policy!r}-policy gauge into a "
+                f"{self.policy!r}-policy one"
+            )
+        if not snap.get("is_set", True):
+            return
+        if not self._set:
+            self.value = snap["value"]
+            self._set = True
+        elif self.policy == "max":
+            self.value = max(self.value, snap["value"])
+        else:
+            self.value = min(self.value, snap["value"])
 
 
 class Histogram:
@@ -211,8 +256,13 @@ class MetricRegistry:
     def counter(self, name: str) -> Counter:
         return self._get(name, "counter")
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, "gauge")
+    def gauge(self, name: str, *, policy: str = "max") -> Gauge:
+        gauge = self._get(name, "gauge", policy=policy)
+        if gauge.policy != policy:
+            raise ValueError(
+                f"gauge {name!r} already registered with policy {gauge.policy!r}"
+            )
+        return gauge
 
     def histogram(
         self,
@@ -249,6 +299,8 @@ class MetricRegistry:
                 metric = self._get(
                     name, kind, lo_exp=snap["lo_exp"], hi_exp=snap["hi_exp"]
                 )
+            elif kind == "gauge":
+                metric = self._get(name, kind, policy=snap.get("policy", "max"))
             else:
                 metric = self._get(name, kind)
             metric.merge(snap)

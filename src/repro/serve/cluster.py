@@ -1,0 +1,759 @@
+"""Multi-replica serving: front-end router, supervised replicas, autoscaling.
+
+One :class:`~repro.serve.engine.InferenceEngine` (plus its persistent
+pool) is a serving *cell*; this module is the horizontal layer that
+makes N of them a deployment.  A :class:`ServingCluster` supervises N
+replica engines behind a front-end :class:`Router`:
+
+* **Routing** is a policy axis (:data:`ROUTE_POLICIES`):
+  ``round_robin`` cycles over ready replicas, ``consistent_hash`` maps
+  node ids onto a :class:`HashRing` (stable under membership churn —
+  adding/removing a replica remaps only the ring arcs it owns), and
+  ``cache_affinity`` probes each replica's
+  :class:`~repro.serve.cache.EmbeddingCache` servability
+  (``node in cache`` touches no counters) to send a node where its row
+  is already warm, with sticky fallback routing and queue-depth spill
+  to the least-loaded replica when the favourite backs up.
+
+* **Replicas are supervised resources** with an explicit
+  launch → wait(ready) → collect → delete lifecycle
+  (:class:`ReplicaHandle`), modeled on a k8s-style scheduler: a
+  SIGKILLed replica is reaped (its shared-memory segments unlinked by
+  the engine teardown) and relaunched without dropping the cluster,
+  while the router simply stops seeing it as ready.
+
+* **Rolling hot-swap** (:meth:`ServingCluster.rolling_reload`) walks
+  the replicas one at a time — drain (the router excludes draining
+  replicas, so admission control at the edge empties it), reload the
+  snapshot through the existing ParamStore channel, optionally probe,
+  return to ready.  ``InferPlan.generation`` guarantees every
+  replica's ``pool.launches`` stays flat across the swap, asserted
+  cluster-wide by the test battery and the CI smoke.
+
+* **Autoscaling** (:meth:`ServingCluster.autoscale`) is driven by the
+  workload driver's own signals — shed counts, peak queue depth, SLO
+  attainment, utilisation — and deterministic: same report, same
+  decision.
+
+Determinism contract: a prediction is a pure function of
+``(weights, seed, node)`` — every replica runs the same snapshot and
+serve seed, so *where* a request lands cannot change its bits.  The
+cluster is therefore bit-identical to a single inline engine for any
+replica count and routing policy (locked in by the parity sweep in
+``tests/serve/test_serving_cluster.py``).
+
+:func:`run_cluster_workload` drives a whole cluster through the same
+virtual-clock workload as the single-engine driver: the Zipf node
+stream and Poisson arrival epochs are drawn *once at the edge* (same
+RNG draw order as :func:`~repro.serve.workload.run_serving_workload`),
+routed into per-replica sub-streams that keep their original arrival
+epochs, run per replica, and folded back with
+:func:`~repro.serve.workload.merge_replica_reports` — wall-clock (max)
+duration, summed cache/transport, concatenated rank columns.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import MetricRegistry
+from repro.serve.engine import InferenceEngine
+from repro.serve.snapshot import ModelSnapshot
+from repro.serve.workload import (
+    ServingReport,
+    make_refusal_report,
+    merge_replica_reports,
+    poisson_arrivals,
+    zipf_nodes,
+)
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "ROUTE_POLICIES",
+    "REPLICA_STATES",
+    "HashRing",
+    "Router",
+    "ReplicaHandle",
+    "AutoscaleDecision",
+    "ClusterRunResult",
+    "ServingCluster",
+    "run_cluster_workload",
+]
+
+#: front-end routing policies (mirrored by ``ServingSpace.ROUTE_POLICIES``)
+ROUTE_POLICIES = ("round_robin", "consistent_hash", "cache_affinity")
+
+#: replica lifecycle states (launch → wait → collect → delete)
+REPLICA_STATES = ("stopped", "starting", "ready", "draining", "failed")
+
+
+def _stable_hash(key) -> int:
+    """64-bit keyed-nowhere blake2b of ``str(key)`` — process-stable.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED),
+    which would make ring placement differ between runs and across the
+    router/test boundary; blake2b gives the same point for the same key
+    everywhere, forever.
+    """
+    digest = hashlib.blake2b(str(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing over replica ids with virtual nodes.
+
+    Each member owns ``points_per_member`` pseudo-random points on a
+    64-bit ring; a key routes to the owner of the first point at or
+    after its own hash (wrapping).  Membership changes remap only the
+    arcs the changed member owned — the property that keeps a warm
+    replica cache useful across an autoscale step — and placement is
+    process-stable (:func:`_stable_hash`, not the salted builtin).
+    """
+
+    def __init__(self, members=(), *, points_per_member: int = 64):
+        check_positive_int(points_per_member, "points_per_member")
+        self.points_per_member = points_per_member
+        self._hashes: list[int] = []  # sorted ring positions
+        self._owners: list = []  # member owning _hashes[i]
+        self._members: set = set()
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member) -> bool:
+        return member in self._members
+
+    def members(self) -> list:
+        return sorted(self._members)
+
+    def _points(self, member) -> list[int]:
+        return [
+            _stable_hash(f"{member}#{v}") for v in range(self.points_per_member)
+        ]
+
+    def add(self, member) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for h in self._points(member):
+            i = bisect.bisect_left(self._hashes, h)
+            self._hashes.insert(i, h)
+            self._owners.insert(i, member)
+
+    def remove(self, member) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        keep = [(h, m) for h, m in zip(self._hashes, self._owners) if m != member]
+        self._hashes = [h for h, _ in keep]
+        self._owners = [m for _, m in keep]
+
+    def lookup(self, key):
+        """The member owning ``key``'s arc; raises when the ring is empty."""
+        if not self._hashes:
+            raise ValueError("cannot look up on an empty hash ring")
+        i = bisect.bisect_right(self._hashes, _stable_hash(key))
+        if i == len(self._hashes):
+            i = 0  # wrap past the highest point
+        return self._owners[i]
+
+
+class Router:
+    """Front-end request router over the cluster's ready replicas.
+
+    Stateless per request except for the policy's own memory: the
+    round-robin cursor, the consistent-hash ring (rebuilt only when the
+    ready membership actually changes), and cache-affinity's sticky
+    ``node -> replica`` map.  ``route_many`` is the admission edge: it
+    self-accounts per-replica queue depth over the burst it is routing,
+    and under ``cache_affinity`` spills a request to the least-loaded
+    ready replica when its favourite is more than ``spill_threshold``
+    requests deeper than the shallowest queue (``reroutes`` counts the
+    spills).  Deterministic throughout: same nodes, same replica
+    states, same assignment.
+    """
+
+    POLICIES = ROUTE_POLICIES
+
+    def __init__(self, policy: str = "round_robin", *, spill_threshold: int | None = 16):
+        if policy not in ROUTE_POLICIES:
+            raise ValueError(
+                f"route_policy must be one of {ROUTE_POLICIES}, got {policy!r}"
+            )
+        if spill_threshold is not None:
+            check_positive_int(spill_threshold, "spill_threshold")
+        self.policy = policy
+        self.spill_threshold = spill_threshold
+        self.reroutes = 0
+        self._rr_next = 0
+        self._sticky: dict[int, int] = {}
+        self._ring: HashRing | None = None
+        self._ring_members: tuple = ()
+
+    def _ring_for(self, members: list[int]) -> HashRing:
+        key = tuple(members)
+        if key != self._ring_members:
+            self._ring = HashRing(members)
+            self._ring_members = key
+        return self._ring
+
+    def route_many(self, node_seq, handles) -> np.ndarray:
+        """Assign each node in ``node_seq`` to a ready replica index."""
+        ready = [h for h in handles if h.state == "ready"]
+        if not ready:
+            raise RuntimeError("router has no ready replicas to route to")
+        members = [h.index for h in ready]
+        by_index = {h.index: h for h in ready}
+        depths = {m: 0 for m in members}
+        node_seq = np.atleast_1d(np.asarray(node_seq, dtype=np.int64))
+        assignment = np.empty(len(node_seq), dtype=np.int64)
+        for i, node in enumerate(node_seq):
+            node = int(node)
+            if self.policy == "round_robin":
+                target = members[self._rr_next % len(members)]
+                self._rr_next += 1
+            elif self.policy == "consistent_hash":
+                target = self._ring_for(members).lookup(node)
+            else:  # cache_affinity
+                target = None
+                for h in ready:
+                    if node in h.engine.cache:  # servability probe, no counters
+                        target = h.index
+                        break
+                if target is None:
+                    target = self._sticky.get(node)
+                    if target not in by_index:
+                        target = self._ring_for(members).lookup(node)
+                if (
+                    self.spill_threshold is not None
+                    and depths[target] - min(depths.values()) > self.spill_threshold
+                ):
+                    # queue-depth feedback: the favourite is backed up —
+                    # spill to the least-loaded ready replica (ties to
+                    # the lowest index, keeping the choice deterministic)
+                    target = min(depths, key=lambda m: (depths[m], m))
+                    self.reroutes += 1
+                self._sticky[node] = target
+            depths[target] += 1
+            assignment[i] = target
+        return assignment
+
+
+class ReplicaHandle:
+    """One supervised replica: engine + lifecycle state + restart count.
+
+    The lifecycle mirrors a k8s-style resource scheduler: ``launch``
+    builds the engine and waits for readiness (``warm_up`` pays the
+    pool fork up front), ``collect`` snapshots its health document,
+    ``delete`` tears it down (the engine unlinks its shared-memory
+    segments), and ``restart`` is collect-free delete + launch — the
+    crash path that reaps a SIGKILLed replica without dropping the
+    cluster.
+    """
+
+    def __init__(self, index: int, factory):
+        self.index = int(index)
+        self._factory = factory
+        self.engine: InferenceEngine | None = None
+        self.state = "stopped"
+        self.restarts = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplicaHandle(index={self.index}, state={self.state!r})"
+
+    @property
+    def launches(self) -> int:
+        """The replica pool's fork count (0 for inline replicas)."""
+        if self.engine is None or self.engine.pool is None:
+            return 0
+        return self.engine.pool.launches
+
+    def launch(self) -> None:
+        """Build the engine and bring it to ready (idempotent)."""
+        if self.state == "ready":
+            return
+        self.state = "starting"
+        self.engine = self._factory()
+        self.engine.warm_up()  # wait: the pool forks here, not mid-burst
+        self.state = "ready"
+
+    def check(self) -> bool:
+        """Liveness poll: demote a dead ready replica to ``failed``."""
+        if self.state == "ready" and (self.engine is None or not self.engine.healthy):
+            self.state = "failed"
+        return self.state == "ready"
+
+    def collect(self) -> dict:
+        """The replica's health document (plain scalars, JSON-safe)."""
+        doc = {
+            "replica": self.index,
+            "state": self.state,
+            "restarts": self.restarts,
+            "launches": self.launches,
+        }
+        if self.engine is not None:
+            doc["generation"] = self.engine.generation
+            doc["graph_generation"] = self.engine.graph_generation
+            if self.engine.pool is not None:
+                doc["pool"] = self.engine.pool.health()
+        return doc
+
+    def delete(self) -> None:
+        """Tear the engine down and unlink its segments (idempotent)."""
+        if self.engine is not None:
+            try:
+                self.engine.close()
+            finally:
+                self.engine = None
+        self.state = "stopped"
+
+    def restart(self) -> None:
+        """Reap the (possibly crashed) engine and relaunch fresh."""
+        self.delete()
+        self.restarts += 1
+        self.launch()
+
+
+@dataclass
+class AutoscaleDecision:
+    """One deterministic autoscale step: what changed and why."""
+
+    action: str  # "up" | "down" | "hold"
+    reason: str
+    replicas_before: int
+    replicas_after: int
+
+
+@dataclass
+class ClusterRunResult:
+    """One cluster workload run: merged report + per-replica evidence."""
+
+    #: the cluster-level report (``merge_replica_reports`` semantics:
+    #: wall-clock duration, summed cache/transport, request-ordered
+    #: ``latencies_s`` scattered back from the replica sub-streams)
+    report: ServingReport
+    #: replica index -> its segment report (refusal reports included)
+    replica_reports: dict[int, ServingReport] = field(default_factory=dict)
+    #: request index -> replica index the router chose
+    assignments: np.ndarray = field(default=None, repr=False)
+    #: replicas restarted by crash supervision during this run
+    restarted: list[int] = field(default_factory=list)
+    #: requests refused because their replica crashed mid-burst
+    refused: int = 0
+
+
+class ServingCluster:
+    """N supervised :class:`InferenceEngine` replicas behind a router.
+
+    Every replica serves the same snapshot with the same serve ``seed``
+    (predictions are pure in ``(weights, seed, node)``, so routing can
+    never change bits); what differs per replica is *warmth* — its own
+    prediction cache, pool, and metrics registry.
+    :meth:`metrics_snapshot` re-keys each replica's metrics under a
+    ``replica.<i>.`` prefix and folds the cluster totals (counters add,
+    gauges fold by their declared policy, histograms merge exactly).
+
+    Owns its replicas: use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        snapshot: ModelSnapshot,
+        dataset,
+        *,
+        replicas: int = 2,
+        route_policy: str = "round_robin",
+        mode: str = "inline",
+        batch_mode: str = "per_node",
+        shard_policy: str = "chunk",
+        workers: int = 1,
+        cache_entries: int = 4096,
+        seed: int | None = None,
+        timeout: float = 120.0,
+        start_method: str | None = None,
+        staleness_budget: int = 0,
+        spill_threshold: int | None = 16,
+    ):
+        check_positive_int(replicas, "replicas")
+        self.snapshot = snapshot
+        self.dataset = dataset
+        self.mode = mode
+        self.batch_mode = batch_mode
+        self.shard_policy = shard_policy
+        self.workers = workers
+        self.cache_entries = cache_entries
+        self.seed = int(snapshot.seed if seed is None else seed)
+        self.timeout = timeout
+        self.start_method = start_method
+        self.staleness_budget = staleness_budget
+        self.router = Router(route_policy, spill_threshold=spill_threshold)
+        #: cluster-level accounting: restarts/refusals/reroutes counters
+        #: and high-water gauges, mergeable with the replicas' documents
+        self.metrics = MetricRegistry()
+        self._closed = False
+        self._next_index = 0
+        self.replicas: list[ReplicaHandle] = []
+        for _ in range(replicas):
+            self._add_replica()
+
+    # ------------------------------------------------------------------
+    def _build_engine(self) -> InferenceEngine:
+        return InferenceEngine(
+            self.snapshot,
+            self.dataset,
+            mode=self.mode,
+            batch_mode=self.batch_mode,
+            shard_policy=self.shard_policy,
+            workers=self.workers,
+            cache_entries=self.cache_entries,
+            timeout=self.timeout,
+            start_method=self.start_method,
+            seed=self.seed,
+            staleness_budget=self.staleness_budget,
+        )
+
+    def _add_replica(self) -> ReplicaHandle:
+        handle = ReplicaHandle(self._next_index, self._build_engine)
+        self._next_index += 1
+        handle.launch()
+        self.replicas.append(handle)
+        self.metrics.gauge("cluster.replicas").set(float(len(self.replicas)))
+        return handle
+
+    # ------------------------------------------------------------------
+    @property
+    def route_policy(self) -> str:
+        return self.router.policy
+
+    def ready_replicas(self) -> list[ReplicaHandle]:
+        return [h for h in self.replicas if h.state == "ready"]
+
+    def launches(self) -> list[int]:
+        """Per-replica pool fork counts, in replica order (flat = healthy)."""
+        return [h.launches for h in self.replicas]
+
+    def health(self) -> list[dict]:
+        """Collect every replica's health document (supervision poll)."""
+        return [h.collect() for h in self.replicas]
+
+    def check_replicas(self) -> list[int]:
+        """Reap-and-relaunch every dead replica; returns restarted indices.
+
+        The supervision loop: a replica whose engine died (SIGKILLed
+        worker, broken world) is demoted by :meth:`ReplicaHandle.check`
+        and restarted in place — the cluster never drops below its
+        configured replica count because of a crash.
+        """
+        restarted = []
+        for handle in self.replicas:
+            if not handle.check() and handle.state == "failed":
+                handle.restart()
+                restarted.append(handle.index)
+                self.metrics.counter("cluster.restarts").inc()
+        return restarted
+
+    def restart_replica(self, index: int) -> None:
+        """Force one replica through delete + launch (counts as a restart)."""
+        for handle in self.replicas:
+            if handle.index == index:
+                handle.restart()
+                self.metrics.counter("cluster.restarts").inc()
+                return
+        raise ValueError(f"no replica with index {index}")
+
+    def warm_up(self) -> None:
+        """Bring every replica to ready (launch any stopped ones)."""
+        for handle in self.replicas:
+            handle.launch()
+
+    # ------------------------------------------------------------------
+    def predict(self, node_ids) -> np.ndarray:
+        """Route ``node_ids`` across the replicas; rows in request order.
+
+        The parity surface: whatever the policy scattered, the gathered
+        result is bit-identical to one engine predicting the same ids.
+        """
+        if self._closed:
+            raise ValueError("serving cluster is closed")
+        node_ids = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        if node_ids.size == 0:
+            return np.zeros((0, self.snapshot.out_dim), dtype=np.float32)
+        self.check_replicas()
+        assignment = self.router.route_many(node_ids, self.replicas)
+        out = np.empty((len(node_ids), self.snapshot.out_dim), dtype=np.float32)
+        for handle in self.replicas:
+            idx = np.flatnonzero(assignment == handle.index)
+            if idx.size == 0:
+                continue
+            out[idx] = handle.engine.predict(node_ids[idx])
+        return out
+
+    # ------------------------------------------------------------------
+    def rolling_reload(self, snapshot: ModelSnapshot, *, probe_nodes=None) -> list[dict]:
+        """Hot-swap ``snapshot`` into every replica, one at a time.
+
+        Each replica is drained first (the router stops routing to it —
+        admission control at the edge), reloaded through the existing
+        ParamStore channel (no re-fork: ``pool.launches`` stays flat,
+        guaranteed per replica by ``InferPlan.generation``), optionally
+        probed with ``probe_nodes`` to force the lazy weight republish
+        while still drained, and returned to ready before the next
+        replica drains — the cluster always keeps N-1 replicas serving.
+        Returns one swap record per replica.
+        """
+        if self._closed:
+            raise ValueError("serving cluster is closed")
+        records = []
+        for handle in self.replicas:
+            handle.check()
+            if handle.state != "ready":
+                continue
+            handle.state = "draining"
+            try:
+                handle.engine.reload(snapshot)
+                if probe_nodes is not None:
+                    handle.engine.predict(probe_nodes)
+            finally:
+                handle.state = "ready"
+            records.append(
+                {
+                    "replica": handle.index,
+                    "generation": handle.engine.generation,
+                    "launches": handle.launches,
+                }
+            )
+        self.snapshot = snapshot
+        return records
+
+    # ------------------------------------------------------------------
+    def autoscale(
+        self,
+        min_replicas: int,
+        max_replicas: int,
+        report: ServingReport | None = None,
+        *,
+        slo_ms: float | None = None,
+        slo_target: float = 0.99,
+        queue_high: int = 16,
+        util_low: float = 0.25,
+    ) -> AutoscaleDecision:
+        """One deterministic scale step within ``[min_replicas, max_replicas]``.
+
+        Scale-up pressure, in priority order, read off the last run's
+        report: requests were shed, the peak queue crossed
+        ``queue_high``, or SLO attainment at ``slo_ms`` fell below
+        ``slo_target``.  Scale-down needs slack: utilisation —
+        ``service_s`` over ``duration_s`` summed across the current
+        replicas — under ``util_low``.  One replica moves per call
+        (classic hysteresis against flapping); clamping to the bounds
+        also repairs a cluster that starts outside them.
+        """
+        if self._closed:
+            raise ValueError("serving cluster is closed")
+        check_positive_int(min_replicas, "min_replicas")
+        check_positive_int(max_replicas, "max_replicas")
+        if max_replicas < min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        before = len(self.replicas)
+        action, reason = "hold", "signals within band"
+        if before < min_replicas:
+            action, reason = "up", f"below min_replicas={min_replicas}"
+        elif before > max_replicas:
+            action, reason = "down", f"above max_replicas={max_replicas}"
+        elif report is not None:
+            utilisation = (
+                report.service_s / (report.duration_s * before)
+                if report.duration_s > 0
+                else 0.0
+            )
+            if report.shed_count > 0 and before < max_replicas:
+                action, reason = "up", f"shed_count={report.shed_count}"
+            elif report.max_queue > queue_high and before < max_replicas:
+                action, reason = "up", f"max_queue={report.max_queue} > {queue_high}"
+            elif (
+                slo_ms is not None
+                and report.slo_attainment(slo_ms) < slo_target
+                and before < max_replicas
+            ):
+                action = "up"
+                reason = (
+                    f"slo_attainment={report.slo_attainment(slo_ms):.3f} "
+                    f"< {slo_target}"
+                )
+            elif utilisation < util_low and before > min_replicas:
+                action, reason = "down", f"utilisation={utilisation:.3f} < {util_low}"
+        if action == "up":
+            self._add_replica()
+        elif action == "down":
+            victim = self.replicas.pop()  # newest replica drains first
+            victim.delete()
+            self.metrics.gauge("cluster.replicas").set(float(len(self.replicas)))
+        return AutoscaleDecision(
+            action=action,
+            reason=reason,
+            replicas_before=before,
+            replicas_after=len(self.replicas),
+        )
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """One document: per-replica metrics re-keyed + cluster fold.
+
+        Replica registries are merged into a cluster-total view
+        (counters/histograms add, gauges fold by their declared policy
+        — merge-order independent by the Gauge contract), emitted under
+        ``cluster.`` names, while every per-replica instrument also
+        appears verbatim under its ``replica.<i>.`` prefix.
+        """
+        folded = MetricRegistry()
+        folded.merge(self.metrics.snapshot())
+        out: dict = {}
+        for handle in self.replicas:
+            if handle.engine is None:
+                continue
+            doc = handle.engine.metrics.snapshot()
+            folded.merge(doc)
+            for name, snap in doc["metrics"].items():
+                out[f"replica.{handle.index}.{name}"] = snap
+        cluster_doc = folded.snapshot()
+        for name, snap in cluster_doc["metrics"].items():
+            prefix = "" if name.startswith("cluster.") else "cluster."
+            out[f"{prefix}{name}"] = snap
+        return {"schema_version": cluster_doc["schema_version"], "metrics": out}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Delete every replica (idempotent)."""
+        self._closed = True
+        for handle in self.replicas:
+            handle.delete()
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_cluster_workload(
+    cluster: ServingCluster,
+    *,
+    num_requests: int = 256,
+    rate_rps: float = 500.0,
+    zipf_alpha: float = 1.1,
+    max_batch: int = 8,
+    max_wait_ms: float = 2.0,
+    queue_limit: int | None = None,
+    nodes: np.ndarray | None = None,
+    node_sequence: np.ndarray | None = None,
+    service_model: str = "wall",
+    seed: int = 0,
+) -> ClusterRunResult:
+    """Drive the whole cluster through one open-loop workload.
+
+    The node stream and Poisson arrival epochs are drawn **once at the
+    edge** — same RNG derivation and draw order as the single-engine
+    driver, so replica count and routing policy cannot perturb the
+    traffic — then routed into per-replica sub-streams that keep their
+    original arrival epochs (``arrival_times`` slice), run through
+    :func:`~repro.serve.workload.run_serving_workload` per replica, and
+    folded with :func:`~repro.serve.workload.merge_replica_reports`:
+    wall-clock (max) duration under the merged throughput, summed
+    cache/transport, concatenated per-rank columns.
+
+    Crash supervision is in-line: a replica whose engine dies mid-burst
+    contributes an all-shed refusal segment (its share of the burst is
+    refused, counted in ``shed_count`` and as SLO misses), is reaped and
+    relaunched, and the other replicas' segments are unaffected.  The
+    merged report's ``latencies_s`` is scattered back to *request*
+    order, so SLO accounting reads exactly like a single-engine run.
+    """
+    check_positive_int(num_requests, "num_requests")
+    from repro.serve.workload import run_serving_workload  # cycle-free, clarity
+
+    cluster.check_replicas()
+    # -- edge draw: identical derivation + order to the single driver --
+    rng = derive_rng(seed, "serve-workload")
+    if nodes is None:
+        nodes = cluster.dataset.val_idx
+        if len(nodes) == 0:
+            nodes = np.arange(cluster.dataset.num_nodes, dtype=np.int64)
+    if node_sequence is not None:
+        node_seq = np.asarray(node_sequence, dtype=np.int64)
+        if len(node_seq) != num_requests:
+            raise ValueError(
+                f"node_sequence holds {len(node_seq)} entries, expected {num_requests}"
+            )
+    else:
+        node_seq = zipf_nodes(nodes, num_requests, alpha=zipf_alpha, rng=rng)
+    times = poisson_arrivals(num_requests, rate_rps, rng=rng)
+
+    assignment = cluster.router.route_many(node_seq, cluster.replicas)
+    segments: list[ServingReport] = []
+    replica_reports: dict[int, ServingReport] = {}
+    slices: list[tuple[np.ndarray, ServingReport]] = []
+    restarted: list[int] = []
+    refused = 0
+    for handle in list(cluster.replicas):
+        idx = np.flatnonzero(assignment == handle.index)
+        if idx.size == 0:
+            continue
+        try:
+            segment = run_serving_workload(
+                handle.engine,
+                num_requests=int(idx.size),
+                rate_rps=rate_rps,
+                zipf_alpha=zipf_alpha,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                queue_limit=queue_limit,
+                nodes=nodes,
+                node_sequence=node_seq[idx],
+                arrival_times=times[idx],
+                service_model=service_model,
+                seed=seed,
+            )
+        except Exception:
+            # the replica died mid-burst: its share of the stream is
+            # refused (all-shed segment), the replica is reaped and
+            # relaunched, and the rest of the cluster keeps serving
+            segment = make_refusal_report(cluster.mode, int(idx.size))
+            refused += int(idx.size)
+            cluster.metrics.counter("cluster.refusals").inc(int(idx.size))
+            handle.state = "failed"
+            handle.restart()
+            restarted.append(handle.index)
+            cluster.metrics.counter("cluster.restarts").inc()
+        segments.append(segment)
+        replica_reports[handle.index] = segment
+        slices.append((idx, segment))
+
+    report = merge_replica_reports(segments)
+    if len(segments) == 1:
+        # a single-segment merge returns the segment itself — copy before
+        # rewriting latencies so the per-replica report stays untouched
+        report = dataclasses.replace(report)
+    # scatter per-replica latencies back to request order so the merged
+    # report reads exactly like a single-engine run of the same stream
+    latencies = np.full(num_requests, np.nan, dtype=np.float64)
+    for idx, segment in slices:
+        if segment.latencies_s is not None:
+            latencies[idx] = segment.latencies_s
+    report.latencies_s = latencies
+    cluster.metrics.counter("cluster.requests").inc(num_requests)
+    cluster.metrics.gauge("cluster.max_queue").set(float(report.max_queue))
+    return ClusterRunResult(
+        report=report,
+        replica_reports=replica_reports,
+        assignments=assignment,
+        restarted=restarted,
+        refused=refused,
+    )

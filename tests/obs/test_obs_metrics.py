@@ -34,13 +34,66 @@ class TestCounter:
 
 
 class TestGauge:
-    def test_set_and_merge_last_write_wins(self):
+    """Gauge merging has an explicit declared policy — keep-max by
+    default (high-water marks like peak queue depth), keep-min on
+    request.  The fold must be order-independent: merging registries
+    A,B and B,A has to land on the same value, or cross-replica metric
+    documents would depend on replica iteration order."""
+
+    def test_default_policy_keeps_max(self):
         g = Gauge()
         g.set(1.5)
         other = Gauge()
         other.set(7.0)
         g.merge(other.snapshot())
         assert g.value == 7.0
+        # the lower side arriving second must NOT win (no last-write)
+        low = Gauge()
+        low.set(2.0)
+        g.merge(low.snapshot())
+        assert g.value == 7.0
+
+    def test_min_policy_keeps_min(self):
+        g = Gauge(policy="min")
+        g.set(5.0)
+        other = Gauge(policy="min")
+        other.set(9.0)
+        g.merge(other.snapshot())
+        assert g.value == 5.0
+
+    def test_merge_is_order_independent(self):
+        values = (3.0, 11.0, 7.0)
+        for policy, expected in (("max", 11.0), ("min", 3.0)):
+            folds = []
+            for order in ((0, 1, 2), (2, 1, 0), (1, 2, 0)):
+                acc = Gauge(policy=policy)
+                for i in order:
+                    g = Gauge(policy=policy)
+                    g.set(values[i])
+                    acc.merge(g.snapshot())
+                folds.append(acc.value)
+            assert folds == [expected] * 3
+
+    def test_unset_side_is_neutral(self):
+        # an unset gauge (value 0.0, never written) must not drag a
+        # keep-min fold to zero or pollute a keep-max fold
+        set_side = Gauge(policy="min")
+        set_side.set(4.0)
+        unset = Gauge(policy="min")
+        set_side.merge(unset.snapshot())
+        assert set_side.value == 4.0
+        fresh = Gauge(policy="min")
+        fresh.merge(set_side.snapshot())
+        assert fresh.value == 4.0
+
+    def test_policy_mismatch_refused(self):
+        g = Gauge(policy="max")
+        other = Gauge(policy="min")
+        other.set(1.0)
+        with pytest.raises(ValueError, match="policy"):
+            g.merge(other.snapshot())
+        with pytest.raises(ValueError, match="policy"):
+            Gauge(policy="last")
 
 
 class TestHistogram:
@@ -160,3 +213,29 @@ class TestMetricRegistry:
     def test_merge_rejects_unknown_schema(self):
         with pytest.raises(ValueError):
             MetricRegistry().merge({"schema_version": 999, "metrics": {}})
+
+    def test_gauge_policy_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.gauge("peak", policy="max")
+        with pytest.raises(ValueError, match="policy"):
+            reg.gauge("peak", policy="min")
+
+    def test_gauge_merge_permutation_invariant_through_registry(self):
+        # the cluster metrics fold: replica documents may arrive in any
+        # order, yet the folded gauge must be identical
+        docs = []
+        for peak in (3.0, 9.0, 5.0):
+            reg = MetricRegistry()
+            reg.gauge("peak").set(peak)
+            docs.append(reg.snapshot())
+        folds = []
+        for order in ((0, 1, 2), (2, 0, 1), (1, 2, 0)):
+            acc = MetricRegistry()
+            for i in order:
+                acc.merge(docs[i])
+            folds.append(acc.gauge("peak").value)
+        assert folds == [9.0, 9.0, 9.0]
+        # gauge policy survives the snapshot/merge round-trip
+        merged_doc = MetricRegistry()
+        merged_doc.merge(docs[0])
+        assert merged_doc.snapshot()["metrics"]["peak"]["policy"] == "max"

@@ -1,0 +1,525 @@
+"""Cluster serving: routing, parity, rolling swaps, autoscale, crash-restart.
+
+The tentpole battery for ``repro.serve.cluster``: consistent-hash ring
+properties, router policies (including cache-affinity and queue-depth
+spill), the bitwise parity sweep (cluster == single inline engine for
+any replica count x routing policy x batch mode), rolling hot-swaps at
+flat per-replica ``pool.launches``, the deterministic autoscale policy,
+and crash supervision — a SIGKILLed replica is reaped and relaunched
+without dropping the cluster or leaking shared memory (extending the
+pattern from ``tests/serve/test_serve_crash.py``).
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.cluster import (
+    ROUTE_POLICIES,
+    HashRing,
+    ReplicaHandle,
+    Router,
+    ServingCluster,
+    run_cluster_workload,
+)
+from repro.serve.engine import InferenceEngine
+from repro.serve.workload import run_serving_workload
+
+from test_serve_crash import SlowServeSampler, shm_segments
+
+has_dev_shm = os.path.isdir("/dev/shm")
+needs_dev_shm = pytest.mark.skipif(not has_dev_shm, reason="no /dev/shm to inspect")
+
+ROUTES = pytest.mark.parametrize("route_policy", ROUTE_POLICIES)
+BATCH_MODES = pytest.mark.parametrize("batch_mode", ["per_node", "frontier"])
+
+
+# ----------------------------------------------------------------------
+# unit doubles for router tests: no engines, just a cache probe surface
+class FakeCache:
+    def __init__(self, keys=()):
+        self.keys = {int(k) for k in keys}
+
+    def __contains__(self, key):
+        return int(key) in self.keys
+
+
+class FakeEngine:
+    def __init__(self, keys=()):
+        self.cache = FakeCache(keys)
+
+
+class FakeHandle:
+    def __init__(self, index, *, state="ready", keys=()):
+        self.index = index
+        self.state = state
+        self.engine = FakeEngine(keys)
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_and_process_stable(self):
+        ring = HashRing([0, 1, 2])
+        owners = [ring.lookup(n) for n in range(100)]
+        again = HashRing([0, 1, 2])
+        assert owners == [again.lookup(n) for n in range(100)]
+        # every member owns some arc at 64 virtual points
+        assert set(owners) == {0, 1, 2}
+
+    def test_membership_change_remaps_boundedly(self):
+        """Removing one of R members may remap only the keys it owned
+        (~1/R of the space) — everything else must stay put."""
+        ring = HashRing([0, 1, 2, 3])
+        keys = list(range(500))
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove(3)
+        after = {k: ring.lookup(k) for k in keys}
+        moved = [k for k in keys if before[k] != after[k]]
+        # only keys that replica 3 owned can move...
+        assert all(before[k] == 3 for k in moved)
+        # ...and they all must (3 is gone)
+        assert {k for k in keys if before[k] == 3} == set(moved)
+        # adding it back restores the original placement exactly
+        ring.add(3)
+        assert {k: ring.lookup(k) for k in keys} == before
+
+    def test_empty_ring_raises_and_membership_api(self):
+        ring = HashRing()
+        with pytest.raises(ValueError, match="empty hash ring"):
+            ring.lookup(7)
+        ring.add(5)
+        ring.add(5)  # idempotent
+        assert 5 in ring and len(ring) == 1
+        ring.remove(9)  # absent: no-op
+        assert ring.members() == [5]
+
+
+class TestRouter:
+    def test_round_robin_cycles_ready_only(self):
+        handles = [
+            FakeHandle(0),
+            FakeHandle(1, state="draining"),
+            FakeHandle(2),
+        ]
+        router = Router("round_robin")
+        assignment = router.route_many(np.arange(6), handles)
+        assert assignment.tolist() == [0, 2, 0, 2, 0, 2]
+
+    def test_no_ready_replicas_raises(self):
+        router = Router("round_robin")
+        with pytest.raises(RuntimeError, match="no ready replicas"):
+            router.route_many([1, 2], [FakeHandle(0, state="failed")])
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="route_policy"):
+            Router("random")
+
+    def test_consistent_hash_matches_ring_and_survives_churn(self):
+        handles = [FakeHandle(i) for i in range(3)]
+        router = Router("consistent_hash")
+        nodes = np.arange(64)
+        assignment = router.route_many(nodes, handles)
+        ring = HashRing([0, 1, 2])
+        assert assignment.tolist() == [ring.lookup(int(n)) for n in nodes]
+        # a draining replica vanishes; only its nodes remap
+        handles[1].state = "draining"
+        moved = router.route_many(nodes, handles)
+        assert all(
+            (a == b) or (a == 1) for a, b in zip(assignment.tolist(), moved.tolist())
+        )
+        assert 1 not in moved.tolist()
+
+    def test_cache_affinity_prefers_warm_replica(self):
+        handles = [FakeHandle(0), FakeHandle(1, keys=(7, 8)), FakeHandle(2, keys=(9,))]
+        router = Router("cache_affinity")
+        assignment = router.route_many([7, 8, 9], handles)
+        assert assignment.tolist() == [1, 1, 2]
+
+    def test_cache_affinity_sticky_without_warmth(self):
+        # nothing cached: the first route falls back to the hash ring,
+        # later routes of the same node stick to that choice
+        handles = [FakeHandle(0), FakeHandle(1)]
+        router = Router("cache_affinity")
+        first = router.route_many([42], handles)[0]
+        assert router.route_many([42, 42, 42], handles).tolist() == [first] * 3
+
+    def test_cache_affinity_spills_on_queue_depth(self):
+        # every node warm on replica 0: without spill it takes the whole
+        # burst; with a spill threshold the overflow goes to replica 1
+        nodes = list(range(100))
+        handles = [FakeHandle(0, keys=nodes), FakeHandle(1)]
+        greedy = Router("cache_affinity", spill_threshold=None)
+        assert set(greedy.route_many(nodes, handles).tolist()) == {0}
+        spilling = Router("cache_affinity", spill_threshold=10)
+        counts = np.bincount(spilling.route_many(nodes, handles), minlength=2)
+        assert counts[1] > 0
+        assert spilling.reroutes == counts[1]
+        # depth never runs away: replica 0 stays within threshold+1 of 1
+        assert counts[0] - counts[1] <= 11
+
+
+class TestClusterParity:
+    @ROUTES
+    @BATCH_MODES
+    @pytest.mark.parametrize("replicas", [1, 2, 4])
+    def test_cluster_bitwise_equals_single_engine(
+        self, tiny_dataset, trained_snapshot, route_policy, batch_mode, replicas
+    ):
+        """The acceptance sweep: predictions are pure in (weights, seed,
+        node), so *where* the router sends a request cannot change one
+        bit — any replica count x policy x batch mode equals one inline
+        engine."""
+        nodes = np.concatenate([tiny_dataset.val_idx[:12], tiny_dataset.val_idx[:4]])
+        with InferenceEngine(
+            trained_snapshot, tiny_dataset, batch_mode=batch_mode
+        ) as ref:
+            expected = ref.predict(nodes)
+        with ServingCluster(
+            trained_snapshot,
+            tiny_dataset,
+            replicas=replicas,
+            route_policy=route_policy,
+            batch_mode=batch_mode,
+        ) as cluster:
+            np.testing.assert_array_equal(cluster.predict(nodes), expected)
+            # a second pass hits replica caches; still identical
+            np.testing.assert_array_equal(cluster.predict(nodes), expected)
+
+    def test_pool_cluster_bitwise_equals_inline_engine(
+        self, tiny_dataset, trained_snapshot
+    ):
+        nodes = tiny_dataset.val_idx[:10]
+        with InferenceEngine(trained_snapshot, tiny_dataset) as ref:
+            expected = ref.predict(nodes)
+        with ServingCluster(
+            trained_snapshot,
+            tiny_dataset,
+            replicas=2,
+            route_policy="consistent_hash",
+            mode="pool",
+            workers=2,
+            timeout=30.0,
+        ) as cluster:
+            np.testing.assert_array_equal(cluster.predict(nodes), expected)
+            assert cluster.launches() == [1, 1]
+
+    def test_empty_predict(self, tiny_dataset, trained_snapshot):
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=2) as cluster:
+            out = cluster.predict(np.array([], dtype=np.int64))
+            assert out.shape == (0, trained_snapshot.out_dim)
+
+
+class TestClusterWorkload:
+    @ROUTES
+    def test_workload_is_deterministic_in_seed(
+        self, tiny_dataset, trained_snapshot, route_policy
+    ):
+        def run():
+            with ServingCluster(
+                trained_snapshot,
+                tiny_dataset,
+                replicas=2,
+                route_policy=route_policy,
+            ) as cluster:
+                result = run_cluster_workload(
+                    cluster, num_requests=48, rate_rps=4000.0, seed=7
+                )
+            return result
+
+        a, b = run(), run()
+        assert a.assignments.tolist() == b.assignments.tolist()
+        assert a.report.requests == b.report.requests == 48
+        assert {i: r.requests for i, r in a.replica_reports.items()} == {
+            i: r.requests for i, r in b.replica_reports.items()
+        }
+
+    def test_merged_report_uses_wall_clock_duration(
+        self, tiny_dataset, trained_snapshot
+    ):
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=2) as cluster:
+            result = run_cluster_workload(
+                cluster, num_requests=64, rate_rps=4000.0, seed=3
+            )
+        segments = list(result.replica_reports.values())
+        assert sum(s.requests for s in segments) == 64
+        assert result.report.duration_s == max(s.duration_s for s in segments)
+        assert result.report.throughput_rps == pytest.approx(
+            result.report.served / result.report.duration_s
+        )
+        # request-ordered latencies: one entry per edge request
+        assert len(result.report.latencies_s) == 64
+        assert np.isfinite(result.report.latencies_s).all()
+        # cache counters summed across replicas, not taken from the last
+        assert result.report.cache.lookups == sum(s.cache.lookups for s in segments)
+
+    def test_replica_count_preserves_traffic(self, tiny_dataset, trained_snapshot):
+        """Same seed, different replica counts: the edge draw is shared,
+        so the union of routed sub-streams is the same request set."""
+        totals = {}
+        for n in (1, 2, 4):
+            with ServingCluster(
+                trained_snapshot, tiny_dataset, replicas=n
+            ) as cluster:
+                result = run_cluster_workload(
+                    cluster, num_requests=48, rate_rps=4000.0, seed=11
+                )
+            totals[n] = (
+                result.report.requests,
+                result.report.served,
+                len(result.assignments),
+            )
+        assert totals[1] == totals[2] == totals[4] == (48, 48, 48)
+
+
+class TestRollingSwap:
+    def test_rolling_reload_keeps_launches_flat(self, tiny_dataset, trained_snapshot):
+        probe = tiny_dataset.val_idx[:2]
+        with ServingCluster(
+            trained_snapshot,
+            tiny_dataset,
+            replicas=2,
+            route_policy="consistent_hash",
+            mode="pool",
+            workers=2,
+            timeout=30.0,
+        ) as cluster:
+            run_cluster_workload(cluster, num_requests=24, rate_rps=4000.0, seed=0)
+            assert cluster.launches() == [1, 1]
+            for swap in (1, 2):
+                records = cluster.rolling_reload(trained_snapshot, probe_nodes=probe)
+                assert [r["replica"] for r in records] == [0, 1]
+                assert all(r["generation"] == swap for r in records)
+                # the whole point: weights travelled the ParamStore
+                # channel — not one replica re-forked, cluster-wide
+                assert all(r["launches"] == 1 for r in records)
+            result = run_cluster_workload(
+                cluster, num_requests=24, rate_rps=4000.0, seed=1
+            )
+            assert result.report.served == 24
+            assert cluster.launches() == [1, 1]
+
+    def test_swap_preserves_parity_with_single_engine(
+        self, tiny_dataset, trained_snapshot
+    ):
+        nodes = tiny_dataset.val_idx[:8]
+        with InferenceEngine(trained_snapshot, tiny_dataset) as ref:
+            expected = ref.predict(nodes)
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=3) as cluster:
+            cluster.predict(nodes)
+            cluster.rolling_reload(trained_snapshot)
+            np.testing.assert_array_equal(cluster.predict(nodes), expected)
+            assert all(h.engine.generation == 1 for h in cluster.replicas)
+
+
+def fake_report(**overrides):
+    """A minimal ServingReport for autoscale policy tests."""
+    from repro.serve.cache import CacheStats
+    from repro.serve.workload import ServingReport
+    from repro.shm.arena import TransportStats
+
+    base = dict(
+        mode="inline",
+        requests=64,
+        duration_s=1.0,
+        service_s=0.9,
+        throughput_rps=64.0,
+        mean_ms=1.0,
+        p50_ms=1.0,
+        p95_ms=2.0,
+        p99_ms=3.0,
+        mean_batch=2.0,
+        full_flushes=0,
+        deadline_flushes=0,
+        drain_flushes=0,
+        cache=CacheStats(),
+        transport=TransportStats(),
+        latencies_s=np.full(64, 1e-3),
+    )
+    base.update(overrides)
+    return ServingReport(**base)
+
+
+class TestAutoscale:
+    def test_shed_scales_up(self, tiny_dataset, trained_snapshot):
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=1) as cluster:
+            decision = cluster.autoscale(1, 4, fake_report(shed_count=5))
+            assert decision.action == "up"
+            assert decision.replicas_after == 2
+            assert len(cluster.replicas) == 2
+            assert all(h.state == "ready" for h in cluster.replicas)
+
+    def test_queue_depth_scales_up(self, tiny_dataset, trained_snapshot):
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=1) as cluster:
+            decision = cluster.autoscale(1, 4, fake_report(max_queue=40))
+            assert decision.action == "up" and "max_queue" in decision.reason
+
+    def test_slo_miss_scales_up(self, tiny_dataset, trained_snapshot):
+        late = fake_report(latencies_s=np.full(64, 0.5))  # 500ms >> slo
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=1) as cluster:
+            decision = cluster.autoscale(1, 4, late, slo_ms=10.0)
+            assert decision.action == "up" and "slo_attainment" in decision.reason
+
+    def test_idle_scales_down_to_min(self, tiny_dataset, trained_snapshot):
+        idle = fake_report(service_s=0.01)
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=2) as cluster:
+            decision = cluster.autoscale(1, 4, idle)
+            assert decision.action == "down"
+            assert len(cluster.replicas) == 1
+            # at min_replicas the same signal holds instead
+            assert cluster.autoscale(1, 4, idle).action == "hold"
+
+    def test_bounds_respected_and_repaired(self, tiny_dataset, trained_snapshot):
+        overloaded = fake_report(shed_count=64)
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=2) as cluster:
+            assert cluster.autoscale(1, 2, overloaded).action == "hold"
+            # a cluster outside its band is pulled back in
+            assert cluster.autoscale(3, 4).action == "up"
+            assert len(cluster.replicas) == 3
+            assert cluster.autoscale(1, 2).action == "down"
+            with pytest.raises(ValueError, match="max_replicas"):
+                cluster.autoscale(3, 2)
+
+    def test_scaled_up_replica_serves_identically(
+        self, tiny_dataset, trained_snapshot
+    ):
+        nodes = tiny_dataset.val_idx[:8]
+        with InferenceEngine(trained_snapshot, tiny_dataset) as ref:
+            expected = ref.predict(nodes)
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=1) as cluster:
+            cluster.autoscale(1, 4, fake_report(shed_count=1))
+            np.testing.assert_array_equal(cluster.predict(nodes), expected)
+
+
+class TestClusterMetrics:
+    def test_per_replica_prefixes_and_cluster_fold(
+        self, tiny_dataset, trained_snapshot
+    ):
+        with ServingCluster(trained_snapshot, tiny_dataset, replicas=2) as cluster:
+            run_cluster_workload(cluster, num_requests=32, rate_rps=4000.0, seed=0)
+            doc = cluster.metrics_snapshot()
+        names = set(doc["metrics"])
+        # every replica's instruments appear verbatim under a prefix...
+        assert any(n.startswith("replica.0.serve.") for n in names)
+        assert any(n.startswith("replica.1.serve.") for n in names)
+        # ...and the cluster fold adds counters across replicas
+        per_replica = [
+            doc["metrics"][f"replica.{i}.serve.cache.lookups"]["value"]
+            for i in (0, 1)
+            if f"replica.{i}.serve.cache.lookups" in doc["metrics"]
+        ]
+        if per_replica:
+            folded = doc["metrics"]["cluster.serve.cache.lookups"]["value"]
+            assert folded == sum(per_replica)
+        assert doc["metrics"]["cluster.replicas"]["value"] == 2.0
+
+
+class TestCrashRestart:
+    @needs_dev_shm
+    def test_sigkill_mid_burst_refuses_restarts_no_leak(
+        self, tiny_dataset, trained_snapshot
+    ):
+        """SIGKILL one replica's rank worker while the cluster serves a
+        burst: that replica's share of the stream is refused (counted in
+        the merged report), the replica is reaped and relaunched, the
+        other replica's segment is unaffected, and nothing leaks."""
+        before = shm_segments()
+        cluster = ServingCluster(
+            trained_snapshot,
+            tiny_dataset,
+            replicas=2,
+            route_policy="round_robin",
+            mode="pool",
+            workers=2,
+            cache_entries=0,
+            timeout=30.0,
+        )
+        try:
+            victim_handle = cluster.replicas[0]
+            # stretch replica 0's batches so the kill lands mid-InferPlan
+            victim_handle.engine.sampler = SlowServeSampler([5, 5], nap=0.15)
+            victim = victim_handle.engine.pool.procs[0]
+
+            def kill_soon():
+                time.sleep(0.3)
+                victim.kill()
+
+            killer = threading.Thread(target=kill_soon)
+            killer.start()
+            result = run_cluster_workload(
+                cluster, num_requests=24, rate_rps=1e6, seed=0
+            )
+            killer.join(10.0)
+            # replica 0's share refused, replica 1 served its share
+            assert result.restarted == [0]
+            assert result.refused > 0
+            assert result.report.shed_count >= result.refused
+            assert result.report.served == 24 - result.report.shed_count
+            assert result.replica_reports[1].shed_count == 0
+            # the all-shed refusal segment kept percentiles NaN-free
+            assert np.isfinite(result.report.p99_ms)
+            # supervision relaunched the replica with a fresh engine
+            # (healthy sampler again): the next burst serves everything
+            assert victim_handle.state == "ready"
+            assert victim_handle.restarts == 1
+            follow_up = run_cluster_workload(
+                cluster, num_requests=16, rate_rps=1e6, seed=1
+            )
+            assert follow_up.refused == 0
+            assert follow_up.report.served == 16
+        finally:
+            cluster.close()
+        assert shm_segments() == before
+
+    @needs_dev_shm
+    def test_check_replicas_restarts_killed_idle_replica(
+        self, tiny_dataset, trained_snapshot
+    ):
+        before = shm_segments()
+        cluster = ServingCluster(
+            trained_snapshot,
+            tiny_dataset,
+            replicas=2,
+            mode="pool",
+            workers=2,
+            cache_entries=0,
+            timeout=30.0,
+        )
+        try:
+            cluster.replicas[1].engine.pool.procs[0].kill()
+            deadline = time.monotonic() + 10.0
+            while cluster.replicas[1].engine.healthy and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert not cluster.replicas[1].engine.healthy
+            assert cluster.check_replicas() == [1]
+            assert cluster.replicas[1].state == "ready"
+            assert cluster.replicas[1].restarts == 1
+            # and it serves again, bit-identical to a reference engine
+            nodes = tiny_dataset.val_idx[:6]
+            with InferenceEngine(
+                trained_snapshot, tiny_dataset, cache_entries=0
+            ) as ref:
+                np.testing.assert_array_equal(
+                    cluster.predict(nodes), ref.predict(nodes)
+                )
+        finally:
+            cluster.close()
+        assert shm_segments() == before
+
+
+class TestReplicaHandle:
+    def test_lifecycle(self, tiny_dataset, trained_snapshot):
+        handle = ReplicaHandle(
+            0, lambda: InferenceEngine(trained_snapshot, tiny_dataset)
+        )
+        assert handle.state == "stopped" and handle.launches == 0
+        handle.launch()
+        assert handle.state == "ready" and handle.check()
+        doc = handle.collect()
+        assert doc["state"] == "ready" and doc["restarts"] == 0
+        handle.restart()
+        assert handle.restarts == 1 and handle.state == "ready"
+        handle.delete()
+        assert handle.state == "stopped" and handle.engine is None
+        handle.delete()  # idempotent
